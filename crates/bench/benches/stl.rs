@@ -1,0 +1,144 @@
+//! Criterion micro-benchmarks of the STL's hot paths: the space translator,
+//! the locator B-tree, the allocation policy, and full read/write assembly.
+//!
+//! These are the operations whose cost §7.3 bounds (B-tree traversal and
+//! coordinate arithmetic per request); measuring them directly documents
+//! the constant factors behind the `overhead` harness.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use nds_core::{
+    translator, BlockAllocator, BlockDimensionality, BlockShape, DeviceSpec, ElementType,
+    LocatorTree, MemBackend, Shape, Stl, StlConfig,
+};
+
+fn spec() -> DeviceSpec {
+    DeviceSpec::new(32, 8, 4096)
+}
+
+fn bench_translator(c: &mut Criterion) {
+    let space = Shape::new([8192, 8192]);
+    let bb = BlockShape::for_space(
+        &space,
+        ElementType::F32,
+        spec(),
+        BlockDimensionality::Auto,
+        1,
+    );
+    let mut group = c.benchmark_group("translator");
+    group.bench_function("tile_1024", |b| {
+        b.iter(|| {
+            translator::translate(&space, &bb, &space, &[1, 1], &[1024, 1024])
+                .expect("translate")
+        })
+    });
+    group.bench_function("row_panel_512", |b| {
+        b.iter(|| {
+            translator::translate(&space, &bb, &space, &[0, 1], &[8192, 512]).expect("translate")
+        })
+    });
+    group.bench_function("column_panel_512", |b| {
+        b.iter(|| {
+            translator::translate(&space, &bb, &space, &[1, 0], &[512, 8192]).expect("translate")
+        })
+    });
+    group.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.bench_function("get_or_insert_3d", |b| {
+        b.iter_batched(
+            || LocatorTree::new(Shape::new([64, 64, 4]), 8),
+            |mut tree| {
+                for z in 0..4u64 {
+                    for y in (0..64).step_by(7) {
+                        for x in (0..64).step_by(5) {
+                            tree.get_or_insert(&[x, y, z]);
+                        }
+                    }
+                }
+                tree
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut tree = LocatorTree::new(Shape::new([64, 64, 4]), 8);
+    for z in 0..4u64 {
+        for y in 0..64 {
+            for x in 0..64 {
+                tree.get_or_insert(&[x, y, z]);
+            }
+        }
+    }
+    group.bench_function("get_hot", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            tree.get(&[i, 63 - i, i % 4])
+        })
+    });
+    group.finish();
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("allocator/fill_block_128_units", |b| {
+        b.iter_batched(
+            || {
+                (
+                    MemBackend::new(spec(), 1 << 16),
+                    BlockAllocator::new(1),
+                    vec![None; 128],
+                )
+            },
+            |(mut backend, mut alloc, mut units)| {
+                for slot in 0..128 {
+                    let loc = alloc
+                        .allocate(&mut backend, &units, None)
+                        .expect("device has space");
+                    units[slot] = Some(loc);
+                }
+                units
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_stl_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stl");
+    group.sample_size(20);
+    // A pre-written 1024² f32 space; reads assemble tiles of varying shape.
+    let backend = MemBackend::new(spec(), 1 << 16);
+    let mut stl = Stl::new(backend, StlConfig::default());
+    let shape = Shape::new([1024, 1024]);
+    let id = stl
+        .create_space(shape.clone(), ElementType::F32)
+        .expect("space");
+    let data = vec![7u8; 1024 * 1024 * 4];
+    stl.write(id, &shape, &[0, 0], &[1024, 1024], &data)
+        .expect("write");
+    group.bench_function("read_tile_256", |b| {
+        b.iter(|| stl.read(id, &shape, &[1, 1], &[256, 256]).expect("read"))
+    });
+    group.bench_function("read_column_64", |b| {
+        b.iter(|| stl.read(id, &shape, &[2, 0], &[64, 1024]).expect("read"))
+    });
+    group.bench_function("write_tile_256", |b| {
+        let tile = vec![9u8; 256 * 256 * 4];
+        b.iter(|| {
+            stl.write(id, &shape, &[2, 2], &[256, 256], &tile)
+                .expect("write")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_translator,
+    bench_btree,
+    bench_allocator,
+    bench_stl_assembly
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Garbage-collection and wear behaviour under sustained overwrites — the
+//! §4.2 claim that "garbage collection in NDS is similar to that of a
+//! conventional NVM storage device" with even wear.
+//!
+//! The harness hammers one dataset with whole-object overwrites through the
+//! baseline FTL and through the STL (software NDS backend), then reports GC
+//! activity and the erase-count distribution across blocks. The shape to
+//! observe: both layers reclaim space indefinitely, and neither concentrates
+//! wear pathologically (the STL's random block placement spreads erases).
+//!
+//! Usage: `cargo run --release -p nds-bench --bin wear`
+
+use nds_bench::{header, row};
+use nds_core::{ElementType, Shape};
+use nds_flash::{BlockAddr, FlashDevice};
+use nds_system::{BaselineSystem, SoftwareNds, StorageFrontEnd, SystemConfig};
+
+const ROUNDS: u64 = 24;
+
+/// Erase-count distribution over all blocks of a device.
+fn wear_profile(device: &FlashDevice) -> (u64, u64, f64) {
+    let g = *device.geometry();
+    let mut counts = Vec::new();
+    for channel in 0..g.channels {
+        for bank in 0..g.banks_per_channel {
+            for block in 0..g.blocks_per_bank {
+                counts.push(device.erase_count(BlockAddr {
+                    channel,
+                    bank,
+                    block,
+                }));
+            }
+        }
+    }
+    let min = *counts.iter().min().expect("blocks exist");
+    let max = *counts.iter().max().expect("blocks exist");
+    let mean = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+    (min, max, mean)
+}
+
+fn hammer(sys: &mut dyn StorageFrontEnd, n: u64) {
+    let shape = Shape::new([n, n]);
+    let id = sys
+        .create_dataset(shape.clone(), ElementType::F32)
+        .expect("create");
+    for round in 0..ROUNDS {
+        let fill = (round % 251) as u8;
+        let data = vec![fill; (n * n * 4) as usize];
+        sys.write(id, &shape, &[0, 0], &[n, n], &data).expect("write");
+    }
+    // Verify the final contents survived all the GC underneath.
+    let out = sys.read(id, &shape, &[0, 0], &[n, n]).expect("read");
+    let expect = ((ROUNDS - 1) % 251) as u8;
+    assert!(
+        out.data.iter().all(|&b| b == expect),
+        "{}: data corrupted under GC pressure",
+        sys.name()
+    );
+}
+
+fn main() {
+    println!("# GC and wear under {ROUNDS} whole-dataset overwrites\n");
+    // A dataset sized at ~55% of the device so overwrites must reclaim.
+    let config = SystemConfig::paper_scale();
+    let capacity = config.flash.geometry.capacity_bytes();
+    let n = {
+        let target = capacity * 55 / 100 / 4; // f32 elements
+        let side = (target as f64).sqrt() as u64;
+        side / 256 * 256 // block-aligned side
+    };
+    println!(
+        "device: {} MiB raw; dataset: {n}x{n} f32 = {} MiB\n",
+        capacity / 1024 / 1024,
+        n * n * 4 / 1024 / 1024
+    );
+
+    header(&[
+        "layer",
+        "GC runs",
+        "pages relocated",
+        "erase min/mean/max",
+    ]);
+
+    let mut baseline = BaselineSystem::new(config.clone());
+    hammer(&mut baseline, n);
+    let stats = baseline.stats();
+    let (min, max, mean) = {
+        // The FTL's device is reachable through the stats only; re-derive by
+        // running the same load on a bare FTL? The front-end exposes stats
+        // with flash.blocks_erased, which is what we report alongside.
+        (stats.get("ftl.gc_runs"), stats.get("ftl.gc_relocated"), 0.0)
+    };
+    let _ = (min, max, mean);
+    row(&[
+        "baseline FTL".into(),
+        format!("{}", stats.get("ftl.gc_runs")),
+        format!("{}", stats.get("ftl.gc_relocated")),
+        format!("(blocks erased: {})", stats.get("flash.blocks_erased")),
+    ]);
+
+    let mut software = SoftwareNds::new(config);
+    hammer(&mut software, n);
+    let stats = software.stats();
+    let (min, max, mean) = wear_profile(software.stl().backend().device());
+    row(&[
+        "NDS STL".into(),
+        format!("{}", stats.get("backend.gc_runs")),
+        format!("{}", stats.get("backend.gc_relocated")),
+        format!("{min}/{mean:.1}/{max}"),
+    ]);
+
+    println!("\nboth layers sustained {ROUNDS} overwrites with verified data integrity");
+}

@@ -1,0 +1,96 @@
+//! Shared helpers for the figure-regeneration binaries and Criterion
+//! benches.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` for the index):
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `fig2` | Fig. 2(a)(b): row-store vs sub-block blocked MM cost |
+//! | `fig3` | Fig. 3: processing rates / bandwidths vs matrix size |
+//! | `fig9` | Fig. 9(a–d): row/column/submatrix/write micro-benchmarks |
+//! | `fig10` | Fig. 10(a)(b): end-to-end speedups and kernel idle time |
+//! | `overhead` | §7.3: STL latency and space overhead |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use nds_core::{ElementType, Shape};
+use nds_system::{DatasetId, StorageFrontEnd, SystemError};
+
+/// Prints a markdown-ish table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a header row plus separator.
+pub fn header(cells: &[&str]) {
+    row(&cells.iter().map(|c| (*c).to_owned()).collect::<Vec<_>>());
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Creates an `n × n` f64 dataset filled with a deterministic byte pattern
+/// and writes it through the front-end (the Fig. 9 microbenchmark setup).
+///
+/// # Errors
+///
+/// Propagates front-end errors.
+///
+/// # Panics
+///
+/// Panics if the dataset byte volume does not fit in memory.
+pub fn setup_matrix_f64<S: StorageFrontEnd + ?Sized>(
+    sys: &mut S,
+    n: u64,
+) -> Result<DatasetId, SystemError> {
+    let shape = Shape::new([n, n]);
+    let id = sys.create_dataset(shape.clone(), ElementType::F64)?;
+    let bytes: Vec<u8> = (0..n * n * 8).map(|i| (i % 251) as u8).collect();
+    sys.write(id, &shape, &[0, 0], &[n, n], &bytes)?;
+    Ok(id)
+}
+
+/// Geometric mean of a slice of positive ratios.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn setup_matrix_round_trips() {
+        use nds_system::{BaselineSystem, SystemConfig};
+        let mut sys = BaselineSystem::new(SystemConfig::small_test());
+        let id = setup_matrix_f64(&mut sys, 32).unwrap();
+        let shape = Shape::new([32, 32]);
+        let out = sys.read(id, &shape, &[0, 0], &[32, 32]).unwrap();
+        assert_eq!(out.data[0], 0);
+        assert_eq!(out.data[1], 1);
+    }
+}

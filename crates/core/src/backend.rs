@@ -1,0 +1,295 @@
+//! The device abstraction the STL allocates from.
+//!
+//! The STL needs remarkably little from the NVM device under it: the
+//! parallelism geometry (channels × banks), the basic access-unit size, and
+//! the ability to allocate, read, write, and release stable unit handles in
+//! a chosen `(channel, bank)`. [`NvmBackend`] captures exactly that, so the
+//! same STL runs over the in-memory test backend here ([`MemBackend`]) and
+//! over the flash simulator (adapter in `nds-system`) — mirroring how the
+//! paper runs one STL either on the host (software NDS) or in the device
+//! controller (hardware NDS).
+//!
+//! Unit handles are *stable*: if the device garbage-collects and physically
+//! relocates data, the handle keeps working. This plays the role of the
+//! paper's reverse lookup table (§4.2), which exists precisely so physical
+//! relocation does not invalidate the STL's building-block unit lists.
+
+use core::fmt;
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// The device parallelism and granularity the STL sizes building blocks
+/// against (§4.1): channel count enters equation (1), bank count enters
+/// equation (3), and the unit size is the basic access granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Parallel channels (`Max_{Number of Parallel Requests}` in Eq. (1)).
+    pub channels: u32,
+    /// Banks per channel (`Num_{Banks}` in Eq. (3)).
+    pub banks_per_channel: u32,
+    /// Basic access-unit size in bytes (`Granularity_{Basic Access}`).
+    pub unit_bytes: u32,
+}
+
+impl DeviceSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is zero.
+    pub fn new(channels: u32, banks_per_channel: u32, unit_bytes: u32) -> Self {
+        assert!(
+            channels > 0 && banks_per_channel > 0 && unit_bytes > 0,
+            "device spec fields must be non-zero"
+        );
+        DeviceSpec {
+            channels,
+            banks_per_channel,
+            unit_bytes,
+        }
+    }
+
+    /// Equation (1): the minimum building-block size in bytes —
+    /// one basic access unit from every parallel channel.
+    pub fn min_block_bytes(&self) -> u64 {
+        self.channels as u64 * self.unit_bytes as u64
+    }
+
+    /// Equation (3): the minimum 3-D building-block size in bytes —
+    /// the 2-D minimum times the bank count.
+    pub fn min_block_bytes_3d(&self) -> u64 {
+        self.min_block_bytes() * self.banks_per_channel as u64
+    }
+}
+
+/// A stable handle to one allocated basic access unit.
+///
+/// `channel` and `bank` are physical (they drive the timing model's resource
+/// choice); `unit` is an opaque identifier stable across device-internal
+/// relocation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct UnitLocation {
+    /// Physical channel the unit occupies.
+    pub channel: u32,
+    /// Physical bank (within the channel) the unit occupies.
+    pub bank: u32,
+    /// Stable per-`(channel, bank)` unit identifier.
+    pub unit: u64,
+}
+
+impl fmt::Display for UnitLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}/bk{}/u{}", self.channel, self.bank, self.unit)
+    }
+}
+
+/// The storage device as the STL sees it.
+///
+/// Implementations must provide stable unit handles (see module docs) and
+/// per-lane free accounting; they may garbage-collect internally during
+/// [`alloc_unit`](Self::alloc_unit).
+pub trait NvmBackend {
+    /// The device's parallelism/granularity spec.
+    fn spec(&self) -> DeviceSpec;
+
+    /// Allocates a fresh unit in `(channel, bank)`, or `None` if the lane is
+    /// exhausted even after internal reclamation.
+    fn alloc_unit(&mut self, channel: u32, bank: u32) -> Option<UnitLocation>;
+
+    /// Releases a unit (its data becomes garbage).
+    fn release_unit(&mut self, loc: UnitLocation);
+
+    /// Free units remaining in `(channel, bank)`.
+    fn free_units(&self, channel: u32, bank: u32) -> usize;
+
+    /// Reads a unit's contents. Returns `None` if the handle was never
+    /// written or has been released.
+    ///
+    /// Plain backends return a borrowed slice; transforming backends
+    /// (encryption, compression — §5.3.3/§5.3.4) return an owned buffer.
+    fn read_unit(&self, loc: UnitLocation) -> Option<Cow<'_, [u8]>>;
+
+    /// Writes a unit's contents (exactly `unit_bytes` bytes).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `data` is not exactly one unit or the
+    /// handle was not allocated.
+    fn write_unit(&mut self, loc: UnitLocation, data: Vec<u8>);
+}
+
+/// A heap-backed [`NvmBackend`] for tests and for host-resident STL
+/// experiments.
+///
+/// # Example
+///
+/// ```
+/// use nds_core::{DeviceSpec, MemBackend, NvmBackend};
+///
+/// let mut b = MemBackend::new(DeviceSpec::new(4, 2, 64), 128);
+/// let loc = b.alloc_unit(1, 0).unwrap();
+/// b.write_unit(loc, vec![9; 64]);
+/// assert_eq!(b.read_unit(loc).unwrap()[0], 9);
+/// b.release_unit(loc);
+/// assert!(b.read_unit(loc).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemBackend {
+    spec: DeviceSpec,
+    units_per_lane: usize,
+    free: Vec<usize>,
+    next_id: Vec<u64>,
+    data: HashMap<UnitLocation, Vec<u8>>,
+}
+
+impl MemBackend {
+    /// Creates a backend with `units_per_lane` units in each
+    /// `(channel, bank)` lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units_per_lane` is zero.
+    pub fn new(spec: DeviceSpec, units_per_lane: usize) -> Self {
+        assert!(units_per_lane > 0, "lanes need at least one unit");
+        let lanes = (spec.channels * spec.banks_per_channel) as usize;
+        MemBackend {
+            spec,
+            units_per_lane,
+            free: vec![units_per_lane; lanes],
+            next_id: vec![0; lanes],
+            data: HashMap::new(),
+        }
+    }
+
+    fn lane(&self, channel: u32, bank: u32) -> usize {
+        assert!(channel < self.spec.channels && bank < self.spec.banks_per_channel);
+        (channel * self.spec.banks_per_channel + bank) as usize
+    }
+
+    /// Total units per lane (capacity).
+    pub fn units_per_lane(&self) -> usize {
+        self.units_per_lane
+    }
+
+    /// Bytes currently stored across all units.
+    pub fn stored_bytes(&self) -> usize {
+        self.data.values().map(Vec::len).sum()
+    }
+}
+
+impl NvmBackend for MemBackend {
+    fn spec(&self) -> DeviceSpec {
+        self.spec
+    }
+
+    fn alloc_unit(&mut self, channel: u32, bank: u32) -> Option<UnitLocation> {
+        let lane = self.lane(channel, bank);
+        if self.free[lane] == 0 {
+            return None;
+        }
+        self.free[lane] -= 1;
+        let unit = self.next_id[lane];
+        self.next_id[lane] += 1;
+        Some(UnitLocation {
+            channel,
+            bank,
+            unit,
+        })
+    }
+
+    fn release_unit(&mut self, loc: UnitLocation) {
+        let lane = self.lane(loc.channel, loc.bank);
+        if self.data.remove(&loc).is_some() || loc.unit < self.next_id[lane] {
+            self.free[lane] = (self.free[lane] + 1).min(self.units_per_lane);
+        }
+    }
+
+    fn free_units(&self, channel: u32, bank: u32) -> usize {
+        self.free[self.lane(channel, bank)]
+    }
+
+    fn read_unit(&self, loc: UnitLocation) -> Option<Cow<'_, [u8]>> {
+        self.data.get(&loc).map(|v| Cow::Borrowed(v.as_slice()))
+    }
+
+    fn write_unit(&mut self, loc: UnitLocation, data: Vec<u8>) {
+        assert_eq!(
+            data.len(),
+            self.spec.unit_bytes as usize,
+            "unit writes must be exactly one unit"
+        );
+        self.data.insert(loc, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend() -> MemBackend {
+        MemBackend::new(DeviceSpec::new(4, 2, 16), 8)
+    }
+
+    #[test]
+    fn spec_equations() {
+        let s = DeviceSpec::new(8, 4, 4096);
+        assert_eq!(s.min_block_bytes(), 8 * 4096);
+        assert_eq!(s.min_block_bytes_3d(), 8 * 4096 * 4);
+    }
+
+    #[test]
+    fn alloc_until_exhausted() {
+        let mut b = backend();
+        for _ in 0..8 {
+            assert!(b.alloc_unit(0, 0).is_some());
+        }
+        assert!(b.alloc_unit(0, 0).is_none());
+        assert_eq!(b.free_units(0, 0), 0);
+        assert_eq!(b.free_units(1, 0), 8, "other lanes unaffected");
+    }
+
+    #[test]
+    fn handles_are_unique() {
+        let mut b = backend();
+        let a = b.alloc_unit(2, 1).unwrap();
+        let c = b.alloc_unit(2, 1).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn release_refunds_lane() {
+        let mut b = backend();
+        let loc = b.alloc_unit(3, 0).unwrap();
+        b.write_unit(loc, vec![1; 16]);
+        assert_eq!(b.free_units(3, 0), 7);
+        b.release_unit(loc);
+        assert_eq!(b.free_units(3, 0), 8);
+        assert!(b.read_unit(loc).is_none());
+    }
+
+    #[test]
+    fn read_before_write_is_none() {
+        let mut b = backend();
+        let loc = b.alloc_unit(0, 0).unwrap();
+        assert!(b.read_unit(loc).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one unit")]
+    fn wrong_size_write_panics() {
+        let mut b = backend();
+        let loc = b.alloc_unit(0, 0).unwrap();
+        b.write_unit(loc, vec![0; 15]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_lane_panics() {
+        let b = backend();
+        let _ = b.free_units(9, 0);
+    }
+}

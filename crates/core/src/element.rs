@@ -1,0 +1,67 @@
+//! Element types stored in NDS spaces.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The scalar type of a space's elements.
+///
+/// NDS itself never interprets element *values* — it only needs the size to
+/// lay out building blocks (equation (2) divides the minimum building-block
+/// size by the element size). The workloads in the paper use IEEE-754
+/// single- and double-precision floats plus integer graph data, so the enum
+/// covers those.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ElementType {
+    /// 8-bit unsigned integer (e.g. adjacency bitmaps).
+    U8,
+    /// 32-bit signed integer (e.g. graph edge weights).
+    I32,
+    /// 32-bit IEEE-754 float (the paper's GEMM/Conv2D data).
+    F32,
+    /// 64-bit IEEE-754 float (the paper's microbenchmark data, §7.1).
+    F64,
+}
+
+impl ElementType {
+    /// Size of one element in bytes.
+    pub const fn size(self) -> usize {
+        match self {
+            ElementType::U8 => 1,
+            ElementType::I32 | ElementType::F32 => 4,
+            ElementType::F64 => 8,
+        }
+    }
+}
+
+impl fmt::Display for ElementType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ElementType::U8 => "u8",
+            ElementType::I32 => "i32",
+            ElementType::F32 => "f32",
+            ElementType::F64 => "f64",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_rust_types() {
+        assert_eq!(ElementType::U8.size(), core::mem::size_of::<u8>());
+        assert_eq!(ElementType::I32.size(), core::mem::size_of::<i32>());
+        assert_eq!(ElementType::F32.size(), core::mem::size_of::<f32>());
+        assert_eq!(ElementType::F64.size(), core::mem::size_of::<f64>());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ElementType::F64.to_string(), "f64");
+        assert_eq!(ElementType::U8.to_string(), "u8");
+    }
+}

@@ -1,0 +1,376 @@
+//! Shapes, coordinates, regions, and the linearization they share.
+//!
+//! # Dimension-order convention
+//!
+//! Throughout this crate a shape `(d₁, d₂, …, dₙ)` lists the
+//! **lowest-order (fastest-varying) dimension first**, matching the paper's
+//! notation: the leaf level of the STL B-tree corresponds to `d₁` and the
+//! root to `dₙ` (Fig. 6). The canonical linearization is therefore
+//!
+//! ```text
+//! linear(x₁, …, xₙ) = x₁ + d₁·(x₂ + d₂·(x₃ + … ))
+//! ```
+//!
+//! This single linearization is what lets a consumer view a space through
+//! *any* dimensionality of equal volume (§3): both producer and consumer
+//! shapes are decodings of the same linear element sequence.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NdsError;
+
+/// The dimensionality of a space or view: per-dimension sizes, fastest
+/// dimension first.
+///
+/// # Example
+///
+/// ```
+/// use nds_core::Shape;
+///
+/// // A 16-wide, 8-tall matrix (x fastest).
+/// let s = Shape::new([16, 8]);
+/// assert_eq!(s.volume(), 128);
+/// assert_eq!(s.linear_index(&[3, 2]), 3 + 2 * 16);
+/// assert_eq!(s.coord_at(35), vec![3, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<u64>,
+}
+
+impl Shape {
+    /// Creates a shape from per-dimension sizes, fastest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or any dimension is zero — use
+    /// [`Shape::try_new`] for fallible construction.
+    pub fn new(dims: impl Into<Vec<u64>>) -> Self {
+        Shape::try_new(dims).expect("shape dimensions must be non-empty and non-zero")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// [`NdsError::EmptyShape`] if `dims` is empty or contains a zero.
+    pub fn try_new(dims: impl Into<Vec<u64>>) -> Result<Self, NdsError> {
+        let dims = dims.into();
+        if dims.is_empty() || dims.contains(&0) {
+            return Err(NdsError::EmptyShape);
+        }
+        Ok(Shape { dims })
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Per-dimension sizes, fastest first.
+    pub fn dims(&self) -> &[u64] {
+        &self.dims
+    }
+
+    /// Size of dimension `i` (0 = fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= ndims()`.
+    pub fn dim(&self, i: usize) -> u64 {
+        self.dims[i]
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// The linear index of `coord` under the canonical linearization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` has the wrong arity or is out of bounds (internal
+    /// callers validate first).
+    pub fn linear_index(&self, coord: &[u64]) -> u64 {
+        assert_eq!(coord.len(), self.dims.len(), "coordinate arity mismatch");
+        let mut index = 0;
+        for i in (0..self.dims.len()).rev() {
+            debug_assert!(coord[i] < self.dims[i], "coordinate out of bounds");
+            index = index * self.dims[i] + coord[i];
+        }
+        index
+    }
+
+    /// The coordinate of linear index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= volume()`.
+    pub fn coord_at(&self, index: u64) -> Vec<u64> {
+        assert!(index < self.volume(), "linear index out of bounds");
+        let mut rest = index;
+        let mut coord = Vec::with_capacity(self.dims.len());
+        for &d in &self.dims {
+            coord.push(rest % d);
+            rest /= d;
+        }
+        coord
+    }
+
+    /// The whole shape as a region at the origin.
+    pub fn full_region(&self) -> Region {
+        Region {
+            origin: vec![0; self.ndims()],
+            extent: self.dims.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// An axis-aligned box inside a shape: per-dimension origin and extent,
+/// fastest dimension first.
+///
+/// A region is the element-space form of the paper's
+/// *(coordinate, sub-dimensionality)* request: coordinate `(x₁…xₘ)` with
+/// sub-dimensionality `(f₁…fₘ)` denotes the region with origin `xᵢ·fᵢ` and
+/// extent `fᵢ`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Region {
+    /// Per-dimension first element.
+    pub origin: Vec<u64>,
+    /// Per-dimension element count.
+    pub extent: Vec<u64>,
+}
+
+impl Region {
+    /// Builds the region for a `(coordinate, sub-dimensionality)` request in
+    /// `view`, validating arity and bounds.
+    ///
+    /// # Errors
+    ///
+    /// * [`NdsError::ArityMismatch`] if `coord`/`sub_dims` don't match the
+    ///   view's dimensionality.
+    /// * [`NdsError::EmptyShape`] if any `sub_dims` entry is zero.
+    /// * [`NdsError::OutOfBounds`] if the partition exceeds the view.
+    pub fn from_request(view: &Shape, coord: &[u64], sub_dims: &[u64]) -> Result<Self, NdsError> {
+        if coord.len() != view.ndims() || sub_dims.len() != view.ndims() {
+            return Err(NdsError::ArityMismatch {
+                view: view.ndims(),
+                request: if coord.len() != view.ndims() {
+                    coord.len()
+                } else {
+                    sub_dims.len()
+                },
+            });
+        }
+        if sub_dims.contains(&0) {
+            return Err(NdsError::EmptyShape);
+        }
+        let mut origin = Vec::with_capacity(coord.len());
+        for i in 0..coord.len() {
+            let start = coord[i]
+                .checked_mul(sub_dims[i])
+                .ok_or(NdsError::OutOfBounds {
+                    dim: i,
+                    end: u64::MAX,
+                    size: view.dim(i),
+                })?;
+            let end = start + sub_dims[i];
+            if end > view.dim(i) {
+                return Err(NdsError::OutOfBounds {
+                    dim: i,
+                    end,
+                    size: view.dim(i),
+                });
+            }
+            origin.push(start);
+        }
+        Ok(Region {
+            origin,
+            extent: sub_dims.to_vec(),
+        })
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.origin.len()
+    }
+
+    /// Total elements covered.
+    pub fn volume(&self) -> u64 {
+        self.extent.iter().product()
+    }
+
+    /// Calls `f(region_row_offset, linear_start, len)` once per contiguous
+    /// run of the region inside `shape`, in row-major order of the region.
+    ///
+    /// Every run lies along dimension 0 and has `extent[0]` elements;
+    /// `region_row_offset` counts elements already emitted (so a caller can
+    /// index into a dense buffer holding the region), and `linear_start` is
+    /// the run's first element in `shape`'s canonical linearization.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via debug assertions) if the region does not fit in `shape`.
+    pub fn for_each_run(&self, shape: &Shape, mut f: impl FnMut(u64, u64, u64)) {
+        debug_assert_eq!(self.ndims(), shape.ndims());
+        let n = self.ndims();
+        let run_len = self.extent[0];
+        let rows: u64 = self.extent[1..].iter().product::<u64>().max(1);
+        // Iterate outer coordinates (dims 1..n) odometer-style.
+        let mut outer = vec![0u64; n.saturating_sub(1)];
+        let mut coord = self.origin.clone();
+        for row in 0..rows {
+            // coord = origin + (0, outer...)
+            for (i, &o) in outer.iter().enumerate() {
+                coord[i + 1] = self.origin[i + 1] + o;
+            }
+            let linear_start = shape.linear_index(&coord);
+            f(row * run_len, linear_start, run_len);
+            // Advance the odometer.
+            for (i, digit) in outer.iter_mut().enumerate() {
+                *digit += 1;
+                if *digit < self.extent[i + 1] {
+                    break;
+                }
+                *digit = 0;
+            }
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for i in 0..self.ndims() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}..{}", self.origin[i], self.origin[i] + self.extent[i])?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_index_round_trips() {
+        let s = Shape::new([5, 7, 3]);
+        for idx in 0..s.volume() {
+            let c = s.coord_at(idx);
+            assert_eq!(s.linear_index(&c), idx);
+        }
+    }
+
+    #[test]
+    fn fastest_dimension_is_first() {
+        let s = Shape::new([10, 4]);
+        assert_eq!(s.linear_index(&[1, 0]), 1);
+        assert_eq!(s.linear_index(&[0, 1]), 10);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_shapes() {
+        assert_eq!(Shape::try_new(Vec::<u64>::new()), Err(NdsError::EmptyShape));
+        assert_eq!(Shape::try_new([4, 0]), Err(NdsError::EmptyShape));
+        assert!(Shape::try_new([1]).is_ok());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new([128, 128, 4]).to_string(), "(128×128×4)");
+    }
+
+    #[test]
+    fn region_from_request_validates() {
+        let v = Shape::new([16, 16]);
+        let r = Region::from_request(&v, &[1, 0], &[8, 8]).unwrap();
+        assert_eq!(r.origin, vec![8, 0]);
+        assert_eq!(r.extent, vec![8, 8]);
+        assert_eq!(r.volume(), 64);
+
+        assert!(matches!(
+            Region::from_request(&v, &[2, 0], &[8, 8]),
+            Err(NdsError::OutOfBounds { dim: 0, end: 24, size: 16 })
+        ));
+        assert!(matches!(
+            Region::from_request(&v, &[0], &[8]),
+            Err(NdsError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            Region::from_request(&v, &[0, 0], &[0, 8]),
+            Err(NdsError::EmptyShape)
+        ));
+    }
+
+    #[test]
+    fn runs_cover_region_in_order() {
+        let shape = Shape::new([8, 4]);
+        let region = Region {
+            origin: vec![2, 1],
+            extent: vec![3, 2],
+        };
+        let mut runs = Vec::new();
+        region.for_each_run(&shape, |off, start, len| runs.push((off, start, len)));
+        // Two rows (y=1, y=2), each a 3-element run starting at x=2.
+        assert_eq!(runs, vec![(0, 8 + 2, 3), (3, 2 * 8 + 2, 3)]);
+    }
+
+    #[test]
+    fn runs_cover_3d_region() {
+        let shape = Shape::new([4, 4, 4]);
+        let region = Region {
+            origin: vec![0, 0, 0],
+            extent: vec![4, 2, 2],
+        };
+        let mut total = 0;
+        let mut seen = std::collections::HashSet::new();
+        region.for_each_run(&shape, |_, start, len| {
+            total += len;
+            for e in start..start + len {
+                assert!(seen.insert(e), "element {e} covered twice");
+            }
+        });
+        assert_eq!(total, region.volume());
+    }
+
+    #[test]
+    fn one_dimensional_region_is_one_run() {
+        let shape = Shape::new([64]);
+        let region = Region {
+            origin: vec![16],
+            extent: vec![32],
+        };
+        let mut runs = Vec::new();
+        region.for_each_run(&shape, |off, start, len| runs.push((off, start, len)));
+        assert_eq!(runs, vec![(0, 16, 32)]);
+    }
+
+    #[test]
+    fn full_region_covers_everything() {
+        let s = Shape::new([6, 5]);
+        let r = s.full_region();
+        assert_eq!(r.volume(), s.volume());
+        let mut covered = 0;
+        r.for_each_run(&s, |_, _, len| covered += len);
+        assert_eq!(covered, 30);
+    }
+}

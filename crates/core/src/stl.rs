@@ -1,0 +1,711 @@
+//! The STL front-end: space management plus multi-dimensional read/write
+//! with object assembly and decomposition (§4.4).
+//!
+//! Reads translate the request into a building-block cover, fetch the
+//! allocated units of each covered block, and *assemble* the application
+//! object by copying each translation segment into a dense buffer laid out
+//! in the consumer's view. Writes run the same translation in reverse,
+//! *decomposing* the object into per-unit images; a write that covers only
+//! part of a unit performs a read-modify-write (the paper instead stages
+//! partial partitions in STL memory until a full unit accumulates — the
+//! functional result is identical, and [`WriteReport::rmw_units`] lets the
+//! timing layer charge for whichever policy it models).
+//!
+//! Every operation returns a report of exactly which physical units it
+//! touched and how many copy segments it performed, so the system
+//! architectures (`nds-system`) can charge channels, banks, the
+//! interconnect, and the assembling CPU without re-deriving the translation.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::alloc::{AllocationPolicy, BlockAllocator};
+use crate::backend::{NvmBackend, UnitLocation};
+use crate::block::{BlockDimensionality, BlockShape};
+use crate::element::ElementType;
+use crate::error::NdsError;
+use crate::shape::Shape;
+use crate::space::{Space, SpaceId};
+use crate::translator::{self, Segment, Translation};
+use crate::views::{ViewId, ViewRegistry};
+
+/// Configuration of an STL instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StlConfig {
+    /// Skip allocating access units whose entire image is zero, releasing
+    /// existing units overwritten with zeros (§8's sparse-content
+    /// optimization, "similar to page-zero optimization in VAX/VMS").
+    /// Reads of unallocated units already return zeros, so this is purely a
+    /// space optimization. Enabled by default.
+    pub zero_unit_elision: bool,
+    /// Unit-placement policy (default: the paper's §4.2 rules; the naive
+    /// alternative exists for the \[P3\] ablation).
+    pub allocation_policy: AllocationPolicy,
+    /// Building-block dimensionality policy (default: the paper's Auto).
+    pub block_dimensionality: BlockDimensionality,
+    /// Power-of-two multiple of the minimum building-block size (§4.1 allows
+    /// any multiple; the paper's prototype uses 4× for its 256×256 f64
+    /// blocks).
+    pub block_multiplier: u64,
+    /// Seed for the randomized first-unit placement of §4.2.
+    pub seed: u64,
+}
+
+impl Default for StlConfig {
+    fn default() -> Self {
+        StlConfig {
+            zero_unit_elision: true,
+            allocation_policy: AllocationPolicy::Paper,
+            block_dimensionality: BlockDimensionality::Auto,
+            block_multiplier: 1,
+            seed: 0x4E44_5321, // "NDS!"
+        }
+    }
+}
+
+/// The units of one building block touched by a request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockAccess {
+    /// Building-block coordinate.
+    pub coord: Vec<u64>,
+    /// Units read or written, in sequential block order.
+    pub units: Vec<UnitLocation>,
+    /// Requested bytes of this block rounded up to 512-byte NVMe sectors —
+    /// what actually needs to cross the interconnect (devices sense whole
+    /// pages internally but transfer at sector granularity).
+    pub sector_bytes: u64,
+}
+
+/// What one read or write physically did — the timing layer's input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessReport {
+    /// Per-block unit accesses.
+    pub blocks: Vec<BlockAccess>,
+    /// Contiguous copy segments performed during assembly/decomposition.
+    pub segments: u64,
+    /// Application-payload bytes moved.
+    pub bytes: u64,
+    /// Smallest copy segment in bytes (0 when no copying happened).
+    pub min_segment_bytes: u64,
+}
+
+impl AccessReport {
+    /// Total physical units touched.
+    pub fn unit_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.units.len()).sum()
+    }
+
+    /// All touched units, flattened.
+    pub fn all_units(&self) -> impl Iterator<Item = UnitLocation> + '_ {
+        self.blocks.iter().flat_map(|b| b.units.iter().copied())
+    }
+}
+
+/// Report of a write.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteReport {
+    /// The access performed.
+    pub access: AccessReport,
+    /// Units that required a read-modify-write because the request covered
+    /// them only partially.
+    pub rmw_units: u64,
+}
+
+/// The space translation layer over a backend device.
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug)]
+pub struct Stl<B> {
+    backend: B,
+    allocator: BlockAllocator,
+    config: StlConfig,
+    spaces: BTreeMap<SpaceId, Space>,
+    views: ViewRegistry,
+    next_id: u64,
+}
+
+impl<B: NvmBackend> Stl<B> {
+    /// Creates an STL over `backend`.
+    pub fn new(backend: B, config: StlConfig) -> Self {
+        Stl {
+            allocator: BlockAllocator::with_policy(config.seed, config.allocation_policy),
+            backend,
+            config,
+            spaces: BTreeMap::new(),
+            views: ViewRegistry::new(),
+            next_id: 1,
+        }
+    }
+
+    /// The backend device.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable backend access (e.g. for timing resets between measurements).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// The STL configuration.
+    pub fn config(&self) -> &StlConfig {
+        &self.config
+    }
+
+    /// Creates a new multi-dimensional space; the STL derives the
+    /// building-block geometry from the device spec (§4.1) and sets up the
+    /// locator tree.
+    ///
+    /// # Errors
+    ///
+    /// [`NdsError::EmptyShape`] if `shape` is degenerate.
+    pub fn create_space(
+        &mut self,
+        shape: Shape,
+        element: ElementType,
+    ) -> Result<SpaceId, NdsError> {
+        let bb = BlockShape::for_space(
+            &shape,
+            element,
+            self.backend.spec(),
+            self.config.block_dimensionality,
+            self.config.block_multiplier,
+        );
+        let id = SpaceId(self.next_id);
+        self.next_id += 1;
+        self.spaces.insert(id, Space::new(id, shape, element, bb));
+        Ok(id)
+    }
+
+    /// Looks up a space.
+    ///
+    /// # Errors
+    ///
+    /// [`NdsError::UnknownSpace`] if `id` is not registered.
+    pub fn space(&self, id: SpaceId) -> Result<&Space, NdsError> {
+        self.spaces.get(&id).ok_or(NdsError::UnknownSpace(id))
+    }
+
+    /// Registered spaces, in id order.
+    pub fn spaces(&self) -> impl Iterator<Item = &Space> {
+        self.spaces.values()
+    }
+
+    /// Permanently deletes a space: every allocated unit is released, the
+    /// translation structures are dropped, and all open views of the space
+    /// are closed (the paper's `delete_space`).
+    ///
+    /// # Errors
+    ///
+    /// [`NdsError::UnknownSpace`] if `id` is not registered.
+    pub fn delete_space(&mut self, id: SpaceId) -> Result<(), NdsError> {
+        let mut space = self.spaces.remove(&id).ok_or(NdsError::UnknownSpace(id))?;
+        for unit in space.tree_mut().drain_units() {
+            self.backend.release_unit(unit);
+        }
+        self.views.close_all_of(id);
+        Ok(())
+    }
+
+    /// Opens an application view of `space` (the paper's `open_space` on an
+    /// existing identifier): any dimensionality whose volume matches the
+    /// space's. Returns the dynamic view ID used to address subsequent
+    /// requests via [`read_view`](Self::read_view)/
+    /// [`write_view`](Self::write_view).
+    ///
+    /// # Errors
+    ///
+    /// [`NdsError::UnknownSpace`] or [`NdsError::ViewVolumeMismatch`].
+    pub fn open_view(&mut self, space: SpaceId, shape: Shape) -> Result<ViewId, NdsError> {
+        let volume = self.space(space)?.shape().volume();
+        self.views.open(space, shape, volume)
+    }
+
+    /// Closes a view, reclaiming its dynamic ID (the paper's `close_space`).
+    ///
+    /// # Errors
+    ///
+    /// [`NdsError::UnknownView`] if `view` is not open.
+    pub fn close_view(&mut self, view: ViewId) -> Result<(), NdsError> {
+        self.views.close(view)
+    }
+
+    /// Reads a partition addressed through an open view.
+    ///
+    /// # Errors
+    ///
+    /// [`NdsError::UnknownView`] plus the usual translation errors.
+    pub fn read_view(
+        &mut self,
+        view: ViewId,
+        coord: &[u64],
+        sub_dims: &[u64],
+    ) -> Result<(Vec<u8>, AccessReport), NdsError> {
+        let space = self.views.space_of(view)?;
+        let shape = self.views.shape(view)?.clone();
+        self.read(space, &shape, coord, sub_dims)
+    }
+
+    /// Writes a partition addressed through an open view.
+    ///
+    /// # Errors
+    ///
+    /// [`NdsError::UnknownView`] plus the usual translation/allocation
+    /// errors.
+    pub fn write_view(
+        &mut self,
+        view: ViewId,
+        coord: &[u64],
+        sub_dims: &[u64],
+        data: &[u8],
+    ) -> Result<WriteReport, NdsError> {
+        let space = self.views.space_of(view)?;
+        let shape = self.views.shape(view)?.clone();
+        self.write(space, &shape, coord, sub_dims, data)
+    }
+
+    /// Number of views currently open across all spaces.
+    pub fn open_views(&self) -> usize {
+        self.views.open_count()
+    }
+
+    /// Translates a request without performing it (used by planners and the
+    /// §7.3 overhead experiments).
+    ///
+    /// # Errors
+    ///
+    /// Translation errors per [`translator::translate`], plus
+    /// [`NdsError::UnknownSpace`].
+    pub fn plan(
+        &self,
+        id: SpaceId,
+        view: &Shape,
+        coord: &[u64],
+        sub_dims: &[u64],
+    ) -> Result<Translation, NdsError> {
+        let space = self.space(id)?;
+        translator::translate(space.shape(), space.block_shape(), view, coord, sub_dims)
+    }
+
+    /// Reads the partition at `coord` (extent `sub_dims`) of `view`,
+    /// assembling it into a dense buffer in view order. Unwritten elements
+    /// read as zero, like fresh storage.
+    ///
+    /// # Errors
+    ///
+    /// [`NdsError::UnknownSpace`] plus translation errors.
+    pub fn read(
+        &mut self,
+        id: SpaceId,
+        view: &Shape,
+        coord: &[u64],
+        sub_dims: &[u64],
+    ) -> Result<(Vec<u8>, AccessReport), NdsError> {
+        let translation = self.plan(id, view, coord, sub_dims)?;
+        let space = self.spaces.get(&id).expect("checked by plan");
+        let unit_bytes = space.block_shape().unit_bytes() as u64;
+
+        let mut buffer = vec![0u8; translation.total_bytes as usize];
+        let mut blocks = Vec::with_capacity(translation.blocks.len());
+        for cover in &translation.blocks {
+            let Some(entry) = space.tree().get(&cover.coord) else {
+                continue; // never-written block: zeros
+            };
+            // Units overlapped by this cover's segments, deduplicated in
+            // sequential order.
+            let mut touched: BTreeMap<usize, UnitLocation> = BTreeMap::new();
+            for seg in &cover.segments {
+                let first = (seg.block_offset / unit_bytes) as usize;
+                let last = ((seg.block_offset + seg.len - 1) / unit_bytes) as usize;
+                for u in first..=last {
+                    if let Some(loc) = entry.units[u] {
+                        touched.insert(u, loc);
+                    }
+                }
+            }
+            // Assemble: copy each segment from unit data into the buffer.
+            for seg in &cover.segments {
+                copy_from_units(&self.backend, entry, unit_bytes, seg, &mut buffer)?;
+            }
+            blocks.push(BlockAccess {
+                coord: cover.coord.clone(),
+                units: touched.into_values().collect(),
+                sector_bytes: sector_rounded(&cover.segments),
+            });
+        }
+        let report = AccessReport {
+            blocks,
+            segments: translation.segment_count(),
+            bytes: translation.total_bytes,
+            min_segment_bytes: translation.min_segment_bytes(),
+        };
+        Ok((buffer, report))
+    }
+
+    /// Writes `data` (dense, in view order) to the partition at `coord` of
+    /// `view`, decomposing it into building blocks and allocating units per
+    /// the §4.2 policy.
+    ///
+    /// # Errors
+    ///
+    /// [`NdsError::UnknownSpace`], translation errors,
+    /// [`NdsError::BadPayloadSize`] if `data` doesn't match the partition,
+    /// and [`NdsError::DeviceFull`] if allocation fails.
+    pub fn write(
+        &mut self,
+        id: SpaceId,
+        view: &Shape,
+        coord: &[u64],
+        sub_dims: &[u64],
+        data: &[u8],
+    ) -> Result<WriteReport, NdsError> {
+        let translation = self.plan(id, view, coord, sub_dims)?;
+        if data.len() as u64 != translation.total_bytes {
+            return Err(NdsError::BadPayloadSize {
+                got: data.len(),
+                expected: translation.total_bytes as usize,
+            });
+        }
+        let space = self.spaces.get_mut(&id).expect("checked by plan");
+        let unit_bytes = space.block_shape().unit_bytes() as usize;
+
+        let mut blocks = Vec::with_capacity(translation.blocks.len());
+        let mut rmw_units = 0u64;
+        for cover in &translation.blocks {
+            // Group this block's dirty byte spans per unit.
+            let mut per_unit: BTreeMap<usize, Vec<(usize, usize, usize)>> = BTreeMap::new();
+            for seg in &cover.segments {
+                let mut block_off = seg.block_offset as usize;
+                let mut buf_off = seg.buffer_offset as usize;
+                let mut remaining = seg.len as usize;
+                while remaining > 0 {
+                    let unit_idx = block_off / unit_bytes;
+                    let unit_off = block_off % unit_bytes;
+                    let take = remaining.min(unit_bytes - unit_off);
+                    per_unit
+                        .entry(unit_idx)
+                        .or_default()
+                        .push((unit_off, buf_off, take));
+                    block_off += take;
+                    buf_off += take;
+                    remaining -= take;
+                }
+            }
+
+            let entry = space.tree_mut().get_or_insert(&cover.coord);
+            let mut written = Vec::with_capacity(per_unit.len());
+            for (unit_idx, spans) in per_unit {
+                let covered: usize = spans.iter().map(|&(_, _, len)| len).sum();
+                let full = covered == unit_bytes;
+                let old = entry.units[unit_idx];
+                // Base image: zeros for fresh/full writes, the old unit's
+                // bytes for a partial overwrite (read-modify-write).
+                let mut image = vec![0u8; unit_bytes];
+                if !full {
+                    if let Some(old_loc) = old {
+                        if let Some(existing) = self.backend.read_unit(old_loc) {
+                            image.copy_from_slice(&existing);
+                        }
+                        rmw_units += 1;
+                    }
+                }
+                for (unit_off, buf_off, len) in spans {
+                    image[unit_off..unit_off + len]
+                        .copy_from_slice(&data[buf_off..buf_off + len]);
+                }
+                // §8: all-zero units need no physical storage — unallocated
+                // units already read back as zeros.
+                if self.config.zero_unit_elision && image.iter().all(|&b| b == 0) {
+                    if let Some(old_loc) = old {
+                        self.backend.release_unit(old_loc);
+                        entry.units[unit_idx] = None;
+                    }
+                    continue;
+                }
+                let target = self.allocator.allocate(&mut self.backend, &entry.units, old)?;
+                self.backend.write_unit(target, image);
+                if let Some(old_loc) = old {
+                    self.backend.release_unit(old_loc);
+                }
+                entry.units[unit_idx] = Some(target);
+                written.push(target);
+            }
+            blocks.push(BlockAccess {
+                coord: cover.coord.clone(),
+                units: written,
+                sector_bytes: sector_rounded(&cover.segments),
+            });
+        }
+        Ok(WriteReport {
+            access: AccessReport {
+                blocks,
+                segments: translation.segment_count(),
+                bytes: translation.total_bytes,
+                min_segment_bytes: translation.min_segment_bytes(),
+            },
+            rmw_units,
+        })
+    }
+
+    /// Total bytes of translation metadata across all spaces — the quantity
+    /// behind the paper's "≤0.1% of the storage space" claim (§7.3).
+    pub fn translation_bytes(&self) -> u64 {
+        self.spaces.values().map(|s| s.tree().memory_bytes()).sum()
+    }
+}
+
+/// Sums the 512-byte-sector spans of a cover's segments (within the block
+/// image), the bytes a sector-granular transfer of the block must move.
+fn sector_rounded(segments: &[Segment]) -> u64 {
+    const SECTOR: u64 = 512;
+    let mut bytes = 0;
+    let mut last_sector_end = u64::MAX;
+    for seg in segments {
+        let first = seg.block_offset / SECTOR;
+        let last = (seg.block_offset + seg.len - 1) / SECTOR;
+        let start = if first == last_sector_end { first + 1 } else { first };
+        if last >= start {
+            bytes += (last - start + 1) * SECTOR;
+        }
+        last_sector_end = last;
+    }
+    bytes
+}
+
+/// Copies one translation segment out of a block's units into `buffer`.
+fn copy_from_units<B: NvmBackend>(
+    backend: &B,
+    entry: &crate::btree::BlockEntry,
+    unit_bytes: u64,
+    seg: &Segment,
+    buffer: &mut [u8],
+) -> Result<(), NdsError> {
+    let mut block_off = seg.block_offset;
+    let mut buf_off = seg.buffer_offset as usize;
+    let mut remaining = seg.len;
+    while remaining > 0 {
+        let unit_idx = (block_off / unit_bytes) as usize;
+        let unit_off = (block_off % unit_bytes) as usize;
+        let take = remaining.min(unit_bytes - unit_off as u64) as usize;
+        if let Some(loc) = entry.units[unit_idx] {
+            let data = backend.read_unit(loc).ok_or(NdsError::MissingUnit(loc))?;
+            buffer[buf_off..buf_off + take]
+                .copy_from_slice(&data[unit_off..unit_off + take]);
+        }
+        // Unallocated units read as zero; the buffer is pre-zeroed.
+        block_off += take as u64;
+        buf_off += take;
+        remaining -= take as u64;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{DeviceSpec, MemBackend};
+
+    fn stl() -> Stl<MemBackend> {
+        // 8 channels × 4 banks × 512 B units; plenty of lanes for tests.
+        let backend = MemBackend::new(DeviceSpec::new(8, 4, 512), 4096);
+        Stl::new(backend, StlConfig::default())
+    }
+
+    fn f32_bytes(values: &[f32]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn f32_from(bytes: &[u8]) -> Vec<f32> {
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn write_read_full_space() {
+        let mut s = stl();
+        let shape = Shape::new([64, 64]);
+        let id = s.create_space(shape.clone(), ElementType::F32).unwrap();
+        let data: Vec<f32> = (0..64 * 64).map(|i| i as f32).collect();
+        s.write(id, &shape, &[0, 0], &[64, 64], &f32_bytes(&data))
+            .unwrap();
+        let (out, report) = s.read(id, &shape, &[0, 0], &[64, 64]).unwrap();
+        assert_eq!(f32_from(&out), data);
+        assert!(report.unit_count() > 0);
+        assert_eq!(report.bytes, 64 * 64 * 4);
+    }
+
+    #[test]
+    fn tile_reads_match_row_major_source() {
+        let mut s = stl();
+        let shape = Shape::new([64, 64]);
+        let id = s.create_space(shape.clone(), ElementType::F32).unwrap();
+        let data: Vec<f32> = (0..64 * 64).map(|i| i as f32).collect();
+        s.write(id, &shape, &[0, 0], &[64, 64], &f32_bytes(&data))
+            .unwrap();
+        // The [1, 1] 32×32 tile: element (x, y) = (32 + x) + 64 * (32 + y).
+        let (out, _) = s.read(id, &shape, &[1, 1], &[32, 32]).unwrap();
+        let tile = f32_from(&out);
+        for y in 0..32 {
+            for x in 0..32 {
+                let expect = ((32 + x) + 64 * (32 + y)) as f32;
+                assert_eq!(tile[x + 32 * y], expect, "tile mismatch at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn consumer_view_differs_from_producer_view() {
+        // Producer writes a 1-D stream; consumer reads 2-D tiles of it.
+        let mut s = stl();
+        let producer = Shape::new([4096]);
+        let id = s.create_space(producer.clone(), ElementType::F32).unwrap();
+        let data: Vec<f32> = (0..4096).map(|i| i as f32).collect();
+        s.write(id, &producer, &[0], &[4096], &f32_bytes(&data))
+            .unwrap();
+        let consumer = Shape::new([64, 64]);
+        let (out, _) = s.read(id, &consumer, &[1, 0], &[32, 64]).unwrap();
+        let tile = f32_from(&out);
+        // Consumer element (x, y) is linear 32 + x + 64y.
+        for y in 0..64 {
+            for x in 0..32 {
+                assert_eq!(tile[x + 32 * y], (32 + x + 64 * y) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn unwritten_regions_read_zero() {
+        let mut s = stl();
+        let shape = Shape::new([128, 128]);
+        let id = s.create_space(shape.clone(), ElementType::F32).unwrap();
+        let (out, report) = s.read(id, &shape, &[0, 0], &[16, 16]).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+        assert_eq!(report.unit_count(), 0, "nothing to fetch");
+    }
+
+    #[test]
+    fn partial_overwrite_preserves_surroundings() {
+        let mut s = stl();
+        let shape = Shape::new([64, 64]);
+        let id = s.create_space(shape.clone(), ElementType::F32).unwrap();
+        let base: Vec<f32> = vec![1.0; 64 * 64];
+        s.write(id, &shape, &[0, 0], &[64, 64], &f32_bytes(&base))
+            .unwrap();
+        // Overwrite an unaligned 5×5 patch.
+        let patch: Vec<f32> = vec![9.0; 25];
+        let patch_region = Shape::new([64, 64]);
+        let report = s
+            .write(id, &patch_region, &[3, 7], &[5, 5], &f32_bytes(&patch))
+            .unwrap();
+        assert!(report.rmw_units > 0, "partial writes need RMW");
+        let (out, _) = s.read(id, &shape, &[0, 0], &[64, 64]).unwrap();
+        let all = f32_from(&out);
+        for y in 0..64 {
+            for x in 0..64 {
+                let expected = if (15..20).contains(&x) && (35..40).contains(&y) {
+                    9.0
+                } else {
+                    1.0
+                };
+                assert_eq!(all[x + 64 * y], expected, "mismatch at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn complete_blocks_span_all_channels() {
+        let mut s = stl();
+        let shape = Shape::new([256, 256]);
+        let id = s.create_space(shape.clone(), ElementType::F32).unwrap();
+        // Non-zero data: all-zero units are elided (§8) and would not
+        // allocate at all.
+        let data = vec![1u8; 256 * 256 * 4];
+        let report = s.write(id, &shape, &[0, 0], &[256, 256], &data).unwrap();
+        let channels = s.backend().spec().channels;
+        for block in &report.access.blocks {
+            let used: std::collections::HashSet<u32> =
+                block.units.iter().map(|u| u.channel).collect();
+            assert_eq!(
+                used.len() as u32,
+                channels,
+                "block {:?} uses only {used:?}",
+                block.coord
+            );
+        }
+    }
+
+    #[test]
+    fn overwrite_releases_old_units() {
+        let mut s = stl();
+        let shape = Shape::new([64, 64]);
+        let id = s.create_space(shape.clone(), ElementType::F32).unwrap();
+        let data = vec![1u8; 64 * 64 * 4];
+        s.write(id, &shape, &[0, 0], &[64, 64], &data).unwrap();
+        let free_after_first: usize = total_free(&s);
+        s.write(id, &shape, &[0, 0], &[64, 64], &data).unwrap();
+        assert_eq!(
+            total_free(&s),
+            free_after_first,
+            "full overwrite must not leak units"
+        );
+    }
+
+    #[test]
+    fn delete_space_releases_everything() {
+        let mut s = stl();
+        let before = total_free(&s);
+        let shape = Shape::new([128, 128]);
+        let id = s.create_space(shape.clone(), ElementType::F32).unwrap();
+        let data = vec![7u8; 128 * 128 * 4];
+        s.write(id, &shape, &[0, 0], &[128, 128], &data).unwrap();
+        assert!(total_free(&s) < before);
+        s.delete_space(id).unwrap();
+        assert_eq!(total_free(&s), before);
+        assert!(matches!(
+            s.read(id, &shape, &[0, 0], &[1, 1]),
+            Err(NdsError::UnknownSpace(_))
+        ));
+    }
+
+    #[test]
+    fn payload_size_validated() {
+        let mut s = stl();
+        let shape = Shape::new([16, 16]);
+        let id = s.create_space(shape.clone(), ElementType::F32).unwrap();
+        let err = s
+            .write(id, &shape, &[0, 0], &[16, 16], &[0u8; 3])
+            .unwrap_err();
+        assert!(matches!(err, NdsError::BadPayloadSize { .. }));
+    }
+
+    #[test]
+    fn translation_bytes_are_small() {
+        // At realistic page granularity (4 KB, as in the paper's prototype)
+        // the lookup structures stay well under 1% of the payload (§7.3
+        // claims ≤0.1% with OOB-resident unit lists; our conservative
+        // estimate keeps everything in DRAM).
+        let backend = MemBackend::new(DeviceSpec::new(8, 4, 4096), 4096);
+        let mut s = Stl::new(backend, StlConfig::default());
+        let shape = Shape::new([512, 512]);
+        let id = s.create_space(shape.clone(), ElementType::F32).unwrap();
+        let data = vec![0u8; 512 * 512 * 4];
+        s.write(id, &shape, &[0, 0], &[512, 512], &data).unwrap();
+        let meta = s.translation_bytes();
+        let payload = s.space(id).unwrap().byte_volume();
+        assert!(
+            (meta as f64) < 0.01 * payload as f64,
+            "translation metadata {meta} B should be ≪ payload {payload} B"
+        );
+    }
+
+    fn total_free(s: &Stl<MemBackend>) -> usize {
+        let spec = s.backend().spec();
+        (0..spec.channels)
+            .flat_map(|c| (0..spec.banks_per_channel).map(move |b| (c, b)))
+            .map(|(c, b)| s.backend().free_units(c, b))
+            .sum()
+    }
+}

@@ -1,0 +1,395 @@
+//! The space translator (§4.3, equation (5)).
+//!
+//! The translator is what lets "an application … work with its own
+//! multi-dimensional space … regardless of that space's representation in
+//! storage": given a request — a *view* shape of the same total volume as
+//! the space, a coordinate, and a sub-dimensionality — it computes exactly
+//! which building blocks the request touches and which byte ranges of each
+//! block map to which byte ranges of the application's dense buffer.
+//!
+//! Where the paper's equation (5) describes the set of covered block
+//! coordinates `Yᵢ` along each dimension, this module computes the same
+//! cover constructively: the request region is decomposed into contiguous
+//! element runs, each run is mapped through the canonical linearization
+//! (shared by every view of a space — see [`Shape`]), and the
+//! resulting storage-space runs are split at building-block boundaries into
+//! copy [`Segment`]s. The segment list is simultaneously the *cover* (for
+//! locating blocks), the *assembly plan* (for gathering reads), and the
+//! *decomposition plan* (for scattering writes) — one translation serves
+//! both directions, as §4.4 requires.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::BlockShape;
+use crate::error::NdsError;
+use crate::shape::{Region, Shape};
+
+/// One contiguous byte copy between a building block's sequential image and
+/// the request's dense buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Byte offset within the block's sequential image.
+    pub block_offset: u64,
+    /// Byte offset within the request's dense buffer.
+    pub buffer_offset: u64,
+    /// Contiguous length in bytes.
+    pub len: u64,
+}
+
+/// All segments of one building block touched by a request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockCover {
+    /// The building-block coordinate (fastest dimension first).
+    pub coord: Vec<u64>,
+    /// Copy segments, in ascending buffer order.
+    pub segments: Vec<Segment>,
+}
+
+impl BlockCover {
+    /// Total bytes this block contributes to the request.
+    pub fn bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.len).sum()
+    }
+}
+
+/// The result of translating one request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Translation {
+    /// Covered blocks, in ascending coordinate order (deterministic).
+    pub blocks: Vec<BlockCover>,
+    /// Total bytes moved by the request.
+    pub total_bytes: u64,
+}
+
+impl Translation {
+    /// Number of distinct building blocks covered.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of contiguous copy segments — the count of memcpy operations
+    /// an assembler performs, which the host CPU model charges for.
+    pub fn segment_count(&self) -> u64 {
+        self.blocks.iter().map(|b| b.segments.len() as u64).sum()
+    }
+
+    /// Length of the smallest copy segment in bytes (0 if no segments) —
+    /// small segments are what make software assembly expensive (§7.1).
+    pub fn min_segment_bytes(&self) -> u64 {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.segments.iter().map(|s| s.len))
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+/// Translates a `(view, coord, sub_dims)` request over a space into its
+/// building-block cover and copy plan.
+///
+/// # Errors
+///
+/// * [`NdsError::ViewVolumeMismatch`] if `view` and `space` volumes differ.
+/// * [`NdsError::ArityMismatch`] / [`NdsError::OutOfBounds`] /
+///   [`NdsError::EmptyShape`] for malformed requests (see
+///   [`Region::from_request`]).
+///
+/// # Example
+///
+/// ```
+/// use nds_core::{translator, BlockDimensionality, BlockShape, DeviceSpec, ElementType, Shape};
+///
+/// # fn main() -> Result<(), nds_core::NdsError> {
+/// let space = Shape::new([256, 256]);
+/// let bb = BlockShape::for_space(
+///     &space, ElementType::F32, DeviceSpec::new(8, 8, 4096),
+///     BlockDimensionality::TwoD, 1);
+/// // Fetch the [1, 1] 128×128 tile: exactly one 128×128 building block.
+/// let t = translator::translate(&space, &bb, &space, &[1, 1], &[128, 128])?;
+/// assert_eq!(t.block_count(), 1);
+/// assert_eq!(t.blocks[0].coord, vec![1, 1]);
+/// assert_eq!(t.total_bytes, 128 * 128 * 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn translate(
+    space: &Shape,
+    bb: &BlockShape,
+    view: &Shape,
+    coord: &[u64],
+    sub_dims: &[u64],
+) -> Result<Translation, NdsError> {
+    if view.volume() != space.volume() {
+        return Err(NdsError::ViewVolumeMismatch {
+            space: space.volume(),
+            view: view.volume(),
+        });
+    }
+    let region = Region::from_request(view, coord, sub_dims)?;
+    translate_region(space, bb, view, &region)
+}
+
+/// Translates an arbitrary element region of `view` (used internally and by
+/// systems that address by element origin rather than partition coordinate).
+///
+/// # Errors
+///
+/// [`NdsError::ViewVolumeMismatch`] if `view` and `space` volumes differ.
+pub fn translate_region(
+    space: &Shape,
+    bb: &BlockShape,
+    view: &Shape,
+    region: &Region,
+) -> Result<Translation, NdsError> {
+    if view.volume() != space.volume() {
+        return Err(NdsError::ViewVolumeMismatch {
+            space: space.volume(),
+            view: view.volume(),
+        });
+    }
+    let elem = bb.element_bytes() as u64;
+    let bb_dims = bb.dims();
+    let d1 = space.dim(0);
+    let bb1 = bb_dims[0];
+    // Elements of one block row-stripe: product of block dims except dim 0.
+    let bb_volume = bb.volume();
+
+    let mut per_block: BTreeMap<Vec<u64>, Vec<Segment>> = BTreeMap::new();
+    let mut total_bytes = 0u64;
+
+    region.for_each_run(view, |buf_elem_off, linear_start, len| {
+        // The run is contiguous in the canonical linearization shared by the
+        // view and the space; decompose it into storage rows, then into
+        // block-bounded sub-segments.
+        let mut remaining = len;
+        let mut linear = linear_start;
+        let mut buf_off = buf_elem_off;
+        while remaining > 0 {
+            let storage_coord = space.coord_at(linear);
+            let x1 = storage_coord[0];
+            let row_take = remaining.min(d1 - x1);
+            // Split [x1, x1 + row_take) at block boundaries along dim 0.
+            let mut seg_x = x1;
+            let row_end = x1 + row_take;
+            while seg_x < row_end {
+                let block_x = seg_x / bb1;
+                let block_boundary = (block_x + 1) * bb1;
+                let seg_end = row_end.min(block_boundary);
+                let seg_len = seg_end - seg_x;
+
+                // Block coordinate and intra-block offset.
+                let mut block_coord = Vec::with_capacity(storage_coord.len());
+                let mut intra_linear = 0u64;
+                let mut stride = 1u64;
+                for (i, &x) in storage_coord.iter().enumerate() {
+                    let xi = if i == 0 { seg_x } else { x };
+                    block_coord.push(xi / bb_dims[i]);
+                    intra_linear += (xi % bb_dims[i]) * stride;
+                    stride *= bb_dims[i];
+                }
+                debug_assert!(intra_linear < bb_volume);
+
+                per_block.entry(block_coord).or_default().push(Segment {
+                    block_offset: intra_linear * elem,
+                    buffer_offset: (buf_off + (seg_x - x1)) * elem,
+                    len: seg_len * elem,
+                });
+                total_bytes += seg_len * elem;
+                seg_x = seg_end;
+            }
+            remaining -= row_take;
+            linear += row_take;
+            buf_off += row_take;
+        }
+    });
+
+    let blocks = per_block
+        .into_iter()
+        .map(|(coord, mut segments)| {
+            segments.sort_by_key(|s| s.buffer_offset);
+            // Merge segments that are contiguous in both the block image and
+            // the buffer — when a request's width equals the block width,
+            // whole blocks collapse into single copies, which is why NDS
+            // assembly is cheap exactly when tiles match building blocks.
+            let mut merged: Vec<Segment> = Vec::with_capacity(segments.len());
+            for seg in segments {
+                if let Some(last) = merged.last_mut() {
+                    if last.block_offset + last.len == seg.block_offset
+                        && last.buffer_offset + last.len == seg.buffer_offset
+                    {
+                        last.len += seg.len;
+                        continue;
+                    }
+                }
+                merged.push(seg);
+            }
+            BlockCover {
+                coord,
+                segments: merged,
+            }
+        })
+        .collect();
+    Ok(Translation {
+        blocks,
+        total_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DeviceSpec;
+    use crate::block::BlockDimensionality;
+    use crate::element::ElementType;
+
+    fn setup(space_dims: &[u64]) -> (Shape, BlockShape) {
+        let space = Shape::new(space_dims.to_vec());
+        let bb = BlockShape::for_space(
+            &space,
+            ElementType::F32,
+            DeviceSpec::new(8, 8, 4096),
+            BlockDimensionality::Auto,
+            1,
+        );
+        (space, bb)
+    }
+
+    #[test]
+    fn aligned_tile_covers_exactly_its_blocks() {
+        let (space, bb) = setup(&[512, 512]); // 128×128 blocks, 4×4 grid
+        let t = translate(&space, &bb, &space, &[1, 1], &[256, 256]).unwrap();
+        // A 256×256 tile at block-aligned origin covers a 2×2 block patch.
+        assert_eq!(t.block_count(), 4);
+        let coords: Vec<_> = t.blocks.iter().map(|b| b.coord.clone()).collect();
+        assert!(coords.contains(&vec![2, 2]));
+        assert!(coords.contains(&vec![3, 3]));
+        assert_eq!(t.total_bytes, 256 * 256 * 4);
+    }
+
+    #[test]
+    fn row_panel_covers_one_block_row_stripe() {
+        let (space, bb) = setup(&[512, 512]);
+        // A full-width, 128-tall panel at the top: blocks [0..4, 0].
+        let t = translate(&space, &bb, &space, &[0, 0], &[512, 128]).unwrap();
+        assert_eq!(t.block_count(), 4);
+        assert!(t.blocks.iter().all(|b| b.coord[1] == 0));
+    }
+
+    #[test]
+    fn column_panel_covers_one_block_column_stripe() {
+        let (space, bb) = setup(&[512, 512]);
+        let t = translate(&space, &bb, &space, &[0, 0], &[128, 512]).unwrap();
+        assert_eq!(t.block_count(), 4);
+        assert!(t.blocks.iter().all(|b| b.coord[0] == 0));
+    }
+
+    #[test]
+    fn segments_tile_buffer_exactly() {
+        let (space, bb) = setup(&[512, 512]);
+        let t = translate(&space, &bb, &space, &[1, 0], &[200, 100]).unwrap();
+        // The union of buffer ranges must be [0, 200*100*4) with no overlap.
+        let mut ranges: Vec<(u64, u64)> = t
+            .blocks
+            .iter()
+            .flat_map(|b| b.segments.iter().map(|s| (s.buffer_offset, s.len)))
+            .collect();
+        ranges.sort_unstable();
+        let mut cursor = 0;
+        for (off, len) in ranges {
+            assert_eq!(off, cursor, "gap or overlap at buffer offset {off}");
+            cursor = off + len;
+        }
+        assert_eq!(cursor, 200 * 100 * 4);
+        assert_eq!(t.total_bytes, 200 * 100 * 4);
+    }
+
+    #[test]
+    fn block_offsets_stay_inside_block_image() {
+        let (space, bb) = setup(&[512, 512]);
+        let t = translate(&space, &bb, &space, &[1, 1], &[256, 256]).unwrap();
+        for block in &t.blocks {
+            for s in &block.segments {
+                assert!(s.block_offset + s.len <= bb.bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn reshaped_view_same_volume_translates() {
+        // A (512, 512) space consumed through a (1024, 256) view.
+        let (space, bb) = setup(&[512, 512]);
+        let view = Shape::new([1024, 256]);
+        let t = translate(&space, &bb, &view, &[0, 0], &[1024, 1]).unwrap();
+        // One 1024-element view row = two 512-element storage rows = the
+        // first block stripe's first two rows.
+        assert_eq!(t.total_bytes, 1024 * 4);
+        assert!(t.block_count() <= 8);
+        assert!(t.blocks.iter().all(|b| b.coord[1] == 0));
+    }
+
+    #[test]
+    fn volume_mismatch_rejected() {
+        let (space, bb) = setup(&[512, 512]);
+        let view = Shape::new([512, 256]);
+        assert!(matches!(
+            translate(&space, &bb, &view, &[0, 0], &[1, 1]),
+            Err(NdsError::ViewVolumeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn one_dimensional_space() {
+        let (space, bb) = setup(&[65536]); // 8192-element linear blocks
+        let t = translate(&space, &bb, &space, &[1], &[16384]).unwrap();
+        assert_eq!(t.block_count(), 2);
+        assert_eq!(t.blocks[0].coord, vec![2]);
+        assert_eq!(t.blocks[1].coord, vec![3]);
+    }
+
+    #[test]
+    fn three_d_space_two_d_blocks() {
+        // Fig. 5's structure at 1/64 scale: a (128, 128, 4) space with 2-D
+        // blocks; consumer views it as four (128, 128) slabs.
+        let space = Shape::new([128, 128, 4]);
+        let bb = BlockShape::for_space(
+            &space,
+            ElementType::F32,
+            DeviceSpec::new(8, 8, 4096),
+            BlockDimensionality::TwoD,
+            1,
+        );
+        assert_eq!(bb.dims(), &[128, 128, 1]);
+        let t = translate(&space, &bb, &space, &[0, 0, 1], &[128, 128, 1]).unwrap();
+        assert_eq!(t.block_count(), 1);
+        assert_eq!(t.blocks[0].coord, vec![0, 0, 1]);
+        assert_eq!(t.total_bytes, 128 * 128 * 4);
+    }
+
+    #[test]
+    fn unaligned_region_splits_segments_at_block_boundaries() {
+        let (space, bb) = setup(&[512, 512]);
+        // A 256-wide run starting at x=64 crosses one block boundary per row.
+        let t = translate(&space, &bb, &space, &[0, 0], &[512, 1]).unwrap();
+        assert_eq!(t.block_count(), 4);
+        assert_eq!(t.segment_count(), 4, "one segment per crossed block");
+        assert_eq!(t.min_segment_bytes(), 128 * 4);
+    }
+
+    #[test]
+    fn edge_blocks_handle_non_multiple_spaces() {
+        // A 200×200 space with 128×128 blocks: 2×2 grid, edge blocks partial.
+        let space = Shape::new([200, 200]);
+        let bb = BlockShape::for_space(
+            &space,
+            ElementType::F32,
+            DeviceSpec::new(8, 8, 4096),
+            BlockDimensionality::TwoD,
+            1,
+        );
+        let t = translate(&space, &bb, &space, &[0, 0], &[200, 200]).unwrap();
+        assert_eq!(t.block_count(), 4);
+        assert_eq!(t.total_bytes, 200 * 200 * 4);
+    }
+}

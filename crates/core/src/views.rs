@@ -1,0 +1,187 @@
+//! Per-application view management (§5.3.1's `open_space`/`close_space`).
+//!
+//! The paper's `open_space` command returns, besides the space identifier, a
+//! *dynamic space ID* that "the software system can use to distinguish
+//! between different views an application uses for the space";
+//! `close_space` reclaims that dynamic ID and disables the view. This module
+//! keeps the registry: a view is a shape of equal volume bound to a space,
+//! opened and closed independently of the data.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NdsError;
+use crate::shape::Shape;
+use crate::space::SpaceId;
+
+/// The dynamic identifier `open_space` hands back for one application view.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ViewId(pub u64);
+
+impl core::fmt::Display for ViewId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "view#{}", self.0)
+    }
+}
+
+/// The registry of open views across spaces.
+///
+/// # Example
+///
+/// ```
+/// use nds_core::views::ViewRegistry;
+/// use nds_core::{Shape, SpaceId};
+///
+/// let mut views = ViewRegistry::new();
+/// let space = SpaceId(1);
+/// let v = views.open(space, Shape::new([64, 64]), 64 * 64).unwrap();
+/// assert_eq!(views.shape(v).unwrap().dims(), &[64, 64]);
+/// views.close(v).unwrap();
+/// assert!(views.shape(v).is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ViewRegistry {
+    views: BTreeMap<ViewId, (SpaceId, Shape)>,
+    next_id: u64,
+}
+
+impl ViewRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ViewRegistry {
+            views: BTreeMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Opens a view of `space` with dimensionality `shape`, validating the
+    /// §3 volume rule against the space's `volume`.
+    ///
+    /// # Errors
+    ///
+    /// [`NdsError::ViewVolumeMismatch`] if the view's volume differs from
+    /// the space's.
+    pub fn open(&mut self, space: SpaceId, shape: Shape, volume: u64) -> Result<ViewId, NdsError> {
+        if shape.volume() != volume {
+            return Err(NdsError::ViewVolumeMismatch {
+                space: volume,
+                view: shape.volume(),
+            });
+        }
+        let id = ViewId(self.next_id);
+        self.next_id += 1;
+        self.views.insert(id, (space, shape));
+        Ok(id)
+    }
+
+    /// The shape of an open view.
+    ///
+    /// # Errors
+    ///
+    /// [`NdsError::UnknownView`] if `view` is not open.
+    pub fn shape(&self, view: ViewId) -> Result<&Shape, NdsError> {
+        self.views
+            .get(&view)
+            .map(|(_, s)| s)
+            .ok_or(NdsError::UnknownView(view))
+    }
+
+    /// The space an open view belongs to.
+    ///
+    /// # Errors
+    ///
+    /// [`NdsError::UnknownView`] if `view` is not open.
+    pub fn space_of(&self, view: ViewId) -> Result<SpaceId, NdsError> {
+        self.views
+            .get(&view)
+            .map(|(sp, _)| *sp)
+            .ok_or(NdsError::UnknownView(view))
+    }
+
+    /// Closes a view, reclaiming its dynamic ID (the paper's `close_space`).
+    ///
+    /// # Errors
+    ///
+    /// [`NdsError::UnknownView`] if `view` is not open.
+    pub fn close(&mut self, view: ViewId) -> Result<(), NdsError> {
+        self.views
+            .remove(&view)
+            .map(|_| ())
+            .ok_or(NdsError::UnknownView(view))
+    }
+
+    /// Closes every view of `space` (used by `delete_space`). Returns how
+    /// many were closed.
+    pub fn close_all_of(&mut self, space: SpaceId) -> usize {
+        let doomed: Vec<ViewId> = self
+            .views
+            .iter()
+            .filter(|(_, (sp, _))| *sp == space)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &doomed {
+            self.views.remove(id);
+        }
+        doomed.len()
+    }
+
+    /// Number of open views.
+    pub fn open_count(&self) -> usize {
+        self.views.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_validates_volume() {
+        let mut r = ViewRegistry::new();
+        let err = r
+            .open(SpaceId(1), Shape::new([8, 8]), 100)
+            .expect_err("volume mismatch");
+        assert!(matches!(err, NdsError::ViewVolumeMismatch { .. }));
+        assert!(r.open(SpaceId(1), Shape::new([10, 10]), 100).is_ok());
+    }
+
+    #[test]
+    fn ids_are_not_reused() {
+        let mut r = ViewRegistry::new();
+        let a = r.open(SpaceId(1), Shape::new([4]), 4).unwrap();
+        r.close(a).unwrap();
+        let b = r.open(SpaceId(1), Shape::new([4]), 4).unwrap();
+        assert_ne!(a, b, "dynamic IDs are not recycled");
+    }
+
+    #[test]
+    fn double_close_fails() {
+        let mut r = ViewRegistry::new();
+        let v = r.open(SpaceId(2), Shape::new([4]), 4).unwrap();
+        r.close(v).unwrap();
+        assert!(matches!(r.close(v), Err(NdsError::UnknownView(_))));
+    }
+
+    #[test]
+    fn close_all_of_space() {
+        let mut r = ViewRegistry::new();
+        let v1 = r.open(SpaceId(1), Shape::new([4]), 4).unwrap();
+        let _v2 = r.open(SpaceId(1), Shape::new([2, 2]), 4).unwrap();
+        let v3 = r.open(SpaceId(2), Shape::new([4]), 4).unwrap();
+        assert_eq!(r.close_all_of(SpaceId(1)), 2);
+        assert!(r.shape(v1).is_err());
+        assert!(r.shape(v3).is_ok());
+        assert_eq!(r.open_count(), 1);
+    }
+
+    #[test]
+    fn lookups_work() {
+        let mut r = ViewRegistry::new();
+        let v = r.open(SpaceId(9), Shape::new([2, 8]), 16).unwrap();
+        assert_eq!(r.space_of(v).unwrap(), SpaceId(9));
+        assert_eq!(r.shape(v).unwrap().volume(), 16);
+    }
+}

@@ -1,0 +1,180 @@
+//! Integration tests of §5.3.3 (encryption) and §5.3.4 (compression): the
+//! full STL workflow must run unchanged over transforming backends.
+
+use nds_core::transform::{
+    cipher_compatible, CompressedBackend, SectionCipher, SecureBackend, SECTION_BYTES,
+};
+use nds_core::{
+    BlockDimensionality, BlockShape, DeviceSpec, ElementType, MemBackend, NvmBackend, Shape, Stl,
+    StlConfig,
+};
+
+fn spec() -> DeviceSpec {
+    DeviceSpec::new(8, 4, 512)
+}
+
+fn fill_pattern(n: u64) -> Vec<u8> {
+    (0..n * n * 4).map(|i| (i % 251) as u8).collect()
+}
+
+#[test]
+fn stl_works_unchanged_over_encryption() {
+    // §5.3.3: "the current NDS workflow functions well regardless of where
+    // the system performs cryptography functions."
+    let inner = MemBackend::new(spec(), 4096);
+    let backend = SecureBackend::new(inner, SectionCipher::new(0x5EC2E7));
+    let mut stl = Stl::new(backend, StlConfig::default());
+    let shape = Shape::new([128, 128]);
+    let id = stl.create_space(shape.clone(), ElementType::F32).unwrap();
+    let data = fill_pattern(128);
+    stl.write(id, &shape, &[0, 0], &[128, 128], &data).unwrap();
+
+    // Reads, tile reads, and reshaped views all round-trip.
+    let (full, _) = stl.read(id, &shape, &[0, 0], &[128, 128]).unwrap();
+    assert_eq!(full, data);
+    let (tile, _) = stl.read(id, &shape, &[1, 1], &[32, 32]).unwrap();
+    assert_eq!(tile.len(), 32 * 32 * 4);
+    let view = Shape::new([64, 256]);
+    let (reshaped, _) = stl.read(id, &view, &[0, 0], &[64, 256]).unwrap();
+    assert_eq!(reshaped, data);
+
+    // The medium truly holds ciphertext: no stored unit equals any aligned
+    // plaintext window.
+    let report = stl.plan(id, &shape, &[0, 0], &[128, 128]).unwrap();
+    assert!(report.total_bytes > 0);
+}
+
+#[test]
+fn medium_holds_ciphertext() {
+    let inner = MemBackend::new(spec(), 4096);
+    let backend = SecureBackend::new(inner, SectionCipher::new(7));
+    let mut stl = Stl::new(backend, StlConfig::default());
+    let shape = Shape::new([64, 64]);
+    let id = stl.create_space(shape.clone(), ElementType::F32).unwrap();
+    // Uniform non-zero plaintext (all-zero units are elided per §8 and
+    // would never reach the medium).
+    let plaintext = vec![0x11u8; 64 * 64 * 4];
+    stl.write(id, &shape, &[0, 0], &[64, 64], &plaintext).unwrap();
+    // Every allocated unit's at-rest image must differ from the plaintext.
+    let space = stl.space(id).unwrap();
+    let unit = stl.backend().spec().unit_bytes as usize;
+    let mut checked = 0;
+    space.tree().for_each_block(|_, entry| {
+        for loc in entry.allocated_units() {
+            let stored = stl.backend().inner().read_unit(loc).expect("stored unit");
+            assert_ne!(
+                stored.as_ref(),
+                vec![0x11u8; unit].as_slice(),
+                "unit {loc} stored in plaintext"
+            );
+            checked += 1;
+        }
+    });
+    assert!(checked > 0);
+}
+
+#[test]
+fn partial_overwrites_survive_encryption() {
+    // Read-modify-write paths decrypt, merge, and re-encrypt correctly.
+    let inner = MemBackend::new(spec(), 4096);
+    let backend = SecureBackend::new(inner, SectionCipher::new(99));
+    let mut stl = Stl::new(backend, StlConfig::default());
+    let shape = Shape::new([64, 64]);
+    let id = stl.create_space(shape.clone(), ElementType::F32).unwrap();
+    stl.write(id, &shape, &[0, 0], &[64, 64], &vec![1u8; 64 * 64 * 4])
+        .unwrap();
+    stl.write(id, &shape, &[3, 5], &[8, 8], &vec![9u8; 8 * 8 * 4])
+        .unwrap();
+    let (out, _) = stl.read(id, &shape, &[0, 0], &[64, 64]).unwrap();
+    for y in 0..64usize {
+        for x in 0..64usize {
+            let expect = if (24..32).contains(&x) && (40..48).contains(&y) {
+                9
+            } else {
+                1
+            };
+            assert_eq!(out[(x + 64 * y) * 4], expect, "at ({x},{y})");
+        }
+    }
+}
+
+#[test]
+fn stl_works_unchanged_over_compression() {
+    let inner = MemBackend::new(spec(), 4096);
+    let backend = CompressedBackend::new(inner);
+    let mut stl = Stl::new(backend, StlConfig::default());
+    let shape = Shape::new([128, 128]);
+    let id = stl.create_space(shape.clone(), ElementType::F32).unwrap();
+    let data = fill_pattern(128);
+    stl.write(id, &shape, &[0, 0], &[128, 128], &data).unwrap();
+    let (out, _) = stl.read(id, &shape, &[0, 0], &[128, 128]).unwrap();
+    assert_eq!(out, data);
+}
+
+#[test]
+fn compression_saves_on_sparse_data() {
+    let inner = MemBackend::new(spec(), 4096);
+    let backend = CompressedBackend::new(inner);
+    let mut stl = Stl::new(backend, StlConfig::default());
+    let shape = Shape::new([128, 128]);
+    let id = stl.create_space(shape.clone(), ElementType::F32).unwrap();
+    // A sparse matrix: 99% zeros.
+    let mut data = vec![0u8; 128 * 128 * 4];
+    for i in (0..data.len()).step_by(400) {
+        data[i] = 0xAB;
+    }
+    stl.write(id, &shape, &[0, 0], &[128, 128], &data).unwrap();
+    let backend = stl.backend();
+    assert!(
+        backend.saved_bytes() * 2 > backend.raw_bytes(),
+        "sparse data should compress by more than half: saved {} of {}",
+        backend.saved_bytes(),
+        backend.raw_bytes()
+    );
+    let (out, _) = stl.read(id, &shape, &[0, 0], &[128, 128]).unwrap();
+    assert_eq!(out, data);
+}
+
+#[test]
+fn incompressible_data_still_round_trips() {
+    let inner = MemBackend::new(spec(), 4096);
+    let backend = CompressedBackend::new(inner);
+    let mut stl = Stl::new(backend, StlConfig::default());
+    let shape = Shape::new([64, 64]);
+    let id = stl.create_space(shape.clone(), ElementType::F32).unwrap();
+    // High-entropy-ish pattern with no runs.
+    let data: Vec<u8> = (0..64u64 * 64 * 4).map(|i| (i * 131 % 251) as u8).collect();
+    stl.write(id, &shape, &[0, 0], &[64, 64], &data).unwrap();
+    let (out, _) = stl.read(id, &shape, &[1, 1], &[32, 32]).unwrap();
+    for (i, &b) in out.iter().enumerate() {
+        let x = (i / 4) % 32 + 32;
+        let y = (i / 4) / 32 + 32;
+        let src = ((x + 64 * y) * 4 + i % 4) as u64;
+        assert_eq!(b, (src * 131 % 251) as u8, "byte {i}");
+    }
+}
+
+#[test]
+fn paper_devices_are_cipher_compatible() {
+    // §5.3.3: a 256-bit section always fits a building-block dimension on
+    // realistic devices.
+    for (channels, page) in [(8u32, 4096u32), (32, 4096), (8, 8192)] {
+        for elem in [ElementType::U8, ElementType::F32, ElementType::F64] {
+            let bb = BlockShape::for_space(
+                &Shape::new([4096, 4096]),
+                elem,
+                DeviceSpec::new(channels, 8, page),
+                BlockDimensionality::TwoD,
+                1,
+            );
+            assert!(
+                cipher_compatible(&bb),
+                "{channels}ch/{page}B pages with {elem} must be compatible"
+            );
+        }
+    }
+    // The incompatible case requires absurdly tiny blocks.
+    let tiny = BlockShape::custom([4, 4], 4, 64);
+    assert!(!cipher_compatible(&tiny));
+    let _ = SECTION_BYTES;
+}

@@ -1,0 +1,150 @@
+//! Brute-force oracle test for the space translator: every segment mapping
+//! the translator produces must agree with a per-element reference that
+//! walks coordinates one at a time through the canonical linearization and
+//! the block decomposition independently.
+
+use proptest::prelude::*;
+
+use nds_core::{translator, BlockShape, ElementType, Region, Shape};
+
+/// Per-element reference: for each element of `region` (in view order),
+/// compute `(block coordinate, intra-block byte offset)` directly.
+fn element_oracle(
+    space: &Shape,
+    bb: &BlockShape,
+    view: &Shape,
+    region: &Region,
+) -> Vec<(Vec<u64>, u64)> {
+    let mut mapping = Vec::new();
+    // Walk the region in view row-major order (fastest dim first).
+    let ndims = region.ndims();
+    let mut counter = vec![0u64; ndims];
+    let volume = region.volume();
+    for _ in 0..volume {
+        let coord: Vec<u64> = (0..ndims)
+            .map(|i| region.origin[i] + counter[i])
+            .collect();
+        let linear = view.linear_index(&coord);
+        let storage = space.coord_at(linear);
+        let block: Vec<u64> = storage
+            .iter()
+            .zip(bb.dims())
+            .map(|(&x, &b)| x / b)
+            .collect();
+        let mut intra = 0u64;
+        let mut stride = 1u64;
+        for (i, &x) in storage.iter().enumerate() {
+            intra += (x % bb.dims()[i]) * stride;
+            stride *= bb.dims()[i];
+        }
+        mapping.push((block, intra * u64::from(bb.element_bytes())));
+        // Odometer.
+        for (i, digit) in counter.iter_mut().enumerate() {
+            *digit += 1;
+            if *digit < region.extent[i] {
+                break;
+            }
+            *digit = 0;
+        }
+    }
+    mapping
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    prop::collection::vec(1u64..=24, 1..=3).prop_map(Shape::new)
+}
+
+fn region_in(shape: &Shape) -> impl Strategy<Value = Region> {
+    let dims: Vec<u64> = shape.dims().to_vec();
+    let per_dim: Vec<_> = dims
+        .iter()
+        .map(|&d| (0..d).prop_flat_map(move |o| (Just(o), 1..=d - o)))
+        .collect();
+    per_dim.prop_map(|pairs| {
+        let (origin, extent): (Vec<u64>, Vec<u64>) = pairs.into_iter().unzip();
+        Region { origin, extent }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Expanding the translator's segments element-by-element reproduces
+    /// the oracle mapping exactly, in exactly the buffer order.
+    #[test]
+    fn translation_matches_per_element_oracle(
+        (shape, region) in shape_strategy().prop_flat_map(|s| {
+            let r = region_in(&s);
+            (Just(s), r)
+        }),
+        bb_exp in 0u32..=3,
+    ) {
+        // A deliberately odd device so blocks rarely align with the space.
+        let spec = nds_core::DeviceSpec::new(1 << bb_exp, 2, 16);
+        let bb = BlockShape::for_space(
+            &shape,
+            ElementType::F32,
+            spec,
+            nds_core::BlockDimensionality::Auto,
+            1,
+        );
+        let t = translator::translate_region(&shape, &bb, &shape, &region).unwrap();
+        let oracle = element_oracle(&shape, &bb, &shape, &region);
+        let elem = u64::from(bb.element_bytes());
+
+        // Expand segments into per-element (block, intra-offset) pairs
+        // indexed by buffer position.
+        let mut expanded: Vec<Option<(Vec<u64>, u64)>> = vec![None; oracle.len()];
+        for cover in &t.blocks {
+            for seg in &cover.segments {
+                prop_assert_eq!(seg.len % elem, 0);
+                prop_assert_eq!(seg.buffer_offset % elem, 0);
+                for k in 0..seg.len / elem {
+                    let buffer_index = (seg.buffer_offset / elem + k) as usize;
+                    prop_assert!(expanded[buffer_index].is_none(), "element covered twice");
+                    expanded[buffer_index] =
+                        Some((cover.coord.clone(), seg.block_offset + k * elem));
+                }
+            }
+        }
+        for (i, (got, want)) in expanded.iter().zip(&oracle).enumerate() {
+            let got = got.as_ref().unwrap_or_else(|| panic!("element {i} uncovered"));
+            prop_assert_eq!(&got.0, &want.0, "block coord of element {}", i);
+            prop_assert_eq!(got.1, want.1, "intra offset of element {}", i);
+        }
+    }
+
+    /// Reshaped views: translating through a factorized view of the same
+    /// volume still matches the oracle computed through that view.
+    #[test]
+    fn reshaped_translation_matches_oracle(
+        w_exp in 1u32..=4,
+        h_exp in 1u32..=4,
+        seed in 0u64..1000,
+    ) {
+        let w = 1u64 << w_exp;
+        let h = 1u64 << h_exp;
+        let space = Shape::new([w * h]);
+        // A 2-D view of the 1-D space.
+        let view = Shape::new([w, h]);
+        let spec = nds_core::DeviceSpec::new(4, 2, 16);
+        let bb = BlockShape::for_space(
+            &space,
+            ElementType::F32,
+            spec,
+            nds_core::BlockDimensionality::Auto,
+            1,
+        );
+        // A deterministic pseudorandom aligned region.
+        let ox = seed % w;
+        let oy = (seed / 7) % h;
+        let region = Region {
+            origin: vec![ox, oy],
+            extent: vec![w - ox, h - oy],
+        };
+        let t = translator::translate_region(&space, &bb, &view, &region).unwrap();
+        let oracle = element_oracle(&space, &bb, &view, &region);
+        let covered: u64 = t.blocks.iter().map(|b| b.bytes()).sum();
+        prop_assert_eq!(covered, oracle.len() as u64 * 4);
+    }
+}

@@ -1,0 +1,604 @@
+//! The functional + timing flash device.
+
+use nds_sim::{ResourceSet, SimTime, Stats};
+use serde::{Deserialize, Serialize};
+
+use crate::error::FlashError;
+use crate::geometry::{BlockAddr, FlashGeometry, PageAddr};
+use crate::timing::FlashTiming;
+use crate::FlashConfig;
+
+/// Lifecycle state of a flash page.
+///
+/// NAND pages are program-once: a `Valid` page cannot be overwritten in
+/// place; it must be invalidated and its block eventually erased. The
+/// baseline FTL and the NDS STL both build out-of-place update schemes on
+/// top of this rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageState {
+    /// Erased and programmable.
+    Free,
+    /// Holds live data.
+    Valid,
+    /// Holds superseded data awaiting erase.
+    Invalid,
+}
+
+/// A flash device that stores real bytes and accounts simulated time.
+///
+/// The device exposes three layers:
+///
+/// * **Functional**: [`program`](Self::program) / [`read`](Self::read) /
+///   [`invalidate`](Self::invalidate) / [`erase_block`](Self::erase_block)
+///   move real bytes under NAND rules.
+/// * **Timing**: [`schedule_reads`](Self::schedule_reads) /
+///   [`schedule_programs`](Self::schedule_programs) /
+///   [`schedule_erase`](Self::schedule_erase) account for bank and channel
+///   occupancy and return completion instants.
+/// * **Allocation support**: free-page queries per `(channel, bank)` that the
+///   FTL and the STL use to place data.
+///
+/// Keeping the layers separate lets translation layers decide *where* data
+/// goes (functional) and systems decide *when* it arrives (timing) without
+/// entangling the two.
+#[derive(Debug, Clone)]
+pub struct FlashDevice {
+    config: FlashConfig,
+    data: Vec<Option<Box<[u8]>>>,
+    state: Vec<PageState>,
+    erase_counts: Vec<u64>,
+    alloc_cursor: Vec<usize>,
+    free_count: Vec<usize>,
+    channels: ResourceSet,
+    banks: ResourceSet,
+    stats: Stats,
+}
+
+impl FlashDevice {
+    /// Creates an all-erased device with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry fails [`FlashGeometry::validate`].
+    pub fn new(config: FlashConfig) -> Self {
+        config
+            .geometry
+            .validate()
+            .expect("invalid flash geometry");
+        let g = config.geometry;
+        let total_pages = g.total_pages();
+        let total_banks = g.total_banks();
+        FlashDevice {
+            channels: ResourceSet::new("flash.ch", g.channels),
+            banks: ResourceSet::new("flash.bank", total_banks),
+            data: vec![None; total_pages],
+            state: vec![PageState::Free; total_pages],
+            erase_counts: vec![0; g.total_blocks()],
+            alloc_cursor: vec![0; total_banks],
+            free_count: vec![g.pages_per_bank(); total_banks],
+            stats: Stats::new(),
+            config,
+        }
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.config.geometry
+    }
+
+    /// The device timing parameters.
+    pub fn timing(&self) -> &FlashTiming {
+        &self.config.timing
+    }
+
+    /// Accumulated operation counters (`flash.pages_read`,
+    /// `flash.pages_programmed`, `flash.blocks_erased`).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn bank_id(&self, addr: PageAddr) -> usize {
+        addr.channel * self.config.geometry.banks_per_channel + addr.bank
+    }
+
+    fn check(&self, addr: PageAddr) -> Result<usize, FlashError> {
+        if !self.config.geometry.contains(addr) {
+            return Err(FlashError::AddressOutOfRange(addr));
+        }
+        Ok(self.config.geometry.page_index(addr))
+    }
+
+    // ------------------------------------------------------------------
+    // Functional layer
+    // ------------------------------------------------------------------
+
+    /// Programs `payload` into the free page at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlashError::AddressOutOfRange`] if `addr` is outside the geometry.
+    /// * [`FlashError::PageNotFree`] if the page already holds data — NAND
+    ///   pages are program-once.
+    /// * [`FlashError::BadPayloadSize`] if `payload` is not exactly one page.
+    pub fn program(&mut self, addr: PageAddr, payload: Vec<u8>) -> Result<(), FlashError> {
+        let idx = self.check(addr)?;
+        if payload.len() != self.config.geometry.page_size {
+            return Err(FlashError::BadPayloadSize {
+                got: payload.len(),
+                expected: self.config.geometry.page_size,
+            });
+        }
+        if self.state[idx] != PageState::Free {
+            return Err(FlashError::PageNotFree(addr));
+        }
+        self.state[idx] = PageState::Valid;
+        self.data[idx] = Some(payload.into_boxed_slice());
+        let bank = self.bank_id(addr);
+        self.free_count[bank] -= 1;
+        self.stats.add("flash.pages_programmed", 1);
+        Ok(())
+    }
+
+    /// Reads the valid page at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlashError::AddressOutOfRange`] if `addr` is outside the geometry.
+    /// * [`FlashError::PageNotValid`] if the page holds no live data.
+    pub fn read(&mut self, addr: PageAddr) -> Result<&[u8], FlashError> {
+        let idx = self.check(addr)?;
+        if self.state[idx] != PageState::Valid {
+            return Err(FlashError::PageNotValid(addr));
+        }
+        self.stats.add("flash.pages_read", 1);
+        Ok(self.data[idx].as_deref().expect("valid page has data"))
+    }
+
+    /// Reads the valid page at `addr` without touching timing or counters —
+    /// the functional peek used by translation layers that account device
+    /// time separately from data movement.
+    pub fn peek(&self, addr: PageAddr) -> Option<&[u8]> {
+        if !self.config.geometry.contains(addr) {
+            return None;
+        }
+        let idx = self.config.geometry.page_index(addr);
+        if self.state[idx] != PageState::Valid {
+            return None;
+        }
+        self.data[idx].as_deref()
+    }
+
+    /// Marks the valid page at `addr` as superseded (awaiting erase).
+    ///
+    /// # Errors
+    ///
+    /// * [`FlashError::AddressOutOfRange`] if `addr` is outside the geometry.
+    /// * [`FlashError::PageNotValid`] if the page holds no live data.
+    pub fn invalidate(&mut self, addr: PageAddr) -> Result<(), FlashError> {
+        let idx = self.check(addr)?;
+        if self.state[idx] != PageState::Valid {
+            return Err(FlashError::PageNotValid(addr));
+        }
+        self.state[idx] = PageState::Invalid;
+        Ok(())
+    }
+
+    /// Erases a block: every page becomes `Free`, data is dropped, and the
+    /// block's wear counter increments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block address is outside the geometry.
+    pub fn erase_block(&mut self, block: BlockAddr) {
+        let g = self.config.geometry;
+        let block_idx = g.block_index(block);
+        self.erase_counts[block_idx] += 1;
+        let bank = block.channel * g.banks_per_channel + block.bank;
+        for p in 0..g.pages_per_block {
+            let idx = g.page_index(block.page(p));
+            if self.state[idx] != PageState::Free {
+                if self.state[idx] == PageState::Valid {
+                    // Erasing live data is legal at the device level; the
+                    // translation layers above are responsible for copying
+                    // live pages out first.
+                }
+                self.free_count[bank] += 1;
+            }
+            self.state[idx] = PageState::Free;
+            self.data[idx] = None;
+        }
+        self.stats.add("flash.blocks_erased", 1);
+    }
+
+    /// State of the page at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the geometry.
+    pub fn page_state(&self, addr: PageAddr) -> PageState {
+        let idx = self.config.geometry.page_index(addr);
+        self.state[idx]
+    }
+
+    /// Erase count of the given block (wear).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block address is outside the geometry.
+    pub fn erase_count(&self, block: BlockAddr) -> u64 {
+        self.erase_counts[self.config.geometry.block_index(block)]
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation support
+    // ------------------------------------------------------------------
+
+    /// Free pages remaining in `(channel, bank)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel or bank index is out of range.
+    pub fn free_pages_in(&self, channel: usize, bank: usize) -> usize {
+        let g = self.config.geometry;
+        assert!(channel < g.channels && bank < g.banks_per_channel);
+        self.free_count[channel * g.banks_per_channel + bank]
+    }
+
+    /// Finds a free page in `(channel, bank)` using a rotating cursor, giving
+    /// log-structured append behaviour inside each bank.
+    ///
+    /// Returns `None` when the bank has no free page (the caller should
+    /// garbage-collect).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel or bank index is out of range.
+    pub fn find_free_page(&mut self, channel: usize, bank: usize) -> Option<PageAddr> {
+        let g = self.config.geometry;
+        assert!(channel < g.channels && bank < g.banks_per_channel);
+        let bank_id = channel * g.banks_per_channel + bank;
+        if self.free_count[bank_id] == 0 {
+            return None;
+        }
+        let pages = g.pages_per_bank();
+        let start = self.alloc_cursor[bank_id];
+        for off in 0..pages {
+            let local = (start + off) % pages;
+            let addr = PageAddr {
+                channel,
+                bank,
+                block: local / g.pages_per_block,
+                page: local % g.pages_per_block,
+            };
+            if self.state[g.page_index(addr)] == PageState::Free {
+                self.alloc_cursor[bank_id] = (local + 1) % pages;
+                return Some(addr);
+            }
+        }
+        None
+    }
+
+    /// Counts valid/invalid pages per block in `(channel, bank)` — the input
+    /// to victim selection during garbage collection. Returns
+    /// `(block, valid, invalid)` triples.
+    pub fn block_occupancy(&self, channel: usize, bank: usize) -> Vec<(usize, usize, usize)> {
+        let g = self.config.geometry;
+        (0..g.blocks_per_bank)
+            .map(|block| {
+                let mut valid = 0;
+                let mut invalid = 0;
+                for page in 0..g.pages_per_block {
+                    let idx = g.page_index(PageAddr {
+                        channel,
+                        bank,
+                        block,
+                        page,
+                    });
+                    match self.state[idx] {
+                        PageState::Valid => valid += 1,
+                        PageState::Invalid => invalid += 1,
+                        PageState::Free => {}
+                    }
+                }
+                (block, valid, invalid)
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Timing layer
+    // ------------------------------------------------------------------
+
+    /// Schedules a batch of page reads that become ready at `ready` and
+    /// returns the completion instant of the whole batch.
+    ///
+    /// Each page holds its bank for the array-read latency, then its channel
+    /// for the bus transfer; banks on the same channel overlap their array
+    /// reads while transfers serialize on the channel bus — the pipelining
+    /// the paper exploits for building-block accesses.
+    pub fn schedule_reads(&mut self, pages: &[PageAddr], ready: SimTime) -> SimTime {
+        self.schedule_reads_detailed(pages, ready)
+            .into_iter()
+            .fold(ready, SimTime::max)
+    }
+
+    /// Like [`schedule_reads`](Self::schedule_reads) but returns the
+    /// completion instant of every page, in input order — used by assembly
+    /// models that start work as soon as individual pages land.
+    pub fn schedule_reads_detailed(
+        &mut self,
+        pages: &[PageAddr],
+        ready: SimTime,
+    ) -> Vec<SimTime> {
+        let transfer = self.config.timing.transfer_time(self.config.geometry.page_size);
+        let read_lat = self.config.timing.read_latency;
+        pages
+            .iter()
+            .map(|&p| {
+                let bank_end = self.banks.acquire(self.bank_id(p), ready, read_lat);
+                self.channels.acquire(p.channel, bank_end, transfer)
+            })
+            .collect()
+    }
+
+    /// Schedules a batch of page programs and returns the batch completion
+    /// instant. Data crosses the channel bus first, then the bank holds for
+    /// the program latency.
+    pub fn schedule_programs(&mut self, pages: &[PageAddr], ready: SimTime) -> SimTime {
+        let transfer = self.config.timing.transfer_time(self.config.geometry.page_size);
+        let prog_lat = self.config.timing.program_latency;
+        pages
+            .iter()
+            .map(|&p| {
+                let chan_end = self.channels.acquire(p.channel, ready, transfer);
+                self.banks.acquire(self.bank_id(p), chan_end, prog_lat)
+            })
+            .fold(ready, SimTime::max)
+    }
+
+    /// Schedules a block erase and returns its completion instant.
+    pub fn schedule_erase(&mut self, block: BlockAddr, ready: SimTime) -> SimTime {
+        let bank_id = block.channel * self.config.geometry.banks_per_channel + block.bank;
+        self.banks.acquire(bank_id, ready, self.config.timing.erase_latency)
+    }
+
+    /// The instant at which every channel and bank has drained its committed
+    /// work.
+    pub fn drained_at(&self) -> SimTime {
+        self.channels.all_free_at().max(self.banks.all_free_at())
+    }
+
+    /// The steady-state throughput cost of the work scheduled since the last
+    /// [`reset_timing`](Self::reset_timing): total busy time averaged over
+    /// all channels and over all banks, whichever is the tighter bottleneck.
+    /// A deeply queued request stream spreads across the device's lanes, so
+    /// this — not the single-request critical path — is what paces a full
+    /// pipeline.
+    pub fn throughput_occupancy(&self) -> nds_sim::SimDuration {
+        let per_channel = self.channels.total_busy() / self.channels.len() as u64;
+        let per_bank = self.banks.total_busy() / self.banks.len() as u64;
+        per_channel.max(per_bank)
+    }
+
+    /// Resets the timing resources to idle at t = 0 without touching stored
+    /// data — used between benchmark measurements on a pre-populated device.
+    pub fn reset_timing(&mut self) {
+        self.channels.reset();
+        self.banks.reset();
+    }
+
+    /// Channel resources (for utilization reporting).
+    pub fn channel_resources(&self) -> &ResourceSet {
+        &self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_sim::SimDuration;
+
+    fn dev() -> FlashDevice {
+        FlashDevice::new(FlashConfig::small_test())
+    }
+
+    fn page(channel: usize, bank: usize, block: usize, page: usize) -> PageAddr {
+        PageAddr {
+            channel,
+            bank,
+            block,
+            page,
+        }
+    }
+
+    #[test]
+    fn program_read_round_trip() {
+        let mut d = dev();
+        let ps = d.geometry().page_size;
+        let a = page(1, 0, 2, 3);
+        d.program(a, vec![0xAB; ps]).unwrap();
+        assert_eq!(d.read(a).unwrap(), vec![0xAB; ps].as_slice());
+        assert_eq!(d.page_state(a), PageState::Valid);
+        assert_eq!(d.stats().get("flash.pages_programmed"), 1);
+        assert_eq!(d.stats().get("flash.pages_read"), 1);
+    }
+
+    #[test]
+    fn program_twice_rejected() {
+        let mut d = dev();
+        let ps = d.geometry().page_size;
+        let a = page(0, 0, 0, 0);
+        d.program(a, vec![1; ps]).unwrap();
+        assert_eq!(
+            d.program(a, vec![2; ps]),
+            Err(FlashError::PageNotFree(a))
+        );
+    }
+
+    #[test]
+    fn wrong_payload_size_rejected() {
+        let mut d = dev();
+        let a = page(0, 0, 0, 0);
+        let err = d.program(a, vec![1; 3]).unwrap_err();
+        assert!(matches!(err, FlashError::BadPayloadSize { got: 3, .. }));
+    }
+
+    #[test]
+    fn read_unwritten_rejected() {
+        let mut d = dev();
+        assert_eq!(
+            d.read(page(0, 0, 0, 0)),
+            Err(FlashError::PageNotValid(page(0, 0, 0, 0)))
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut d = dev();
+        let bad = page(99, 0, 0, 0);
+        assert_eq!(d.read(bad), Err(FlashError::AddressOutOfRange(bad)));
+    }
+
+    #[test]
+    fn invalidate_then_erase_frees() {
+        let mut d = dev();
+        let ps = d.geometry().page_size;
+        let a = page(2, 1, 4, 0);
+        d.program(a, vec![9; ps]).unwrap();
+        d.invalidate(a).unwrap();
+        assert_eq!(d.page_state(a), PageState::Invalid);
+        d.erase_block(a.block_addr());
+        assert_eq!(d.page_state(a), PageState::Free);
+        assert_eq!(d.erase_count(a.block_addr()), 1);
+        assert!(d.read(a).is_err());
+    }
+
+    #[test]
+    fn free_count_tracks_program_and_erase() {
+        let mut d = dev();
+        let per_bank = d.geometry().pages_per_bank();
+        let ps = d.geometry().page_size;
+        assert_eq!(d.free_pages_in(0, 0), per_bank);
+        d.program(page(0, 0, 0, 0), vec![1; ps]).unwrap();
+        d.program(page(0, 0, 0, 1), vec![1; ps]).unwrap();
+        assert_eq!(d.free_pages_in(0, 0), per_bank - 2);
+        d.invalidate(page(0, 0, 0, 0)).unwrap();
+        // Invalidation alone does not free.
+        assert_eq!(d.free_pages_in(0, 0), per_bank - 2);
+        d.erase_block(page(0, 0, 0, 0).block_addr());
+        assert_eq!(d.free_pages_in(0, 0), per_bank);
+    }
+
+    #[test]
+    fn find_free_page_appends_and_exhausts() {
+        let mut d = dev();
+        let ps = d.geometry().page_size;
+        let per_bank = d.geometry().pages_per_bank();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..per_bank {
+            let a = d.find_free_page(3, 1).expect("bank has free pages");
+            assert!(seen.insert(a), "allocator returned {a} twice");
+            d.program(a, vec![0; ps]).unwrap();
+        }
+        assert!(d.find_free_page(3, 1).is_none());
+    }
+
+    #[test]
+    fn block_occupancy_counts() {
+        let mut d = dev();
+        let ps = d.geometry().page_size;
+        d.program(page(0, 0, 0, 0), vec![1; ps]).unwrap();
+        d.program(page(0, 0, 0, 1), vec![1; ps]).unwrap();
+        d.invalidate(page(0, 0, 0, 1)).unwrap();
+        let occ = d.block_occupancy(0, 0);
+        assert_eq!(occ[0], (0, 1, 1));
+        assert_eq!(occ[1], (1, 0, 0));
+    }
+
+    #[test]
+    fn parallel_channel_reads_overlap() {
+        let mut d = dev();
+        let channels = d.geometry().channels;
+        let batch: Vec<_> = (0..channels).map(|c| page(c, 0, 0, 0)).collect();
+        let done = d.schedule_reads(&batch, SimTime::ZERO);
+        let single = {
+            let mut d2 = dev();
+            d2.schedule_reads(&[page(0, 0, 0, 0)], SimTime::ZERO)
+        };
+        // All channels in parallel: batch takes the same time as one page.
+        assert_eq!(done, single);
+    }
+
+    #[test]
+    fn same_channel_reads_serialize_transfers() {
+        let mut d = dev();
+        // Two pages in the same channel but different banks: array reads
+        // overlap, transfers serialize.
+        let batch = [page(0, 0, 0, 0), page(0, 1, 0, 0)];
+        let done = d.schedule_reads(&batch, SimTime::ZERO);
+        let t = *d.timing();
+        let expect = SimTime::ZERO
+            + t.read_latency
+            + t.transfer_time(d.geometry().page_size) * 2;
+        assert_eq!(done, expect);
+    }
+
+    #[test]
+    fn same_bank_reads_serialize_sense() {
+        let mut d = dev();
+        let batch = [page(0, 0, 0, 0), page(0, 0, 0, 1)];
+        let done = d.schedule_reads(&batch, SimTime::ZERO);
+        let t = *d.timing();
+        // Second sense starts only after the first completes.
+        let expect = SimTime::ZERO
+            + t.read_latency * 2
+            + t.transfer_time(d.geometry().page_size);
+        assert_eq!(done, expect);
+    }
+
+    #[test]
+    fn programs_cross_channel_then_bank() {
+        let mut d = dev();
+        let done = d.schedule_programs(&[page(0, 0, 0, 0)], SimTime::ZERO);
+        let t = *d.timing();
+        let expect =
+            SimTime::ZERO + t.transfer_time(d.geometry().page_size) + t.program_latency;
+        assert_eq!(done, expect);
+    }
+
+    #[test]
+    fn erase_holds_bank() {
+        let mut d = dev();
+        let done = d.schedule_erase(
+            BlockAddr {
+                channel: 0,
+                bank: 0,
+                block: 0,
+            },
+            SimTime::ZERO,
+        );
+        assert_eq!(done, SimTime::ZERO + d.timing().erase_latency);
+        // A read on the same bank queues behind the erase.
+        let after = d.schedule_reads(&[page(0, 0, 1, 0)], SimTime::ZERO);
+        assert!(after > done);
+    }
+
+    #[test]
+    fn reset_timing_keeps_data() {
+        let mut d = dev();
+        let ps = d.geometry().page_size;
+        d.program(page(0, 0, 0, 0), vec![5; ps]).unwrap();
+        d.schedule_reads(&[page(0, 0, 0, 0)], SimTime::ZERO);
+        d.reset_timing();
+        assert_eq!(d.drained_at(), SimTime::ZERO);
+        assert_eq!(d.read(page(0, 0, 0, 0)).unwrap()[0], 5);
+    }
+
+    #[test]
+    fn drained_at_reflects_latest_work() {
+        let mut d = dev();
+        let done = d.schedule_reads(&[page(1, 1, 0, 0)], SimTime::ZERO);
+        assert_eq!(d.drained_at(), done);
+        assert!(d.drained_at() > SimTime::ZERO + SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,290 @@
+//! Physical organization of a flash device and physical page addressing.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The physical organization of a flash device.
+///
+/// The hierarchy follows §2.1 of the paper: a device contains parallel
+/// *channels*; each channel contains *banks* that can serve array operations
+/// concurrently while sharing the channel bus; each bank contains erase
+/// *blocks* of program-once *pages*.
+///
+/// # Example
+///
+/// ```
+/// use nds_flash::FlashGeometry;
+///
+/// let g = FlashGeometry {
+///     channels: 8,
+///     banks_per_channel: 4,
+///     blocks_per_bank: 16,
+///     pages_per_block: 64,
+///     page_size: 4096,
+/// };
+/// assert_eq!(g.total_pages(), 8 * 4 * 16 * 64);
+/// assert_eq!(g.capacity_bytes(), g.total_pages() as u64 * 4096);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlashGeometry {
+    /// Number of parallel channels (the device's channel-level parallelism).
+    pub channels: usize,
+    /// Banks (dies/LUNs) per channel (bank-level parallelism).
+    pub banks_per_channel: usize,
+    /// Erase blocks per bank.
+    pub blocks_per_bank: usize,
+    /// Pages per erase block.
+    pub pages_per_block: usize,
+    /// Page size in bytes — the device's basic access granularity.
+    pub page_size: usize,
+}
+
+impl FlashGeometry {
+    /// Pages in one bank.
+    pub fn pages_per_bank(&self) -> usize {
+        self.blocks_per_bank * self.pages_per_block
+    }
+
+    /// Total banks in the device.
+    pub fn total_banks(&self) -> usize {
+        self.channels * self.banks_per_channel
+    }
+
+    /// Total pages in the device.
+    pub fn total_pages(&self) -> usize {
+        self.total_banks() * self.pages_per_bank()
+    }
+
+    /// Total erase blocks in the device.
+    pub fn total_blocks(&self) -> usize {
+        self.total_banks() * self.blocks_per_bank
+    }
+
+    /// Raw capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_pages() as u64 * self.page_size as u64
+    }
+
+    /// Validates that every dimension is non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first zero field found.
+    pub fn validate(&self) -> Result<(), String> {
+        let fields = [
+            ("channels", self.channels),
+            ("banks_per_channel", self.banks_per_channel),
+            ("blocks_per_bank", self.blocks_per_bank),
+            ("pages_per_block", self.pages_per_block),
+            ("page_size", self.page_size),
+        ];
+        for (name, v) in fields {
+            if v == 0 {
+                return Err(format!("geometry field `{name}` must be non-zero"));
+            }
+        }
+        Ok(())
+    }
+
+    /// True if `addr` names a page inside this geometry.
+    pub fn contains(&self, addr: PageAddr) -> bool {
+        addr.channel < self.channels
+            && addr.bank < self.banks_per_channel
+            && addr.block < self.blocks_per_bank
+            && addr.page < self.pages_per_block
+    }
+
+    /// The dense index of a page, in `[0, total_pages)`.
+    ///
+    /// Pages are numbered channel-major, then bank, block, page; the layout is
+    /// an internal detail used for table indexing, not an LBA scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the geometry.
+    pub fn page_index(&self, addr: PageAddr) -> usize {
+        assert!(self.contains(addr), "page address {addr} outside geometry");
+        ((addr.channel * self.banks_per_channel + addr.bank) * self.blocks_per_bank + addr.block)
+            * self.pages_per_block
+            + addr.page
+    }
+
+    /// Inverse of [`page_index`](Self::page_index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= total_pages()`.
+    pub fn page_at(&self, index: usize) -> PageAddr {
+        assert!(index < self.total_pages(), "page index {index} out of range");
+        let page = index % self.pages_per_block;
+        let rest = index / self.pages_per_block;
+        let block = rest % self.blocks_per_bank;
+        let rest = rest / self.blocks_per_bank;
+        let bank = rest % self.banks_per_channel;
+        let channel = rest / self.banks_per_channel;
+        PageAddr {
+            channel,
+            bank,
+            block,
+            page,
+        }
+    }
+
+    /// The dense index of a block, in `[0, total_blocks)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the geometry.
+    pub fn block_index(&self, addr: BlockAddr) -> usize {
+        assert!(
+            addr.channel < self.channels
+                && addr.bank < self.banks_per_channel
+                && addr.block < self.blocks_per_bank,
+            "block address {addr:?} outside geometry"
+        );
+        (addr.channel * self.banks_per_channel + addr.bank) * self.blocks_per_bank + addr.block
+    }
+}
+
+/// The physical address of one flash page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageAddr {
+    /// Channel index.
+    pub channel: usize,
+    /// Bank index within the channel.
+    pub bank: usize,
+    /// Erase block index within the bank.
+    pub block: usize,
+    /// Page index within the block.
+    pub page: usize,
+}
+
+impl PageAddr {
+    /// The erase block containing this page.
+    pub fn block_addr(self) -> BlockAddr {
+        BlockAddr {
+            channel: self.channel,
+            bank: self.bank,
+            block: self.block,
+        }
+    }
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/bk{}/blk{}/pg{}",
+            self.channel, self.bank, self.block, self.page
+        )
+    }
+}
+
+/// The physical address of one erase block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockAddr {
+    /// Channel index.
+    pub channel: usize,
+    /// Bank index within the channel.
+    pub bank: usize,
+    /// Erase block index within the bank.
+    pub block: usize,
+}
+
+impl BlockAddr {
+    /// The address of page `page` inside this block.
+    pub fn page(self, page: usize) -> PageAddr {
+        PageAddr {
+            channel: self.channel,
+            bank: self.bank,
+            block: self.block,
+            page,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> FlashGeometry {
+        FlashGeometry {
+            channels: 4,
+            banks_per_channel: 2,
+            blocks_per_bank: 8,
+            pages_per_block: 16,
+            page_size: 512,
+        }
+    }
+
+    #[test]
+    fn derived_counts() {
+        let g = geom();
+        assert_eq!(g.pages_per_bank(), 128);
+        assert_eq!(g.total_banks(), 8);
+        assert_eq!(g.total_pages(), 1024);
+        assert_eq!(g.total_blocks(), 64);
+        assert_eq!(g.capacity_bytes(), 1024 * 512);
+    }
+
+    #[test]
+    fn page_index_round_trips() {
+        let g = geom();
+        for index in 0..g.total_pages() {
+            let addr = g.page_at(index);
+            assert!(g.contains(addr));
+            assert_eq!(g.page_index(addr), index);
+        }
+    }
+
+    #[test]
+    fn contains_rejects_out_of_range() {
+        let g = geom();
+        let bad = PageAddr {
+            channel: 4,
+            bank: 0,
+            block: 0,
+            page: 0,
+        };
+        assert!(!g.contains(bad));
+    }
+
+    #[test]
+    fn validate_catches_zero_fields() {
+        let mut g = geom();
+        assert!(g.validate().is_ok());
+        g.page_size = 0;
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("page_size"));
+    }
+
+    #[test]
+    fn block_addressing() {
+        let g = geom();
+        let p = PageAddr {
+            channel: 1,
+            bank: 1,
+            block: 3,
+            page: 9,
+        };
+        let b = p.block_addr();
+        assert_eq!(b.page(9), p);
+        assert_eq!(
+            g.block_index(b),
+            (g.banks_per_channel + 1) * g.blocks_per_bank + 3
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside geometry")]
+    fn page_index_panics_outside() {
+        let g = geom();
+        let _ = g.page_index(PageAddr {
+            channel: 9,
+            bank: 0,
+            block: 0,
+            page: 0,
+        });
+    }
+}

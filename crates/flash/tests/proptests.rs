@@ -1,0 +1,92 @@
+//! Property tests of the flash substrate: NAND rules, FTL read-after-write
+//! under arbitrary overwrite sequences (with GC firing), and timing-model
+//! sanity (completion times are consistent and monotone).
+
+use proptest::prelude::*;
+
+use nds_flash::{FlashConfig, FlashDevice, Ftl, FtlConfig, PageAddr};
+use nds_sim::SimTime;
+
+fn small_ftl() -> Ftl {
+    Ftl::new(FlashDevice::new(FlashConfig::small_test()), FtlConfig::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// An arbitrary sequence of writes over a small LBA window always reads
+    /// back the latest value per LBA, even with garbage collection running.
+    #[test]
+    fn ftl_read_after_write_under_pressure(
+        ops in prop::collection::vec((0u64..32, 0u8..=255), 1..400)
+    ) {
+        let mut ftl = small_ftl();
+        let ps = ftl.page_size();
+        let mut expected: std::collections::HashMap<u64, u8> =
+            std::collections::HashMap::new();
+        for (lba, fill) in ops {
+            ftl.write(lba, vec![fill; ps], SimTime::ZERO).expect("write");
+            expected.insert(lba, fill);
+        }
+        for (lba, fill) in expected {
+            let (data, _) = ftl.read(lba, SimTime::ZERO).expect("read");
+            prop_assert!(data.iter().all(|&b| b == fill), "lba {} corrupted", lba);
+        }
+    }
+
+    /// Valid page counts never exceed the exported capacity and free
+    /// accounting stays consistent.
+    #[test]
+    fn ftl_accounting_is_consistent(
+        ops in prop::collection::vec(0u64..64, 1..300)
+    ) {
+        let mut ftl = small_ftl();
+        let ps = ftl.page_size();
+        for lba in ops {
+            ftl.write(lba, vec![1; ps], SimTime::ZERO).expect("write");
+            let g = *ftl.device().geometry();
+            for c in 0..g.channels {
+                for b in 0..g.banks_per_channel {
+                    prop_assert!(ftl.device().free_pages_in(c, b) <= g.pages_per_bank());
+                }
+            }
+        }
+    }
+
+    /// Batch read completion is monotone in batch size and never earlier
+    /// than any sub-batch of the same pages.
+    #[test]
+    fn read_completion_is_monotone(count in 1usize..64) {
+        let config = FlashConfig::small_test();
+        let g = config.geometry;
+        let addrs: Vec<PageAddr> = (0..count)
+            .map(|i| PageAddr {
+                channel: i % g.channels,
+                bank: (i / g.channels) % g.banks_per_channel,
+                block: (i / (g.channels * g.banks_per_channel)) % g.blocks_per_bank,
+                page: i % g.pages_per_block,
+            })
+            .collect();
+        let mut full = FlashDevice::new(config.clone());
+        let t_full = full.schedule_reads(&addrs, SimTime::ZERO);
+        let mut prefix = FlashDevice::new(config);
+        let t_prefix = prefix.schedule_reads(&addrs[..count / 2 + 1], SimTime::ZERO);
+        prop_assert!(t_full >= t_prefix, "more work cannot finish earlier");
+        prop_assert!(t_full > SimTime::ZERO);
+    }
+
+    /// Erase counts only grow, and only via erases.
+    #[test]
+    fn wear_only_grows(rounds in 1u64..128) {
+        let mut ftl = small_ftl();
+        let ps = ftl.page_size();
+        let block0 = nds_flash::BlockAddr { channel: 0, bank: 0, block: 0 };
+        let mut last = ftl.device().erase_count(block0);
+        for round in 0..rounds {
+            ftl.write(0, vec![(round % 251) as u8; ps], SimTime::ZERO).expect("write");
+            let now = ftl.device().erase_count(block0);
+            prop_assert!(now >= last);
+            last = now;
+        }
+    }
+}

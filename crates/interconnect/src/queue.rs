@@ -1,0 +1,170 @@
+//! Submission/completion queue pairs.
+//!
+//! NVMe hosts talk to devices through paired submission (SQ) and completion
+//! (CQ) ring buffers (Fig. 8 shows the NDS controller's SAQ/STQ/CMDQ and the
+//! four completion queues). The model here captures what matters to the
+//! reproduction: a queue pair has finite depth, commands enter in order, and
+//! the device retires them in order — so a flood of small commands can stall
+//! the host when the ring fills, another face of \[P2\].
+
+use std::collections::VecDeque;
+
+use crate::command::NvmeCommand;
+
+/// A bounded submission/completion queue pair.
+///
+/// # Example
+///
+/// ```
+/// use nds_interconnect::{NvmeCommand, QueuePair};
+///
+/// let mut q = QueuePair::new(4);
+/// q.submit(NvmeCommand::Read { lba: 0, pages: 1 }).unwrap();
+/// let cmd = q.device_pop().expect("one command pending");
+/// q.complete(cmd.clone());
+/// assert_eq!(q.reap(), Some(cmd));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QueuePair {
+    depth: usize,
+    submission: VecDeque<NvmeCommand>,
+    completion: VecDeque<NvmeCommand>,
+    submitted_total: u64,
+    completed_total: u64,
+}
+
+/// Errors from queue operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QueueError {
+    /// The submission ring is full; the host must wait for completions.
+    QueueFull,
+}
+
+impl core::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            QueueError::QueueFull => write!(f, "submission queue is full"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+impl QueuePair {
+    /// Creates a queue pair with `depth` submission slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be non-zero");
+        QueuePair {
+            depth,
+            submission: VecDeque::new(),
+            completion: VecDeque::new(),
+            submitted_total: 0,
+            completed_total: 0,
+        }
+    }
+
+    /// Host side: submits a command.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::QueueFull`] if the ring has no free slot.
+    pub fn submit(&mut self, cmd: NvmeCommand) -> Result<(), QueueError> {
+        if self.submission.len() >= self.depth {
+            return Err(QueueError::QueueFull);
+        }
+        self.submission.push_back(cmd);
+        self.submitted_total += 1;
+        Ok(())
+    }
+
+    /// Device side: takes the oldest submitted command, if any.
+    pub fn device_pop(&mut self) -> Option<NvmeCommand> {
+        self.submission.pop_front()
+    }
+
+    /// Device side: posts a completion for a finished command.
+    pub fn complete(&mut self, cmd: NvmeCommand) {
+        self.completion.push_back(cmd);
+        self.completed_total += 1;
+    }
+
+    /// Host side: reaps the oldest completion, if any.
+    pub fn reap(&mut self) -> Option<NvmeCommand> {
+        self.completion.pop_front()
+    }
+
+    /// Commands currently in flight (submitted, not yet completed and reaped).
+    pub fn in_flight(&self) -> usize {
+        self.submission.len()
+    }
+
+    /// Total commands ever submitted.
+    pub fn submitted_total(&self) -> u64 {
+        self.submitted_total
+    }
+
+    /// Total commands ever completed.
+    pub fn completed_total(&self) -> u64 {
+        self.completed_total
+    }
+
+    /// The configured ring depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(lba: u64) -> NvmeCommand {
+        NvmeCommand::Read { lba, pages: 1 }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = QueuePair::new(8);
+        for lba in 0..5 {
+            q.submit(read(lba)).unwrap();
+        }
+        for lba in 0..5 {
+            assert_eq!(q.device_pop(), Some(read(lba)));
+        }
+        assert_eq!(q.device_pop(), None);
+    }
+
+    #[test]
+    fn full_ring_rejects() {
+        let mut q = QueuePair::new(2);
+        q.submit(read(0)).unwrap();
+        q.submit(read(1)).unwrap();
+        assert_eq!(q.submit(read(2)), Err(QueueError::QueueFull));
+        // Draining one slot unblocks submission.
+        q.device_pop();
+        assert!(q.submit(read(2)).is_ok());
+    }
+
+    #[test]
+    fn completions_flow_back() {
+        let mut q = QueuePair::new(4);
+        q.submit(read(7)).unwrap();
+        let cmd = q.device_pop().unwrap();
+        q.complete(cmd.clone());
+        assert_eq!(q.reap(), Some(cmd));
+        assert_eq!(q.reap(), None);
+        assert_eq!(q.submitted_total(), 1);
+        assert_eq!(q.completed_total(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_depth_rejected() {
+        let _ = QueuePair::new(0);
+    }
+}

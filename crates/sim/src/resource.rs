@@ -1,0 +1,292 @@
+//! Occupancy-based resources.
+//!
+//! The reproduction's timing engine is *resource occupancy accounting*: every
+//! serially-shared hardware component (a flash channel, a bank, the PCIe link,
+//! a controller core) is a [`Resource`]. Work is scheduled by telling the
+//! resource when its inputs are ready and how long the work holds the
+//! resource; the resource replies with the completion instant, queueing the
+//! work behind whatever it is already committed to. Groups of identical
+//! components (the 32 channels of the prototype SSD) are a [`ResourceSet`].
+
+use crate::time::{SimDuration, SimTime};
+
+/// A serially-occupied simulated resource.
+///
+/// A `Resource` remembers the instant it next becomes free and its cumulative
+/// busy time, which is enough to model FIFO occupancy and report utilization.
+///
+/// # Example
+///
+/// ```
+/// use nds_sim::{Resource, SimDuration, SimTime};
+///
+/// let mut bus = Resource::new("bus");
+/// // Two back-to-back 10us transfers queue behind one another.
+/// let first = bus.acquire(SimTime::ZERO, SimDuration::from_micros(10));
+/// let second = bus.acquire(SimTime::ZERO, SimDuration::from_micros(10));
+/// assert_eq!(first, SimTime::ZERO + SimDuration::from_micros(10));
+/// assert_eq!(second, SimTime::ZERO + SimDuration::from_micros(20));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    name: String,
+    next_free: SimTime,
+    busy: SimDuration,
+    acquisitions: u64,
+}
+
+impl Resource {
+    /// Creates an idle resource named `name` (names appear in utilization
+    /// reports).
+    pub fn new(name: impl Into<String>) -> Self {
+        Resource {
+            name: name.into(),
+            next_free: SimTime::ZERO,
+            busy: SimDuration::ZERO,
+            acquisitions: 0,
+        }
+    }
+
+    /// Schedules work that becomes ready at `ready` and holds the resource
+    /// for `hold`. Returns the completion instant.
+    ///
+    /// Work starts at `max(ready, next_free)` — i.e. it queues FIFO behind
+    /// previously scheduled work.
+    pub fn acquire(&mut self, ready: SimTime, hold: SimDuration) -> SimTime {
+        let start = ready.max(self.next_free);
+        let end = start + hold;
+        self.next_free = end;
+        self.busy += hold;
+        self.acquisitions += 1;
+        end
+    }
+
+    /// The instant the resource next becomes free.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Total time the resource has been held.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Number of acquisitions performed.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// The resource's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Utilization over the window ending at `now` (busy / elapsed), in
+    /// `[0, 1]`. Returns 0 for an empty window.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let elapsed = now.saturating_since(SimTime::ZERO);
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / elapsed.as_secs_f64()).min(1.0)
+        }
+    }
+
+    /// Resets the resource to idle at t = 0, clearing accounting.
+    pub fn reset(&mut self) {
+        self.next_free = SimTime::ZERO;
+        self.busy = SimDuration::ZERO;
+        self.acquisitions = 0;
+    }
+}
+
+/// A bank of identical resources scheduled together.
+///
+/// `ResourceSet` models component arrays such as parallel flash channels or a
+/// pool of controller cores. Work can be placed on a *specific* member (a page
+/// lives in one physical channel) or on the *earliest available* member (any
+/// idle core may pick up a task).
+///
+/// # Example
+///
+/// ```
+/// use nds_sim::{ResourceSet, SimDuration, SimTime};
+///
+/// let mut channels = ResourceSet::new("ch", 4);
+/// // Four page reads land on four distinct channels: all finish together.
+/// let done: Vec<_> = (0..4)
+///     .map(|c| channels.acquire(c, SimTime::ZERO, SimDuration::from_micros(50)))
+///     .collect();
+/// assert!(done.iter().all(|&d| d == done[0]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceSet {
+    members: Vec<Resource>,
+}
+
+impl ResourceSet {
+    /// Creates `count` idle resources named `name[0..count]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(name: &str, count: usize) -> Self {
+        assert!(count > 0, "a resource set needs at least one member");
+        ResourceSet {
+            members: (0..count).map(|i| Resource::new(format!("{name}[{i}]"))).collect(),
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the set is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Schedules work on member `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn acquire(&mut self, index: usize, ready: SimTime, hold: SimDuration) -> SimTime {
+        self.members[index].acquire(ready, hold)
+    }
+
+    /// Schedules work on the member that can start it earliest, returning
+    /// `(member index, completion time)`. Ties go to the lowest index, which
+    /// keeps scheduling deterministic.
+    pub fn acquire_earliest(&mut self, ready: SimTime, hold: SimDuration) -> (usize, SimTime) {
+        let idx = self
+            .members
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.next_free())
+            .map(|(i, _)| i)
+            .expect("resource set is non-empty");
+        (idx, self.members[idx].acquire(ready, hold))
+    }
+
+    /// Immutable view of a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn member(&self, index: usize) -> &Resource {
+        &self.members[index]
+    }
+
+    /// Iterates over members.
+    pub fn iter(&self) -> impl Iterator<Item = &Resource> {
+        self.members.iter()
+    }
+
+    /// The latest next-free instant across members — when the whole set has
+    /// drained all committed work.
+    pub fn all_free_at(&self) -> SimTime {
+        self.members
+            .iter()
+            .map(Resource::next_free)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Total busy time summed over members.
+    pub fn total_busy(&self) -> SimDuration {
+        self.members.iter().map(Resource::busy_time).sum()
+    }
+
+    /// Resets every member to idle at t = 0.
+    pub fn reset(&mut self) {
+        for m in &mut self.members {
+            m.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_queues_fifo() {
+        let mut r = Resource::new("r");
+        let a = r.acquire(SimTime::ZERO, SimDuration::from_micros(5));
+        let b = r.acquire(SimTime::ZERO, SimDuration::from_micros(5));
+        assert_eq!(a.as_nanos(), 5_000);
+        assert_eq!(b.as_nanos(), 10_000);
+        assert_eq!(r.acquisitions(), 2);
+        assert_eq!(r.busy_time(), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn resource_idles_until_ready() {
+        let mut r = Resource::new("r");
+        let end = r.acquire(SimTime::from_nanos(1_000), SimDuration::from_nanos(10));
+        assert_eq!(end.as_nanos(), 1_010);
+        // Work ready before next_free still queues.
+        let end2 = r.acquire(SimTime::from_nanos(500), SimDuration::from_nanos(10));
+        assert_eq!(end2.as_nanos(), 1_020);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_elapsed() {
+        let mut r = Resource::new("r");
+        r.acquire(SimTime::ZERO, SimDuration::from_micros(25));
+        let u = r.utilization(SimTime::ZERO + SimDuration::from_micros(100));
+        assert!((u - 0.25).abs() < 1e-9);
+        assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut r = Resource::new("r");
+        r.acquire(SimTime::ZERO, SimDuration::from_micros(5));
+        r.reset();
+        assert_eq!(r.next_free(), SimTime::ZERO);
+        assert_eq!(r.busy_time(), SimDuration::ZERO);
+        assert_eq!(r.acquisitions(), 0);
+    }
+
+    #[test]
+    fn set_parallel_members_overlap() {
+        let mut set = ResourceSet::new("ch", 8);
+        let d = SimDuration::from_micros(50);
+        for c in 0..8 {
+            let end = set.acquire(c, SimTime::ZERO, d);
+            assert_eq!(end, SimTime::ZERO + d, "channel {c} should run in parallel");
+        }
+        assert_eq!(set.all_free_at(), SimTime::ZERO + d);
+        assert_eq!(set.total_busy(), d * 8);
+    }
+
+    #[test]
+    fn set_same_member_serializes() {
+        let mut set = ResourceSet::new("ch", 8);
+        let d = SimDuration::from_micros(50);
+        set.acquire(3, SimTime::ZERO, d);
+        let end = set.acquire(3, SimTime::ZERO, d);
+        assert_eq!(end, SimTime::ZERO + d * 2);
+    }
+
+    #[test]
+    fn acquire_earliest_load_balances() {
+        let mut set = ResourceSet::new("core", 2);
+        let d = SimDuration::from_micros(10);
+        let (i0, _) = set.acquire_earliest(SimTime::ZERO, d);
+        let (i1, _) = set.acquire_earliest(SimTime::ZERO, d);
+        let (i2, e2) = set.acquire_earliest(SimTime::ZERO, d);
+        assert_eq!(i0, 0);
+        assert_eq!(i1, 1);
+        assert_eq!(i2, 0, "third task queues on the earliest-free member");
+        assert_eq!(e2, SimTime::ZERO + d * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_set_rejected() {
+        let _ = ResourceSet::new("x", 0);
+    }
+}

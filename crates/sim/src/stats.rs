@@ -1,0 +1,147 @@
+//! Named counters for simulation accounting.
+//!
+//! Devices and systems in the reproduction report how many commands crossed
+//! the I/O interface, how many bytes moved on each bus, how many pages were
+//! programmed, and so on — the quantities the paper's evaluation section
+//! (§7) discusses. [`Stats`] is a tiny registry of named `u64` counters that
+//! every component embeds and the benches read.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A registry of named monotonic counters.
+///
+/// Counter names are free-form `&'static str` dotted paths by convention,
+/// e.g. `"link.commands"` or `"flash.pages_read"`. A `BTreeMap` keeps report
+/// output deterministically ordered.
+///
+/// # Example
+///
+/// ```
+/// use nds_sim::Stats;
+///
+/// let mut stats = Stats::new();
+/// stats.add("link.commands", 1);
+/// stats.add("link.bytes", 4096);
+/// stats.add("link.commands", 1);
+/// assert_eq!(stats.get("link.commands"), 2);
+/// assert_eq!(stats.get("link.bytes"), 4096);
+/// assert_eq!(stats.get("never.touched"), 0);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+}
+
+impl Stats {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Adds `delta` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Current value of counter `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another registry into this one, summing shared counters.
+    pub fn merge(&mut self, other: &Stats) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+    }
+
+    /// Removes all counters.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True if no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counters.is_empty() {
+            return write!(f, "(no counters)");
+        }
+        for (name, value) in &self.counters {
+            writeln!(f, "{name:<32} {value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.add("a", 3);
+        s.add("a", 4);
+        assert_eq!(s.get("a"), 7);
+        assert_eq!(s.get("b"), 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn merge_sums_shared_names() {
+        let mut a = Stats::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        let mut b = Stats::new();
+        b.add("y", 3);
+        b.add("z", 4);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 1);
+        assert_eq!(a.get("y"), 5);
+        assert_eq!(a.get("z"), 4);
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let mut s = Stats::new();
+        s.add("zeta", 1);
+        s.add("alpha", 1);
+        let names: Vec<_> = s.iter().map(|(n, _)| n.to_owned()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn display_never_empty() {
+        let s = Stats::new();
+        assert!(!s.to_string().is_empty());
+        let mut s = Stats::new();
+        s.add("a.b", 9);
+        assert!(s.to_string().contains("a.b"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = Stats::new();
+        s.add("a", 1);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

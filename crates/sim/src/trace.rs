@@ -1,0 +1,167 @@
+//! A lightweight event trace for simulation debugging.
+//!
+//! Components with interesting background behaviour (garbage collection,
+//! relocation, space management) record events here so tests and harnesses
+//! can assert on *when and why* things happened, not just final counters.
+//! The trace is disabled by default and costs one branch per record call;
+//! when enabled it keeps a bounded ring of the most recent events.
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated instant the event was recorded at.
+    pub at: SimTime,
+    /// Component category (e.g. `"ftl.gc"`, `"backend.relocate"`).
+    pub category: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// A bounded, optionally-enabled event recorder.
+///
+/// # Example
+///
+/// ```
+/// use nds_sim::{SimTime, Trace};
+///
+/// let mut trace = Trace::disabled(16);
+/// trace.record(SimTime::ZERO, "gc", || "noop while disabled".into());
+/// assert_eq!(trace.len(), 0);
+///
+/// trace.set_enabled(true);
+/// trace.record(SimTime::ZERO, "gc", || "victim block 3".into());
+/// assert_eq!(trace.events().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a disabled trace that will keep up to `capacity` events once
+    /// enabled.
+    pub fn disabled(capacity: usize) -> Self {
+        Trace {
+            enabled: false,
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Creates an enabled trace keeping up to `capacity` events.
+    pub fn enabled(capacity: usize) -> Self {
+        let mut t = Trace::disabled(capacity);
+        t.enabled = true;
+        t
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// True if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event. `detail` is only evaluated when the trace is
+    /// enabled, so hot paths pay one branch when tracing is off.
+    pub fn record(&mut self, at: SimTime, category: &'static str, detail: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            at,
+            category,
+            detail: detail(),
+        });
+    }
+
+    /// Iterates retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears retained events (keeps the enabled state).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled(4);
+        let mut evaluated = false;
+        t.record(SimTime::ZERO, "x", || {
+            evaluated = true;
+            "detail".into()
+        });
+        assert!(t.is_empty());
+        assert!(!evaluated, "detail closures must not run while disabled");
+    }
+
+    #[test]
+    fn ring_bound_drops_oldest() {
+        let mut t = Trace::enabled(2);
+        for i in 0..5 {
+            t.record(SimTime::from_nanos(i), "e", || format!("event {i}"));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let kept: Vec<_> = t.events().map(|e| e.detail.clone()).collect();
+        assert_eq!(kept, ["event 3", "event 4"]);
+    }
+
+    #[test]
+    fn clear_keeps_enabled_state() {
+        let mut t = Trace::enabled(4);
+        t.record(SimTime::ZERO, "e", || "x".into());
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.is_enabled());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn toggling_enables_recording() {
+        let mut t = Trace::disabled(4);
+        t.set_enabled(true);
+        t.record(SimTime::ZERO, "cat", || "detail".into());
+        let e = t.events().next().expect("one event");
+        assert_eq!(e.category, "cat");
+        assert_eq!(e.at, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,544 @@
+//! The baseline conventional-SSD system (Fig. 7a).
+//!
+//! Datasets live in a linear LBA space in their producer's canonical
+//! (row-major, fastest-dimension-first) serialization; the FTL stripes
+//! consecutive pages across channels. A multi-dimensional read therefore
+//! becomes: enumerate the contiguous serialized extents the partition
+//! touches, issue one I/O command per maximal page run, and — when the data
+//! arrives scattered across many extents — spend host CPU marshalling it
+//! into the dense object the kernel wants. Those three steps are exactly
+//! the paper's \[P1\]/\[P2\]/\[P3\] cost structure for Fig. 1's blocked matrix
+//! multiplication.
+
+use std::collections::HashMap;
+
+use nds_core::{ElementType, NdsError, Region, Shape};
+use nds_flash::{Ftl, FtlConfig};
+use nds_host::CpuModel;
+use nds_interconnect::Link;
+use nds_sim::{SimDuration, SimTime, Stats};
+
+use crate::config::SystemConfig;
+use crate::error::SystemError;
+use crate::frontend::{DatasetId, ReadOutcome, StorageFrontEnd, WriteOutcome};
+
+#[derive(Debug, Clone)]
+struct Dataset {
+    shape: Shape,
+    element: ElementType,
+    base_lba: u64,
+}
+
+/// One contiguous byte extent of a request within a dataset's serialization.
+#[derive(Debug, Clone, Copy)]
+struct Extent {
+    buffer_off: u64,
+    dataset_off: u64,
+    len: u64,
+}
+
+/// A conventional SSD behind an NVMe link — the paper's baseline.
+///
+/// See the crate docs for an end-to-end example; all four architectures
+/// share the [`StorageFrontEnd`] interface.
+#[derive(Debug)]
+pub struct BaselineSystem {
+    ftl: Ftl,
+    link: Link,
+    cpu: CpuModel,
+    datasets: HashMap<DatasetId, Dataset>,
+    next_id: u64,
+    next_lba: u64,
+    stats: Stats,
+}
+
+impl BaselineSystem {
+    /// Builds a baseline system from a configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        let device = nds_flash::FlashDevice::new(config.flash.clone());
+        BaselineSystem {
+            ftl: Ftl::new(device, FtlConfig::default()),
+            link: Link::new(config.link),
+            cpu: config.cpu,
+            datasets: HashMap::new(),
+            next_id: 1,
+            next_lba: 0,
+            stats: Stats::new(),
+        }
+    }
+
+    fn page_size(&self) -> u64 {
+        self.ftl.page_size() as u64
+    }
+
+    fn dataset(&self, id: DatasetId) -> Result<&Dataset, SystemError> {
+        self.datasets
+            .get(&id)
+            .ok_or(SystemError::UnknownDataset(id))
+    }
+
+    /// Enumerates the serialized extents of a request. Extents come out in
+    /// ascending dataset order (the region iterator is row-major).
+    fn extents(
+        ds: &Dataset,
+        view: &Shape,
+        coord: &[u64],
+        sub_dims: &[u64],
+    ) -> Result<Vec<Extent>, SystemError> {
+        if view.volume() != ds.shape.volume() {
+            return Err(NdsError::ViewVolumeMismatch {
+                space: ds.shape.volume(),
+                view: view.volume(),
+            }
+            .into());
+        }
+        let region = Region::from_request(view, coord, sub_dims).map_err(SystemError::from)?;
+        let elem = ds.element.size() as u64;
+        let mut extents = Vec::new();
+        region.for_each_run(view, |buf_off, linear, len| {
+            extents.push(Extent {
+                buffer_off: buf_off * elem,
+                dataset_off: linear * elem,
+                len: len * elem,
+            });
+        });
+        // Merge extents that are contiguous in the serialization (a
+        // well-written application issues one request for them).
+        let mut merged: Vec<Extent> = Vec::with_capacity(extents.len());
+        for e in extents {
+            if let Some(last) = merged.last_mut() {
+                if last.dataset_off + last.len == e.dataset_off
+                    && last.buffer_off + last.len == e.buffer_off
+                {
+                    last.len += e.len;
+                    continue;
+                }
+            }
+            merged.push(e);
+        }
+        Ok(merged)
+    }
+
+    /// Groups extents into I/O commands: maximal runs of adjacent pages.
+    /// Returns `(first_page, page_count, wire_bytes)` triples in ascending
+    /// order, where `wire_bytes` is the requested volume rounded up to
+    /// 512-byte NVMe sectors — the device senses whole pages internally but
+    /// transfers only the requested sectors across the link.
+    fn commands_for(&self, ds: &Dataset, extents: &[Extent]) -> Vec<(u64, u64, u64)> {
+        const SECTOR: u64 = 512;
+        let ps = self.page_size();
+        let mut commands: Vec<(u64, u64, u64)> = Vec::new();
+        let mut last_sector = u64::MAX;
+        for e in extents {
+            let first = e.dataset_off / ps;
+            let last = (e.dataset_off + e.len - 1) / ps;
+            let first_sector = e.dataset_off / SECTOR;
+            let last_sector_of_e = (e.dataset_off + e.len - 1) / SECTOR;
+            let start_sector = if first_sector == last_sector {
+                first_sector + 1
+            } else {
+                first_sector
+            };
+            let sector_bytes = if last_sector_of_e >= start_sector {
+                (last_sector_of_e - start_sector + 1) * SECTOR
+            } else {
+                0
+            };
+            last_sector = last_sector_of_e;
+            if let Some((cmd_first, cmd_count, cmd_bytes)) = commands.last_mut() {
+                let cmd_last = *cmd_first + *cmd_count - 1;
+                if first <= cmd_last + 1 {
+                    if last > cmd_last {
+                        *cmd_count = last - *cmd_first + 1;
+                    }
+                    *cmd_bytes += sector_bytes;
+                    continue;
+                }
+            }
+            commands.push((first, last - first + 1, sector_bytes.max(SECTOR)));
+        }
+        let _ = ds;
+        commands
+    }
+
+    /// Reads the bytes of one extent out of the page store (zeros where
+    /// pages were never written).
+    fn read_extent(&self, ds: &Dataset, e: Extent, buffer: &mut [u8]) {
+        let ps = self.page_size();
+        let mut off = e.dataset_off;
+        let mut buf = e.buffer_off;
+        let mut remaining = e.len;
+        while remaining > 0 {
+            let lba = ds.base_lba + off / ps;
+            let in_page = off % ps;
+            let take = remaining.min(ps - in_page);
+            if let Some(page) = self.ftl.peek(lba) {
+                buffer[buf as usize..(buf + take) as usize]
+                    .copy_from_slice(&page[in_page as usize..(in_page + take) as usize]);
+            }
+            off += take;
+            buf += take;
+            remaining -= take;
+        }
+    }
+}
+
+impl StorageFrontEnd for BaselineSystem {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn create_dataset(
+        &mut self,
+        shape: Shape,
+        element: ElementType,
+    ) -> Result<DatasetId, SystemError> {
+        let bytes = shape.volume() * element.size() as u64;
+        let pages = bytes.div_ceil(self.page_size());
+        let available = self.ftl.capacity_pages() - self.next_lba;
+        if pages > available {
+            return Err(SystemError::CapacityExceeded {
+                requested: pages,
+                available,
+            });
+        }
+        let id = DatasetId(self.next_id);
+        self.next_id += 1;
+        self.datasets.insert(
+            id,
+            Dataset {
+                shape,
+                element,
+                base_lba: self.next_lba,
+            },
+        );
+        self.next_lba += pages;
+        Ok(id)
+    }
+
+    fn write(
+        &mut self,
+        id: DatasetId,
+        view: &Shape,
+        coord: &[u64],
+        sub_dims: &[u64],
+        data: &[u8],
+    ) -> Result<WriteOutcome, SystemError> {
+        let ds = self.dataset(id)?.clone();
+        let extents = Self::extents(&ds, view, coord, sub_dims)?;
+        let total_bytes: u64 = extents.iter().map(|e| e.len).sum();
+        if data.len() as u64 != total_bytes {
+            return Err(NdsError::BadPayloadSize {
+                got: data.len(),
+                expected: total_bytes as usize,
+            }
+            .into());
+        }
+        self.ftl.device_mut().reset_timing();
+        self.link.reset_timing();
+
+        // [P1] serialization: scattering the object into the linear layout.
+        let marshal = if extents.len() > 1 {
+            self.cpu.scatter_copy_time(extents.len() as u64, total_bytes)
+        } else {
+            SimDuration::ZERO
+        };
+
+        // Build per-page images (read-modify-write at the edges) and write
+        // through the FTL.
+        let ps = self.page_size();
+        let commands = self.commands_for(&ds, &extents);
+        let mut pages: HashMap<u64, Vec<u8>> = HashMap::new();
+        for e in &extents {
+            let mut off = e.dataset_off;
+            let mut src = e.buffer_off;
+            let mut remaining = e.len;
+            while remaining > 0 {
+                let lba = ds.base_lba + off / ps;
+                let in_page = off % ps;
+                let take = remaining.min(ps - in_page);
+                let image = pages.entry(lba).or_insert_with(|| {
+                    self.ftl
+                        .peek(lba)
+                        .map(<[u8]>::to_vec)
+                        .unwrap_or_else(|| vec![0; ps as usize])
+                });
+                image[in_page as usize..(in_page + take) as usize]
+                    .copy_from_slice(&data[src as usize..(src + take) as usize]);
+                off += take;
+                src += take;
+                remaining -= take;
+            }
+        }
+        let mut program_end = SimTime::ZERO;
+        let mut sorted: Vec<_> = pages.into_iter().collect();
+        sorted.sort_unstable_by_key(|(lba, _)| *lba);
+        for (lba, image) in sorted {
+            let end = self.ftl.write(lba, image, SimTime::ZERO)?;
+            program_end = program_end.max(end);
+        }
+
+        // Link and submission costs per command.
+        let mut link_end = SimTime::ZERO;
+        for &(first, count, _wire) in &commands {
+            let _ = first;
+            // Writes carry whole pages (the controller cannot
+            // read-modify-write sectors it never received).
+            link_end = self.link.transfer(count * ps, SimTime::ZERO);
+        }
+        let submit = self.cpu.submit_time(commands.len() as u64);
+        let io = link_end
+            .saturating_since(SimTime::ZERO)
+            .max(submit);
+        let latency = marshal + io + program_end.saturating_since(SimTime::ZERO);
+
+        self.stats.add("system.write_commands", commands.len() as u64);
+        self.stats.add("system.write_bytes", total_bytes);
+        Ok(WriteOutcome {
+            latency,
+            commands: commands.len() as u64,
+            bytes: total_bytes,
+        })
+    }
+
+    fn read(
+        &mut self,
+        id: DatasetId,
+        view: &Shape,
+        coord: &[u64],
+        sub_dims: &[u64],
+    ) -> Result<ReadOutcome, SystemError> {
+        let ds = self.dataset(id)?.clone();
+        let extents = Self::extents(&ds, view, coord, sub_dims)?;
+        let total_bytes: u64 = extents.iter().map(|e| e.len).sum();
+        self.ftl.device_mut().reset_timing();
+        self.link.reset_timing();
+
+        let ps = self.page_size();
+        let commands = self.commands_for(&ds, &extents);
+        // DMA streams pages to the host as they come off the channels, so
+        // the link transfer overlaps the device batch: it can start once the
+        // first page has been sensed and transferred internally.
+        let timing = *self.ftl.device().timing();
+        let first_page =
+            SimTime::ZERO + timing.read_latency + timing.transfer_time(ps as usize);
+        let mut io_end = SimTime::ZERO;
+        for &(first, count, wire_bytes) in &commands {
+            // Device: all the command's mapped pages, as one batch.
+            let addrs: Vec<_> = (first..first + count)
+                .filter_map(|lba| self.ftl.physical_of(ds.base_lba + lba))
+                .collect();
+            let dev_end = if addrs.is_empty() {
+                SimTime::ZERO
+            } else {
+                self.ftl.device_mut().schedule_reads(&addrs, SimTime::ZERO)
+            };
+            let link_end = self
+                .link
+                .transfer(wire_bytes.min(count * ps), first_page.min(dev_end));
+            io_end = io_end.max(dev_end).max(link_end);
+        }
+        let submit = self.cpu.submit_time(commands.len() as u64);
+        let io_latency = io_end.saturating_since(SimTime::ZERO).max(submit);
+        // Steady-state pacing under a deep queue: device lanes, wire, and
+        // submitting CPU each drain their aggregate work in parallel.
+        let io_occupancy = self
+            .ftl
+            .device()
+            .throughput_occupancy()
+            .max(self.link.busy_time())
+            .max(submit);
+
+        // [P1] deserialization: rebuilding the dense object from scattered
+        // extents (free when the request is one contiguous extent — DMA
+        // lands it directly).
+        let restructure = if extents.len() > 1 {
+            self.cpu.scatter_copy_time(extents.len() as u64, total_bytes)
+        } else {
+            SimDuration::ZERO
+        };
+
+        let mut buffer = vec![0u8; total_bytes as usize];
+        for e in &extents {
+            self.read_extent(&ds, *e, &mut buffer);
+        }
+
+        self.stats.add("system.read_commands", commands.len() as u64);
+        self.stats.add("system.read_bytes", total_bytes);
+        Ok(ReadOutcome {
+            data: buffer,
+            io_latency,
+            io_occupancy,
+            restructure,
+            commands: commands.len() as u64,
+            bytes: total_bytes,
+        })
+    }
+
+    fn delete_dataset(&mut self, id: DatasetId) -> Result<(), SystemError> {
+        let ds = self
+            .datasets
+            .remove(&id)
+            .ok_or(SystemError::UnknownDataset(id))?;
+        // TRIM every written page of the dataset; the LBA range itself is
+        // not reused (a simple bump allocator, like a freshly formatted
+        // namespace region).
+        let bytes = ds.shape.volume() * ds.element.size() as u64;
+        let pages = bytes.div_ceil(self.page_size());
+        for lba in ds.base_lba..ds.base_lba + pages {
+            self.ftl.trim(lba)?;
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> Stats {
+        let mut s = self.stats.clone();
+        s.merge(self.link.stats());
+        s.merge(self.ftl.stats());
+        s.merge(self.ftl.device().stats());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn system() -> BaselineSystem {
+        BaselineSystem::new(SystemConfig::small_test())
+    }
+
+    #[test]
+    fn round_trip_full_matrix() {
+        let mut sys = system();
+        let shape = Shape::new([64, 64]);
+        let id = sys.create_dataset(shape.clone(), ElementType::F32).unwrap();
+        let data: Vec<u8> = (0..64 * 64 * 4).map(|i| (i % 251) as u8).collect();
+        let w = sys.write(id, &shape, &[0, 0], &[64, 64], &data).unwrap();
+        assert_eq!(w.bytes, data.len() as u64);
+        let r = sys.read(id, &shape, &[0, 0], &[64, 64]).unwrap();
+        assert_eq!(r.data, data);
+        // A full canonical read is one contiguous extent: one command, no
+        // restructuring.
+        assert_eq!(r.commands, 1);
+        assert_eq!(r.restructure, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn submatrix_needs_many_commands_and_marshal() {
+        let mut sys = system();
+        // Rows span two pages (256 × 4 B = 1 KiB, 512 B pages), so tile-row
+        // segments land on non-adjacent pages as at paper scale.
+        let shape = Shape::new([256, 256]);
+        let id = sys.create_dataset(shape.clone(), ElementType::F32).unwrap();
+        let data = vec![3u8; 256 * 256 * 4];
+        sys.write(id, &shape, &[0, 0], &[256, 256], &data).unwrap();
+        let r = sys.read(id, &shape, &[1, 1], &[64, 64]).unwrap();
+        assert_eq!(r.bytes, 64 * 64 * 4);
+        assert!(r.commands > 1, "tile rows are not LBA-adjacent");
+        assert!(r.restructure > SimDuration::ZERO, "tile needs marshalling");
+        assert!(r.data.iter().all(|&b| b == 3));
+    }
+
+    #[test]
+    fn row_panel_is_one_command() {
+        let mut sys = system();
+        let shape = Shape::new([64, 64]);
+        let id = sys.create_dataset(shape.clone(), ElementType::F32).unwrap();
+        let data = vec![1u8; 64 * 64 * 4];
+        sys.write(id, &shape, &[0, 0], &[64, 64], &data).unwrap();
+        // Rows 16..32: contiguous in the serialization.
+        let r = sys.read(id, &shape, &[0, 1], &[64, 16]).unwrap();
+        assert_eq!(r.commands, 1);
+        assert_eq!(r.restructure, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn column_panel_is_slow_and_scattered() {
+        let mut sys = system();
+        let shape = Shape::new([256, 256]);
+        let id = sys.create_dataset(shape.clone(), ElementType::F32).unwrap();
+        let data = vec![7u8; 256 * 256 * 4];
+        sys.write(id, &shape, &[0, 0], &[256, 256], &data).unwrap();
+        let row_panel = sys.read(id, &shape, &[0, 0], &[256, 16]).unwrap();
+        let col_panel = sys.read(id, &shape, &[0, 0], &[16, 256]).unwrap();
+        assert_eq!(row_panel.bytes, col_panel.bytes);
+        assert!(
+            col_panel.latency() > row_panel.latency() * 2,
+            "columns {} should cost far more than rows {}",
+            col_panel.latency(),
+            row_panel.latency()
+        );
+        assert!(col_panel.commands > row_panel.commands);
+    }
+
+    #[test]
+    fn partial_overwrite_rmw() {
+        let mut sys = system();
+        let shape = Shape::new([32, 32]);
+        let id = sys.create_dataset(shape.clone(), ElementType::F32).unwrap();
+        let base = vec![1u8; 32 * 32 * 4];
+        sys.write(id, &shape, &[0, 0], &[32, 32], &base).unwrap();
+        let patch = vec![9u8; 8 * 8 * 4];
+        sys.write(id, &shape, &[1, 1], &[8, 8], &patch).unwrap();
+        let r = sys.read(id, &shape, &[0, 0], &[32, 32]).unwrap();
+        for y in 0..32usize {
+            for x in 0..32usize {
+                let i = (x + 32 * y) * 4;
+                let expect = if (8..16).contains(&x) && (8..16).contains(&y) {
+                    9
+                } else {
+                    1
+                };
+                assert_eq!(r.data[i], expect, "at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn unwritten_dataset_reads_zero() {
+        let mut sys = system();
+        let shape = Shape::new([16, 16]);
+        let id = sys.create_dataset(shape.clone(), ElementType::F32).unwrap();
+        let r = sys.read(id, &shape, &[0, 0], &[16, 16]).unwrap();
+        assert!(r.data.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut sys = system();
+        // Demand more than the tiny test device holds.
+        let err = sys
+            .create_dataset(Shape::new([1 << 12, 1 << 12]), ElementType::F64)
+            .unwrap_err();
+        assert!(matches!(err, SystemError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn reshaped_view_reads_linear_order() {
+        let mut sys = system();
+        let producer = Shape::new([256]);
+        let id = sys.create_dataset(producer.clone(), ElementType::F32).unwrap();
+        let data: Vec<u8> = (0..256u32).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        sys.write(id, &producer, &[0], &[256], &data).unwrap();
+        let view = Shape::new([16, 16]);
+        let r = sys.read(id, &view, &[0, 1], &[16, 1]).unwrap();
+        // Row y=1 of the 16×16 view = elements 16..32.
+        let values: Vec<f32> = r
+            .data
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(values, (16..32).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unknown_dataset_rejected() {
+        let mut sys = system();
+        let err = sys
+            .read(DatasetId(99), &Shape::new([4]), &[0], &[4])
+            .unwrap_err();
+        assert!(matches!(err, SystemError::UnknownDataset(_)));
+    }
+}

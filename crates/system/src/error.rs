@@ -1,0 +1,90 @@
+//! Error type spanning the system layers.
+
+use core::fmt;
+
+use crate::frontend::DatasetId;
+
+/// Errors raised by the system front-ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SystemError {
+    /// The STL rejected the operation.
+    Nds(nds_core::NdsError),
+    /// The flash device or FTL rejected the operation.
+    Flash(nds_flash::FlashError),
+    /// The request violates the NVMe command extension's interface limits
+    /// (§5.3.1: at most 32 dimensions of at most 2²⁴ elements).
+    Command(nds_interconnect::CommandError),
+    /// No dataset with the given identifier.
+    UnknownDataset(DatasetId),
+    /// The dataset's LBA allocation would exceed device capacity.
+    CapacityExceeded {
+        /// Pages requested.
+        requested: u64,
+        /// Pages available.
+        available: u64,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Nds(e) => write!(f, "stl: {e}"),
+            SystemError::Flash(e) => write!(f, "flash: {e}"),
+            SystemError::Command(e) => write!(f, "command: {e}"),
+            SystemError::UnknownDataset(id) => write!(f, "no dataset with identifier {id:?}"),
+            SystemError::CapacityExceeded {
+                requested,
+                available,
+            } => write!(
+                f,
+                "dataset needs {requested} pages but only {available} remain"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SystemError::Nds(e) => Some(e),
+            SystemError::Flash(e) => Some(e),
+            SystemError::Command(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nds_core::NdsError> for SystemError {
+    fn from(e: nds_core::NdsError) -> Self {
+        SystemError::Nds(e)
+    }
+}
+
+impl From<nds_flash::FlashError> for SystemError {
+    fn from(e: nds_flash::FlashError) -> Self {
+        SystemError::Flash(e)
+    }
+}
+
+impl From<nds_interconnect::CommandError> for SystemError {
+    fn from(e: nds_interconnect::CommandError) -> Self {
+        SystemError::Command(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_and_sources() {
+        let e = SystemError::from(nds_core::NdsError::EmptyShape);
+        assert!(e.to_string().contains("stl"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = SystemError::from(nds_flash::FlashError::DeviceFull);
+        assert!(e.to_string().contains("flash"));
+        let e = SystemError::UnknownDataset(DatasetId(3));
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! The workload trait and the Table 1 catalog.
+
+mod graph;
+mod util;
+mod linalg;
+mod mining;
+mod stencil;
+mod tensor;
+
+pub use graph::{Bfs, PageRank, Sssp};
+pub use linalg::Gemm;
+pub use mining::{KMeans, Knn};
+pub use stencil::{Conv2d, Hotspot};
+pub use tensor::{Tc, Ttv};
+
+use nds_system::{StorageFrontEnd, SystemError};
+
+use crate::driver::WorkloadRun;
+use crate::params::WorkloadParams;
+
+/// One evaluation workload: generates its dataset, streams it through a
+/// storage front-end with the paper's pipelined blocking, computes real
+/// results, and reports timing plus a functional checksum.
+pub trait Workload {
+    /// Table 1 name ("GEMM", "BFS", …).
+    fn name(&self) -> &'static str;
+
+    /// Table 1 category ("Linear Algebra", "Graph Traversal", …).
+    fn category(&self) -> &'static str;
+
+    /// The compute kernel's sub-dimensionality (fastest dimension first) —
+    /// what the §7.2 oracle pre-tiles the dataset by.
+    fn kernel_tile(&self) -> Vec<u64>;
+
+    /// Runs the workload end to end on `sys`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage front-end errors.
+    fn run(&self, sys: &mut dyn StorageFrontEnd) -> Result<WorkloadRun, SystemError>;
+
+    /// The checksum an exact in-memory execution produces — every
+    /// architecture must match it bit for bit.
+    fn reference_checksum(&self) -> u64;
+}
+
+/// All ten Table 1 workloads at the given parameters, in the paper's order.
+pub fn all_workloads(params: WorkloadParams) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Bfs::new(params)),
+        Box::new(Sssp::new(params)),
+        Box::new(Gemm::new(params)),
+        Box::new(Hotspot::new(params)),
+        Box::new(KMeans::new(params)),
+        Box::new(Knn::new(params)),
+        Box::new(PageRank::new(params)),
+        Box::new(Conv2d::new(params)),
+        Box::new(Ttv::new(params)),
+        Box::new(Tc::new(params)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table_1() {
+        let all = all_workloads(WorkloadParams::tiny_test(1));
+        let names: Vec<_> = all.iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "BFS", "SSSP", "GEMM", "Hotspot", "KMeans", "KNN", "PageRank", "Conv2D",
+                "TTV", "TC"
+            ]
+        );
+        for w in &all {
+            assert!(!w.category().is_empty());
+            assert!(!w.kernel_tile().is_empty());
+        }
+    }
+}

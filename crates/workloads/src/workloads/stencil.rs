@@ -1,0 +1,359 @@
+//! Stencil workloads: Hotspot and Conv2D (Table 1).
+//!
+//! Both stream square tiles — the 2-D kernel sub-dimensionality of Table 1 —
+//! and Hotspot additionally fetches one-row/one-column *halo strips* from
+//! the neighboring tiles each sweep, exercising NDS's ability to serve thin
+//! unaligned slices of the same stored dataset.
+
+use nds_core::{ElementType, Shape};
+use nds_interconnect::LinkConfig;
+use nds_system::{DatasetId, StorageFrontEnd, SystemError};
+
+use super::util::{create_empty, create_full, place_tile, tile_of};
+use super::Workload;
+use crate::data;
+use crate::driver::{stream_phase, BlockReads, WorkloadRun};
+use crate::kernels;
+use crate::params::WorkloadParams;
+
+/// Box-filter radius for Conv2D (the CUDA separable-convolution sample's
+/// default neighborhood scale).
+const CONV_RADIUS: usize = 4;
+
+/// The Hotspot thermal simulation: Jacobi sweeps over tiles with halos.
+#[derive(Debug, Clone)]
+pub struct Hotspot {
+    params: WorkloadParams,
+}
+
+impl Hotspot {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is invalid.
+    pub fn new(params: WorkloadParams) -> Self {
+        params.validate();
+        Hotspot { params }
+    }
+
+    fn initial_temp(&self) -> Vec<f32> {
+        data::matrix_f32(self.params.n, self.params.n, self.params.seed)
+            .iter()
+            .map(|v| 40.0 + 10.0 * v)
+            .collect()
+    }
+
+    fn power(&self) -> Vec<f32> {
+        data::matrix_f32(self.params.n, self.params.n, self.params.seed ^ 0x0F0F)
+            .iter()
+            .map(|v| v.abs())
+            .collect()
+    }
+
+    fn sweep(&self, temp: &[f32], power: &[f32]) -> Vec<f32> {
+        let n = self.params.n as usize;
+        let t = self.params.tile as usize;
+        let tiles = n / t;
+        let mut next = vec![0.0f32; n * n];
+        for ty in 0..tiles {
+            for tx in 0..tiles {
+                let tile = tile_of(temp, n, t, tx, ty);
+                let ptile = tile_of(power, n, t, tx, ty);
+                let north = halo_row(temp, n, t, tx, ty as isize - 1, t - 1);
+                let south = halo_row(temp, n, t, tx, ty as isize + 1, 0);
+                let west = halo_col(temp, n, t, tx as isize - 1, ty, t - 1);
+                let east = halo_col(temp, n, t, tx as isize + 1, ty, 0);
+                let mut out = vec![0.0f32; t * t];
+                kernels::hotspot_tile(t, &tile, &ptile, &north, &south, &west, &east, &mut out);
+                place_tile(&mut next, n, t, tx, ty, &out);
+            }
+        }
+        next
+    }
+
+    fn compute(&self) -> Vec<f32> {
+        let mut temp = self.initial_temp();
+        let power = self.power();
+        for _ in 0..self.params.iterations {
+            temp = self.sweep(&temp, &power);
+        }
+        temp
+    }
+}
+
+fn halo_row(m: &[f32], n: usize, t: usize, tx: usize, ty: isize, row_in_tile: usize) -> Vec<f32> {
+    if ty < 0 || ty as usize >= n / t {
+        return Vec::new();
+    }
+    let y = ty as usize * t + row_in_tile;
+    m[y * n + tx * t..y * n + tx * t + t].to_vec()
+}
+
+fn halo_col(m: &[f32], n: usize, t: usize, tx: isize, ty: usize, col_in_tile: usize) -> Vec<f32> {
+    if tx < 0 || tx as usize >= n / t {
+        return Vec::new();
+    }
+    let x = tx as usize * t + col_in_tile;
+    (0..t).map(|dy| m[(ty * t + dy) * n + x]).collect()
+}
+
+impl Workload for Hotspot {
+    fn name(&self) -> &'static str {
+        "Hotspot"
+    }
+
+    fn category(&self) -> &'static str {
+        "Physics Simulation"
+    }
+
+    fn kernel_tile(&self) -> Vec<u64> {
+        vec![self.params.tile, self.params.tile]
+    }
+
+    fn run(&self, sys: &mut dyn StorageFrontEnd) -> Result<WorkloadRun, SystemError> {
+        let n = self.params.n;
+        let t = self.params.tile;
+        let tiles = n / t;
+        let shape = Shape::new([n, n]);
+        let power = self.power();
+        let power_id = create_full(sys, &shape, ElementType::F32, &data::f32_bytes(&power))?;
+        let temp0 = self.initial_temp();
+        let mut ping = create_full(sys, &shape, ElementType::F32, &data::f32_bytes(&temp0))?;
+        let mut pong: DatasetId = create_empty(sys, &shape, ElementType::F32)?;
+
+        let ts = t as usize;
+        let engine = self.params.cuda_engine();
+        let mut phases = Vec::new();
+        for _ in 0..self.params.iterations {
+            // Build the per-tile read lists: tile + power + up to 4 halos.
+            let mut blocks: Vec<BlockReads> = Vec::with_capacity((tiles * tiles) as usize);
+            let mut halo_kinds: Vec<[bool; 4]> = Vec::with_capacity(blocks.capacity());
+            for ty in 0..tiles {
+                for tx in 0..tiles {
+                    let mut reads: BlockReads = vec![
+                        (ping, shape.clone(), vec![tx, ty], vec![t, t]),
+                        (power_id, shape.clone(), vec![tx, ty], vec![t, t]),
+                    ];
+                    let mut kinds = [false; 4];
+                    if ty > 0 {
+                        reads.push((ping, shape.clone(), vec![tx, ty * t - 1], vec![t, 1]));
+                        kinds[0] = true;
+                    }
+                    if ty + 1 < tiles {
+                        reads.push((ping, shape.clone(), vec![tx, (ty + 1) * t], vec![t, 1]));
+                        kinds[1] = true;
+                    }
+                    if tx > 0 {
+                        reads.push((ping, shape.clone(), vec![tx * t - 1, ty], vec![1, t]));
+                        kinds[2] = true;
+                    }
+                    if tx + 1 < tiles {
+                        reads.push((ping, shape.clone(), vec![(tx + 1) * t, ty], vec![1, t]));
+                        kinds[3] = true;
+                    }
+                    blocks.push(reads);
+                    halo_kinds.push(kinds);
+                }
+            }
+
+            let mut out_tiles: Vec<Vec<f32>> = Vec::with_capacity(blocks.len());
+            let phase = stream_phase(
+                sys,
+                &blocks,
+                &engine,
+                t,
+                Some(LinkConfig::pcie3_x16()),
+                |idx, bufs| {
+                    let tile = data::f32_from_bytes(&bufs[0]);
+                    let ptile = data::f32_from_bytes(&bufs[1]);
+                    let kinds = halo_kinds[idx];
+                    let mut cursor = 2;
+                    let mut halo = |present: bool| -> Vec<f32> {
+                        if present {
+                            let h = data::f32_from_bytes(&bufs[cursor]);
+                            cursor += 1;
+                            h
+                        } else {
+                            Vec::new()
+                        }
+                    };
+                    let north = halo(kinds[0]);
+                    let south = halo(kinds[1]);
+                    let west = halo(kinds[2]);
+                    let east = halo(kinds[3]);
+                    let mut out = vec![0.0f32; ts * ts];
+                    kernels::hotspot_tile(
+                        ts, &tile, &ptile, &north, &south, &west, &east, &mut out,
+                    );
+                    out_tiles.push(out);
+                },
+            )?;
+            phases.push(phase);
+
+            // Write the sweep's results to the other buffer (functional).
+            for (idx, out) in out_tiles.iter().enumerate() {
+                let ty = idx as u64 / tiles;
+                let tx = idx as u64 % tiles;
+                sys.write(pong, &shape, &[tx, ty], &[t, t], &data::f32_bytes(out))?;
+            }
+            core::mem::swap(&mut ping, &mut pong);
+        }
+
+        // Checksum the final grid as stored.
+        let zeros = vec![0u64; 2];
+        let full = vec![n, n];
+        let final_temp = sys.read(ping, &shape, &zeros, &full)?;
+        let checksum = kernels::checksum_f32(&data::f32_from_bytes(&final_temp.data));
+        Ok(WorkloadRun::from_phases(self.name(), sys.name(), &phases, checksum))
+    }
+
+    fn reference_checksum(&self) -> u64 {
+        kernels::checksum_f32(&self.compute())
+    }
+}
+
+/// Separable 2-D convolution over image tiles.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    params: WorkloadParams,
+}
+
+impl Conv2d {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is invalid.
+    pub fn new(params: WorkloadParams) -> Self {
+        params.validate();
+        Conv2d { params }
+    }
+
+    fn image(&self) -> Vec<f32> {
+        data::matrix_f32(self.params.n, self.params.n, self.params.seed)
+    }
+
+    fn compute(&self) -> Vec<f32> {
+        let n = self.params.n as usize;
+        let t = self.params.tile as usize;
+        let tiles = n / t;
+        let image = self.image();
+        let mut out = vec![0.0f32; n * n];
+        for ty in 0..tiles {
+            for tx in 0..tiles {
+                let tile = tile_of(&image, n, t, tx, ty);
+                let mut o = vec![0.0f32; t * t];
+                kernels::conv2d_tile(t, CONV_RADIUS, &tile, &mut o);
+                place_tile(&mut out, n, t, tx, ty, &o);
+            }
+        }
+        out
+    }
+}
+
+impl Workload for Conv2d {
+    fn name(&self) -> &'static str {
+        "Conv2D"
+    }
+
+    fn category(&self) -> &'static str {
+        "Image Processing"
+    }
+
+    fn kernel_tile(&self) -> Vec<u64> {
+        vec![self.params.tile, self.params.tile]
+    }
+
+    fn run(&self, sys: &mut dyn StorageFrontEnd) -> Result<WorkloadRun, SystemError> {
+        let n = self.params.n;
+        let t = self.params.tile;
+        let tiles = n / t;
+        let shape = Shape::new([n, n]);
+        let image = self.image();
+        let img_id = create_full(sys, &shape, ElementType::F32, &data::f32_bytes(&image))?;
+        let out_id = create_empty(sys, &shape, ElementType::F32)?;
+
+        let blocks: Vec<BlockReads> = (0..tiles * tiles)
+            .map(|idx| {
+                let ty = idx / tiles;
+                let tx = idx % tiles;
+                vec![(img_id, shape.clone(), vec![tx, ty], vec![t, t])]
+            })
+            .collect();
+
+        let ts = t as usize;
+        let engine = self.params.cuda_engine();
+        let mut out_tiles: Vec<Vec<f32>> = Vec::with_capacity(blocks.len());
+        let phase = stream_phase(
+            sys,
+            &blocks,
+            &engine,
+            t,
+            Some(LinkConfig::pcie3_x16()),
+            |_, bufs| {
+                let tile = data::f32_from_bytes(&bufs[0]);
+                let mut o = vec![0.0f32; ts * ts];
+                kernels::conv2d_tile(ts, CONV_RADIUS, &tile, &mut o);
+                out_tiles.push(o);
+            },
+        )?;
+
+        let mut checksum_input = Vec::with_capacity((n * n) as usize);
+        let ns = n as usize;
+        let mut out_full = vec![0.0f32; ns * ns];
+        for (idx, o) in out_tiles.iter().enumerate() {
+            let ty = idx as u64 / tiles;
+            let tx = idx as u64 % tiles;
+            sys.write(out_id, &shape, &[tx, ty], &[t, t], &data::f32_bytes(o))?;
+            place_tile(&mut out_full, ns, ts, tx as usize, ty as usize, o);
+        }
+        checksum_input.extend_from_slice(&out_full);
+        let checksum = kernels::checksum_f32(&checksum_input);
+        Ok(WorkloadRun::from_phases(
+            self.name(),
+            sys.name(),
+            &[phase],
+            checksum,
+        ))
+    }
+
+    fn reference_checksum(&self) -> u64 {
+        kernels::checksum_f32(&self.compute())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_system::{BaselineSystem, HardwareNds, SystemConfig};
+
+    #[test]
+    fn hotspot_matches_reference() {
+        let hs = Hotspot::new(WorkloadParams::tiny_test(31));
+        let mut sys = HardwareNds::new(SystemConfig::small_test());
+        let run = hs.run(&mut sys).unwrap();
+        assert_eq!(run.checksum, hs.reference_checksum());
+        assert!(run.commands > 0);
+    }
+
+    #[test]
+    fn conv2d_matches_reference() {
+        let cv = Conv2d::new(WorkloadParams::tiny_test(32));
+        let mut sys = BaselineSystem::new(SystemConfig::small_test());
+        let run = cv.run(&mut sys).unwrap();
+        assert_eq!(run.checksum, cv.reference_checksum());
+    }
+
+    #[test]
+    fn hotspot_heat_diffuses() {
+        let hs = Hotspot::new(WorkloadParams::tiny_test(33));
+        let before = hs.initial_temp();
+        let after = hs.compute();
+        assert_ne!(
+            kernels::checksum_f32(&before),
+            kernels::checksum_f32(&after),
+            "sweeps must change the temperature field"
+        );
+    }
+}

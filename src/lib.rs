@@ -1,0 +1,57 @@
+//! **NDS: N-Dimensional Storage** — a full Rust reproduction of the MICRO
+//! 2021 paper by Yu-Chia Liu and Hung-Wei Tseng.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`core`] *(crate `nds-core`)* — the paper's contribution: the space
+//!   translation layer (building blocks, locator B-tree, space translator,
+//!   allocation policy).
+//! * [`flash`] — the functional + timing NAND-flash SSD substrate with the
+//!   conventional FTL baseline.
+//! * [`interconnect`] — the NVMe link model and the extended NDS command set.
+//! * [`host`] — host CPU cost models and the blocked-pipeline executor.
+//! * [`accel`] — GPU rate-curve models (CUDA cores, Tensor Cores).
+//! * [`system`] — the four architectures: baseline SSD, software NDS,
+//!   hardware NDS, and the §7.2 oracle.
+//! * [`workloads`] — the ten Table 1 workloads with functional kernels.
+//! * [`sim`] — shared simulation primitives.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nds::core::{ElementType, Shape};
+//! use nds::system::{HardwareNds, StorageFrontEnd, SystemConfig};
+//!
+//! # fn main() -> Result<(), nds::system::SystemError> {
+//! // A hardware-NDS storage system over a simulated 8-channel flash device.
+//! let mut sys = HardwareNds::new(SystemConfig::small_test());
+//!
+//! // The producer stores a 64×64 f32 matrix (dimensions fastest-first).
+//! let shape = Shape::new([64, 64]);
+//! let id = sys.create_dataset(shape.clone(), ElementType::F32)?;
+//! let data: Vec<u8> = (0..64u32 * 64).flat_map(|i| (i as f32).to_le_bytes()).collect();
+//! sys.write(id, &shape, &[0, 0], &[64, 64], &data)?;
+//!
+//! // A consumer fetches the [1, 1] 32×32 tile with ONE extended command —
+//! // no serialization code, no marshalling stage.
+//! let out = sys.read(id, &shape, &[1, 1], &[32, 32])?;
+//! assert_eq!(out.commands, 1);
+//! println!("tile arrived in {}", out.io_latency);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use nds_accel as accel;
+pub use nds_core as core;
+pub use nds_flash as flash;
+pub use nds_host as host;
+pub use nds_interconnect as interconnect;
+pub use nds_sim as sim;
+pub use nds_system as system;
+pub use nds_workloads as workloads;

@@ -1,0 +1,128 @@
+//! Workspace-level integration tests: every Table 1 workload runs on every
+//! architecture, produces bit-identical functional results, and the timing
+//! relations the paper asserts hold.
+
+use nds::system::{
+    BaselineSystem, HardwareNds, OracleSystem, SoftwareNds, SystemConfig,
+};
+use nds::workloads::{all_workloads, WorkloadParams, WorkloadRun};
+
+fn run_everywhere(
+    workload: &dyn nds::workloads::Workload,
+    config: &SystemConfig,
+) -> [WorkloadRun; 4] {
+    let mut baseline = BaselineSystem::new(config.clone());
+    let mut oracle = OracleSystem::with_tile(config.clone(), workload.kernel_tile());
+    let mut software = SoftwareNds::new(config.clone());
+    let mut hardware = HardwareNds::new(config.clone());
+    [
+        workload.run(&mut baseline).expect("baseline run"),
+        workload.run(&mut oracle).expect("oracle run"),
+        workload.run(&mut software).expect("software run"),
+        workload.run(&mut hardware).expect("hardware run"),
+    ]
+}
+
+#[test]
+fn all_workloads_agree_with_reference_on_all_architectures() {
+    let config = SystemConfig::small_test();
+    for workload in all_workloads(WorkloadParams::tiny_test(0xBEEF)) {
+        let runs = run_everywhere(workload.as_ref(), &config);
+        let reference = workload.reference_checksum();
+        for run in &runs {
+            assert_eq!(
+                run.checksum,
+                reference,
+                "{} on {} diverged from the in-memory reference",
+                workload.name(),
+                run.arch
+            );
+        }
+    }
+}
+
+#[test]
+fn nds_issues_far_fewer_commands_than_baseline_on_tiled_workloads() {
+    let config = SystemConfig::small_test();
+    for workload in all_workloads(WorkloadParams::tiny_test(7)) {
+        // Tile-shaped readers are where command reduction shows. (TC's
+        // full-slice reads are contiguous even in a linear layout, so it is
+        // not a command-reduction case.)
+        if !matches!(workload.name(), "GEMM") {
+            continue;
+        }
+        let runs = run_everywhere(workload.as_ref(), &config);
+        let [baseline, _, _, hardware] = runs;
+        assert!(
+            hardware.commands * 4 <= baseline.commands,
+            "{}: hardware NDS used {} commands vs baseline {}",
+            workload.name(),
+            hardware.commands,
+            baseline.commands
+        );
+    }
+}
+
+#[test]
+fn hardware_nds_is_fastest_on_average_and_never_loses_badly() {
+    let config = SystemConfig::small_test();
+    let mut base_total = 0.0;
+    let mut sw_total = 0.0;
+    let mut hw_total = 0.0;
+    for workload in all_workloads(WorkloadParams::tiny_test(21)) {
+        let runs = run_everywhere(workload.as_ref(), &config);
+        let [baseline, _oracle, software, hardware] = runs;
+        base_total += baseline.total.as_secs_f64();
+        sw_total += software.total.as_secs_f64();
+        hw_total += hardware.total.as_secs_f64();
+        // Per workload, hardware NDS must never be dramatically worse than
+        // the baseline. (The paper's worst case is parity on BFS; at the
+        // tiny test scale BFS rows are smaller than one flash page, so
+        // building-block read amplification costs hardware NDS up to ~40%
+        // there — the paper-scale fig10 bench shows the parity.)
+        assert!(
+            hardware.total.as_secs_f64() <= baseline.total.as_secs_f64() * 1.5,
+            "{}: hardware {} vs baseline {}",
+            workload.name(),
+            hardware.total,
+            baseline.total
+        );
+    }
+    assert!(
+        hw_total < base_total,
+        "aggregate: hardware {hw_total} should beat baseline {base_total}"
+    );
+    assert!(
+        hw_total <= sw_total * 1.05,
+        "aggregate: hardware {hw_total} should not trail software {sw_total}"
+    );
+}
+
+#[test]
+fn kernel_idle_time_shrinks_under_nds() {
+    let config = SystemConfig::small_test();
+    let mut base_idle = 0.0;
+    let mut hw_idle = 0.0;
+    for workload in all_workloads(WorkloadParams::tiny_test(5)) {
+        let runs = run_everywhere(workload.as_ref(), &config);
+        let [baseline, _, _, hardware] = runs;
+        base_idle += baseline.kernel_idle.as_secs_f64();
+        hw_idle += hardware.kernel_idle.as_secs_f64();
+    }
+    assert!(
+        hw_idle < base_idle,
+        "aggregate kernel idle: hardware {hw_idle} vs baseline {base_idle} (Fig. 10b)"
+    );
+}
+
+#[test]
+fn checksums_are_deterministic_across_runs() {
+    let config = SystemConfig::small_test();
+    let workload = &all_workloads(WorkloadParams::tiny_test(77))[2]; // GEMM
+    let a = run_everywhere(workload.as_ref(), &config);
+    let b = run_everywhere(workload.as_ref(), &config);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.checksum, y.checksum);
+        assert_eq!(x.total, y.total, "timing must be deterministic too");
+    }
+}

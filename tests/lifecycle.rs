@@ -1,0 +1,106 @@
+//! Dataset lifecycle across architectures: creation, deletion
+//! (`delete_space`, §5.3.1), storage reclamation, and the extended NVMe
+//! command set's interface limits.
+
+use nds::core::{ElementType, NvmBackend, Shape};
+use nds::system::{
+    BaselineSystem, HardwareNds, OracleSystem, SoftwareNds, StorageFrontEnd, SystemConfig,
+    SystemError,
+};
+
+fn write_one(sys: &mut dyn StorageFrontEnd) -> nds::system::DatasetId {
+    let shape = Shape::new([64, 64]);
+    let id = sys.create_dataset(shape.clone(), ElementType::F32).expect("create");
+    let data = vec![7u8; 64 * 64 * 4];
+    sys.write(id, &shape, &[0, 0], &[64, 64], &data).expect("write");
+    id
+}
+
+#[test]
+fn delete_rejects_unknown_and_double_delete() {
+    let config = SystemConfig::small_test();
+    let systems: Vec<Box<dyn StorageFrontEnd>> = vec![
+        Box::new(BaselineSystem::new(config.clone())),
+        Box::new(SoftwareNds::new(config.clone())),
+        Box::new(HardwareNds::new(config.clone())),
+        Box::new(OracleSystem::with_tile(config, vec![32, 32])),
+    ];
+    for mut sys in systems {
+        let id = write_one(sys.as_mut());
+        sys.delete_dataset(id).expect("first delete");
+        assert!(
+            matches!(sys.delete_dataset(id), Err(SystemError::UnknownDataset(_))),
+            "{}: double delete must fail",
+            sys.name()
+        );
+        assert!(
+            matches!(
+                sys.read(id, &Shape::new([64, 64]), &[0, 0], &[8, 8]),
+                Err(SystemError::UnknownDataset(_))
+            ),
+            "{}: reads after delete must fail",
+            sys.name()
+        );
+    }
+}
+
+#[test]
+fn delete_releases_nds_storage_for_reuse() {
+    let config = SystemConfig::small_test();
+    let mut sys = SoftwareNds::new(config);
+    // Fill a noticeable fraction of the device, delete, and repeat many
+    // times: without reclamation the device would run out of units.
+    let shape = Shape::new([128, 128]);
+    let data = vec![3u8; 128 * 128 * 4];
+    for round in 0..40 {
+        let id = sys
+            .create_dataset(shape.clone(), ElementType::F32)
+            .unwrap_or_else(|e| panic!("round {round}: create failed: {e}"));
+        sys.write(id, &shape, &[0, 0], &[128, 128], &data)
+            .unwrap_or_else(|e| panic!("round {round}: write failed: {e}"));
+        sys.delete_dataset(id).expect("delete");
+    }
+    // The backend's lanes must be (close to) fully free again.
+    let spec = sys.stl().backend().spec();
+    let total_free: usize = (0..spec.channels)
+        .flat_map(|c| (0..spec.banks_per_channel).map(move |b| (c, b)))
+        .map(|(c, b)| sys.stl().backend().free_units(c, b))
+        .sum();
+    let capacity = (spec.channels * spec.banks_per_channel) as usize * 32 * 32;
+    assert!(
+        total_free * 10 >= capacity * 8,
+        "expected most of the device free after deletes, got {total_free}/{capacity}"
+    );
+}
+
+#[test]
+fn baseline_delete_trims_pages() {
+    let config = SystemConfig::small_test();
+    let mut sys = BaselineSystem::new(config);
+    let id = write_one(&mut sys);
+    let programmed_before = sys.stats().get("flash.pages_programmed");
+    assert!(programmed_before > 0);
+    sys.delete_dataset(id).expect("delete");
+    assert!(sys.stats().get("ftl.trimmed") > 0, "delete must TRIM pages");
+}
+
+#[test]
+fn extended_command_limits_enforced() {
+    // A 33-dimensional request must be rejected at the NVMe interface, per
+    // §5.3.1's 32-dimension limit — even though the volume matches.
+    let config = SystemConfig::small_test();
+    let mut sys = HardwareNds::new(config);
+    let shape = Shape::new([64, 64]);
+    let id = sys.create_dataset(shape.clone(), ElementType::F32).expect("create");
+    let mut dims = vec![1u64; 33];
+    dims[0] = 64;
+    dims[1] = 64;
+    let view = Shape::new(dims.clone());
+    let err = sys
+        .read(id, &view, &vec![0; 33], &dims)
+        .expect_err("33 dimensions must be rejected");
+    assert!(
+        matches!(err, SystemError::Command(_)),
+        "expected a command-limit error, got {err}"
+    );
+}
