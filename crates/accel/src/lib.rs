@@ -67,7 +67,10 @@ impl ComputeEngine {
         decline: f64,
     ) -> Self {
         assert!(n_opt > 0, "optimal tile must be non-zero");
-        assert!(rise > 0.0 && decline > 0.0, "curve constants must be positive");
+        assert!(
+            rise > 0.0 && decline > 0.0,
+            "curve constants must be positive"
+        );
         ComputeEngine {
             name: name.into(),
             peak,

@@ -19,7 +19,8 @@ fn prepared<S: StorageFrontEnd>(mut sys: S) -> (S, nds_system::DatasetId, Shape)
         .create_dataset(shape.clone(), ElementType::F32)
         .expect("create");
     let data = vec![3u8; (N * N * 4) as usize];
-    sys.write(id, &shape, &[0, 0], &[N, N], &data).expect("write");
+    sys.write(id, &shape, &[0, 0], &[N, N], &data)
+        .expect("write");
     (sys, id, shape)
 }
 

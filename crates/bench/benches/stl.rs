@@ -28,8 +28,7 @@ fn bench_translator(c: &mut Criterion) {
     let mut group = c.benchmark_group("translator");
     group.bench_function("tile_1024", |b| {
         b.iter(|| {
-            translator::translate(&space, &bb, &space, &[1, 1], &[1024, 1024])
-                .expect("translate")
+            translator::translate(&space, &bb, &space, &[1, 1], &[1024, 1024]).expect("translate")
         })
     });
     group.bench_function("row_panel_512", |b| {
@@ -105,12 +104,16 @@ fn bench_allocator(c: &mut Criterion) {
     });
 }
 
-fn bench_stl_assembly(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stl");
-    group.sample_size(20);
-    // A pre-written 1024² f32 space; reads assemble tiles of varying shape.
+/// A pre-written 1024² f32 space; reads assemble tiles of varying shape.
+fn prepared_stl(plan_cache_capacity: usize) -> (Stl<MemBackend>, nds_core::SpaceId, Shape) {
     let backend = MemBackend::new(spec(), 1 << 16);
-    let mut stl = Stl::new(backend, StlConfig::default());
+    let mut stl = Stl::new(
+        backend,
+        StlConfig {
+            plan_cache_capacity,
+            ..StlConfig::default()
+        },
+    );
     let shape = Shape::new([1024, 1024]);
     let id = stl
         .create_space(shape.clone(), ElementType::F32)
@@ -118,11 +121,42 @@ fn bench_stl_assembly(c: &mut Criterion) {
     let data = vec![7u8; 1024 * 1024 * 4];
     stl.write(id, &shape, &[0, 0], &[1024, 1024], &data)
         .expect("write");
+    (stl, id, shape)
+}
+
+fn bench_stl_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stl");
+    group.sample_size(20);
+    // Repeated same-shape reads: the plan cache serves every iteration
+    // after the first, and `read_into` reuses the caller's buffer. The
+    // `_uncached` twins re-translate every request (plan cache disabled),
+    // isolating the cache + reuse win on the identical access pattern.
+    let (mut stl, id, shape) = prepared_stl(StlConfig::default().plan_cache_capacity);
+    let (mut cold, cold_id, _) = prepared_stl(0);
     group.bench_function("read_tile_256", |b| {
         b.iter(|| stl.read(id, &shape, &[1, 1], &[256, 256]).expect("read"))
     });
+    group.bench_function("read_tile_256_uncached", |b| {
+        b.iter(|| {
+            cold.read(cold_id, &shape, &[1, 1], &[256, 256])
+                .expect("read")
+        })
+    });
+    group.bench_function("read_into_tile_256", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            stl.read_into(id, &shape, &[1, 1], &[256, 256], &mut buf)
+                .expect("read")
+        })
+    });
     group.bench_function("read_column_64", |b| {
         b.iter(|| stl.read(id, &shape, &[2, 0], &[64, 1024]).expect("read"))
+    });
+    group.bench_function("read_column_64_uncached", |b| {
+        b.iter(|| {
+            cold.read(cold_id, &shape, &[2, 0], &[64, 1024])
+                .expect("read")
+        })
     });
     group.bench_function("write_tile_256", |b| {
         let tile = vec![9u8; 256 * 256 * 4];

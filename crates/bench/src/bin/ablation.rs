@@ -22,9 +22,12 @@ const N: u64 = 4096;
 fn tile_bandwidth(sys: &mut dyn StorageFrontEnd, side: u64) -> f64 {
     let shape = Shape::new([N, N]);
     let id = {
-        let id = sys.create_dataset(shape.clone(), ElementType::F64).expect("create");
+        let id = sys
+            .create_dataset(shape.clone(), ElementType::F64)
+            .expect("create");
         let bytes: Vec<u8> = (0..N * N * 8).map(|i| (i % 251) as u8).collect();
-        sys.write(id, &shape, &[0, 0], &[N, N], &bytes).expect("write");
+        sys.write(id, &shape, &[0, 0], &[N, N], &bytes)
+            .expect("write");
         id
     };
     sys.read(id, &shape, &[1, 1], &[side, side])
@@ -38,7 +41,10 @@ fn allocation_policy_ablation() {
     header(&["policy", "hardware NDS MiB/s", "notes"]);
     for (policy, note) in [
         (AllocationPolicy::Paper, "blocks span all channels"),
-        (AllocationPolicy::PackedLinear, "blocks confined to few lanes"),
+        (
+            AllocationPolicy::PackedLinear,
+            "blocks confined to few lanes",
+        ),
     ] {
         let mut config = SystemConfig::paper_scale();
         config.stl.allocation_policy = policy;
@@ -72,7 +78,9 @@ fn multiplier_ablation() {
 fn write_bandwidth(sys: &mut dyn StorageFrontEnd) -> f64 {
     let n = 2048u64;
     let shape = Shape::new([n, n]);
-    let id = sys.create_dataset(shape.clone(), ElementType::F64).expect("create");
+    let id = sys
+        .create_dataset(shape.clone(), ElementType::F64)
+        .expect("create");
     let bytes: Vec<u8> = (0..n * n * 8).map(|i| (i % 251) as u8).collect();
     sys.write(id, &shape, &[0, 0], &[n, n], &bytes)
         .expect("write")
@@ -84,7 +92,12 @@ fn fast_nvm_ablation() {
     println!("## 3. Faster NVM (§7.2) — hardware-over-software advantage on writes\n");
     println!("(the paper: \"with faster NVM technologies that raise the internal-to-external");
     println!(" bandwidth ratio, the advantage of hardware NDS will become more significant\")\n");
-    header(&["medium", "software NDS MiB/s", "hardware NDS MiB/s", "hw / sw"]);
+    header(&[
+        "medium",
+        "software NDS MiB/s",
+        "hardware NDS MiB/s",
+        "hw / sw",
+    ]);
     for (name, timing) in [
         ("TLC NAND", FlashTiming::tlc_nand()),
         ("fast NVM (PCM-class)", FlashTiming::fast_nvm()),
@@ -109,14 +122,23 @@ fn transfer_chunk_ablation() {
     println!("(NDS starts moving assembled data once a segment reaches the optimal");
     println!(" data-exchange volume; §2.1 puts NVMe saturation at ~2 MB)\n");
     header(&["chunk", "hardware NDS MiB/s (4096x2048 fetch)"]);
-    for chunk in [64u64 * 1024, 256 * 1024, 1024 * 1024, 2 * 1024 * 1024, 8 * 1024 * 1024] {
+    for chunk in [
+        64u64 * 1024,
+        256 * 1024,
+        1024 * 1024,
+        2 * 1024 * 1024,
+        8 * 1024 * 1024,
+    ] {
         let mut config = SystemConfig::paper_scale();
         config.nds_transfer_chunk = chunk;
         let mut sys = HardwareNds::new(config);
         let shape = Shape::new([N, N]);
-        let id = sys.create_dataset(shape.clone(), ElementType::F64).expect("create");
+        let id = sys
+            .create_dataset(shape.clone(), ElementType::F64)
+            .expect("create");
         let bytes: Vec<u8> = (0..N * N * 8).map(|i| (i % 251) as u8).collect();
-        sys.write(id, &shape, &[0, 0], &[N, N], &bytes).expect("write");
+        sys.write(id, &shape, &[0, 0], &[N, N], &bytes)
+            .expect("write");
         let out = sys
             .read(id, &shape, &[0, 1], &[N, 2048])
             .expect("panel fetch");

@@ -21,9 +21,7 @@ fn parse_args() -> (WorkloadParams, u64) {
         match args[i].as_str() {
             "--n" => params.n = args[i + 1].parse().expect("--n takes an integer"),
             "--tile" => params.tile = args[i + 1].parse().expect("--tile takes an integer"),
-            "--iters" => {
-                params.iterations = args[i + 1].parse().expect("--iters takes an integer")
-            }
+            "--iters" => params.iterations = args[i + 1].parse().expect("--iters takes an integer"),
             "--cost-scale" => {
                 cost_scale = args[i + 1].parse().expect("--cost-scale takes an integer")
             }
@@ -86,9 +84,7 @@ fn main() {
     println!();
 
     println!("## (a) Speedup of end-to-end latency over the baseline\n");
-    header(&[
-        "workload", "baseline", "sw NDS ×", "oracle ×", "hw NDS ×",
-    ]);
+    header(&["workload", "baseline", "sw NDS ×", "oracle ×", "hw NDS ×"]);
     let mut sw_speedups = Vec::new();
     let mut oracle_speedups = Vec::new();
     let mut hw_speedups = Vec::new();

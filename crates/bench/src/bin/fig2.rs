@@ -33,7 +33,9 @@ fn stage_report(label: &str, stages: &[(&str, SimDuration)], total: SimDuration)
 }
 
 fn fig_a() {
-    println!("## (a) data already in main memory — paper: row-store takes 2.11× the sub-block time\n");
+    println!(
+        "## (a) data already in main memory — paper: row-store takes 2.11× the sub-block time\n"
+    );
     let cpu = CpuModel::ryzen_3700x();
     let engine = ComputeEngine::tensor_cores().with_optimum_scaled((65536 / N).max(1));
     let h2d = LinkConfig::pcie3_x16();
@@ -61,7 +63,11 @@ fn fig_a() {
     );
     stage_report(
         "sub-block",
-        &[("marshal", SimDuration::ZERO), ("h2d", h2d_time), ("kernel", kernel)],
+        &[
+            ("marshal", SimDuration::ZERO),
+            ("h2d", h2d_time),
+            ("kernel", kernel),
+        ],
         sub_run.total,
     );
     println!(
@@ -87,7 +93,9 @@ fn fig_a() {
 }
 
 fn fig_b() {
-    println!("## (b) data fetched from the SSD — paper: +1.92× fetch time for the row-store layout\n");
+    println!(
+        "## (b) data fetched from the SSD — paper: +1.92× fetch time for the row-store layout\n"
+    );
     let config = SystemConfig::paper_scale();
     let shape = Shape::new([N, N]);
 

@@ -79,5 +79,9 @@ fn main() {
         ]);
         n *= 2;
     }
-    println!("\n(peaks: CUDA at {}, TC at {})", cuda.optimal_tile(), tc.optimal_tile());
+    println!(
+        "\n(peaks: CUDA at {}, TC at {})",
+        cuda.optimal_tile(),
+        tc.optimal_tile()
+    );
 }

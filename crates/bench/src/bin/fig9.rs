@@ -39,9 +39,16 @@ fn read_sweep(label: &str, requests: &[(String, Vec<u64>, Vec<u64>)]) {
     let base_id = setup_matrix_f64(&mut base, N).expect("baseline setup");
     let sw_id = setup_matrix_f64(&mut sw, N).expect("software setup");
     let hw_id = setup_matrix_f64(&mut hw, N).expect("hardware setup");
-    header(&["request", "baseline MiB/s", "software NDS MiB/s", "hardware NDS MiB/s"]);
+    header(&[
+        "request",
+        "baseline MiB/s",
+        "software NDS MiB/s",
+        "hardware NDS MiB/s",
+    ]);
     for (name, coord, sub) in requests {
-        let b = base.read(base_id, &shape, coord, sub).expect("baseline read");
+        let b = base
+            .read(base_id, &shape, coord, sub)
+            .expect("baseline read");
         let s = sw.read(sw_id, &shape, coord, sub).expect("software read");
         let h = hw.read(hw_id, &shape, coord, sub).expect("hardware read");
         row(&[
@@ -59,7 +66,10 @@ fn fig_a() {
         .iter()
         .map(|&rows| (format!("{rows} rows"), vec![0, 0], vec![N, rows]))
         .collect::<Vec<_>>();
-    read_sweep("a — row fetches; paper: baseline ≈ hardware, software ~12% lower", &requests);
+    read_sweep(
+        "a — row fetches; paper: baseline ≈ hardware, software ~12% lower",
+        &requests,
+    );
 }
 
 fn fig_b() {
@@ -88,8 +98,12 @@ fn fig_b() {
         let c = col_store
             .read(col_id, &shape, &[0, 0], &[N, cols])
             .expect("col-store columns (transposed layout)");
-        let s = sw.read(sw_id, &shape, &[0, 0], &[cols, N]).expect("software");
-        let h = hw.read(hw_id, &shape, &[0, 0], &[cols, N]).expect("hardware");
+        let s = sw
+            .read(sw_id, &shape, &[0, 0], &[cols, N])
+            .expect("software");
+        let h = hw
+            .read(hw_id, &shape, &[0, 0], &[cols, N])
+            .expect("hardware");
         row(&[
             format!("{cols} cols"),
             mib(b.effective_bandwidth().as_mib_per_sec()),
@@ -106,11 +120,16 @@ fn fig_c() {
         .iter()
         .map(|&side| (format!("{side}x{side}"), vec![1, 1], vec![side, side]))
         .collect::<Vec<_>>();
-    read_sweep("c — submatrix fetches; paper: NDS far above baseline", &requests);
+    read_sweep(
+        "c — submatrix fetches; paper: NDS far above baseline",
+        &requests,
+    );
 }
 
 fn fig_d() {
-    println!("\n## (d — whole-matrix write; paper: baseline ~281 MB/s, software −30%, hardware −17%)\n");
+    println!(
+        "\n## (d — whole-matrix write; paper: baseline ~281 MB/s, software −30%, hardware −17%)\n"
+    );
     const WN: u64 = 4096;
     let shape = Shape::new([WN, WN]);
     let bytes: Vec<u8> = (0..WN * WN * 8).map(|i| (i % 251) as u8).collect();

@@ -32,19 +32,29 @@ fn main() {
         &mut sw as &mut dyn StorageFrontEnd,
         &mut hw as &mut dyn StorageFrontEnd,
     ] {
-        let id = sys.create_dataset(shape.clone(), ElementType::F64).expect("create");
-        sys.write(id, &shape, &[0, 0], &[width, rows], &data).expect("write");
+        let id = sys
+            .create_dataset(shape.clone(), ElementType::F64)
+            .expect("create");
+        sys.write(id, &shape, &[0, 0], &[width, rows], &data)
+            .expect("write");
         // Average single-page read latency over a few rows.
         let mut total_ns = 0u64;
         let samples = 16;
         for r in 0..samples {
-            let out = sys.read(id, &shape, &[0, r * 7 % rows], &[width, 1]).expect("read");
+            let out = sys
+                .read(id, &shape, &[0, r * 7 % rows], &[width, 1])
+                .expect("read");
             total_ns += out.latency().as_nanos();
         }
         latencies.push((sys.name(), total_ns / samples));
     }
 
-    header(&["system", "single-page latency", "added vs baseline", "paper"]);
+    header(&[
+        "system",
+        "single-page latency",
+        "added vs baseline",
+        "paper",
+    ]);
     let baseline_ns = latencies[0].1;
     for (name, ns) in &latencies {
         let added = ns.saturating_sub(baseline_ns);
@@ -68,8 +78,11 @@ fn main() {
     let n = 4096u64;
     let big = Shape::new([n, n]);
     let payload: Vec<u8> = vec![0xA5; (n * n * 8) as usize];
-    let id = sw.create_dataset(big.clone(), ElementType::F64).expect("create");
-    sw.write(id, &big, &[0, 0], &[n, n], &payload).expect("write");
+    let id = sw
+        .create_dataset(big.clone(), ElementType::F64)
+        .expect("create");
+    sw.write(id, &big, &[0, 0], &[n, n], &payload)
+        .expect("write");
     let meta = sw.stl().translation_bytes();
     let stored = n * n * 8;
     header(&["stored payload", "translation metadata", "overhead"]);

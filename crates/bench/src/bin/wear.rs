@@ -46,7 +46,8 @@ fn hammer(sys: &mut dyn StorageFrontEnd, n: u64) {
     for round in 0..ROUNDS {
         let fill = (round % 251) as u8;
         let data = vec![fill; (n * n * 4) as usize];
-        sys.write(id, &shape, &[0, 0], &[n, n], &data).expect("write");
+        sys.write(id, &shape, &[0, 0], &[n, n], &data)
+            .expect("write");
     }
     // Verify the final contents survived all the GC underneath.
     let out = sys.read(id, &shape, &[0, 0], &[n, n]).expect("read");
@@ -74,12 +75,7 @@ fn main() {
         n * n * 4 / 1024 / 1024
     );
 
-    header(&[
-        "layer",
-        "GC runs",
-        "pages relocated",
-        "erase min/mean/max",
-    ]);
+    header(&["layer", "GC runs", "pages relocated", "erase min/mean/max"]);
 
     let mut baseline = BaselineSystem::new(config.clone());
     hammer(&mut baseline, n);

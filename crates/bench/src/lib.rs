@@ -26,7 +26,10 @@ pub fn row(cells: &[String]) {
 /// Prints a header row plus separator.
 pub fn header(cells: &[&str]) {
     row(&cells.iter().map(|c| (*c).to_owned()).collect::<Vec<_>>());
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Creates an `n × n` f64 dataset filled with a deterministic byte pattern

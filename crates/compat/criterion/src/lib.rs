@@ -1,0 +1,284 @@
+//! Offline stand-in for the `criterion` crate (0.5 call surface).
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! a minimal wall-clock bench harness exposing the criterion API its
+//! `harness = false` benches use: [`Criterion`], benchmark groups,
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical reports it prints one parseable line
+//! per benchmark:
+//!
+//! ```text
+//! bench: <group>/<name> median_ns <N>
+//! ```
+//!
+//! which `scripts/bench_snapshot.sh` scrapes into `BENCH_stl.json`.
+//! Methodology: warm up, size iterations so one sample spans a few
+//! milliseconds, then report the median per-iteration time across samples
+//! (median, not mean, so scheduler noise does not skew small kernels).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+const WARMUP: Duration = Duration::from_millis(40);
+const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+
+/// How setup cost relates to the routine in [`Bencher::iter_batched`].
+/// Only distinguishes variants for API compatibility; this harness always
+/// runs setup once per iteration, outside the timed region.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Setup output is small; criterion would batch many per allocation.
+    SmallInput,
+    /// Setup output is large.
+    LargeInput,
+    /// Each iteration gets exactly one setup output.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark (mirrors `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and parameter into `function/parameter`.
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Times one benchmark routine (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration nanoseconds, filled by `iter`/`iter_batched`.
+    median_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine`, called back-to-back in sized batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut warm_iters = 0u32;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP || warm_iters < 3 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let batch = batch_iters(warm_start.elapsed() / warm_iters.max(1));
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() / u128::from(batch));
+        }
+        self.median_ns = median(&mut samples);
+    }
+
+    /// Times `routine` over fresh `setup` output each iteration; only the
+    /// routine is inside the timed region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut warm_iters = 0u32;
+        let mut warm_spent = Duration::ZERO;
+        while warm_spent < WARMUP || warm_iters < 3 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            warm_spent += start.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = warm_spent / warm_iters.max(1);
+        let batch = batch_iters(per_iter);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut spent = Duration::ZERO;
+            for _ in 0..batch {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                spent += start.elapsed();
+            }
+            samples.push(spent.as_nanos() / u128::from(batch));
+        }
+        self.median_ns = median(&mut samples);
+    }
+}
+
+/// Iterations per timed sample so a sample spans roughly [`TARGET_SAMPLE`].
+fn batch_iters(per_iter: Duration) -> u32 {
+    if per_iter.is_zero() {
+        return 1000;
+    }
+    let n = TARGET_SAMPLE.as_nanos() / per_iter.as_nanos().max(1);
+    n.clamp(1, 10_000) as u32
+}
+
+fn median(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    if samples.is_empty() {
+        0
+    } else {
+        samples[samples.len() / 2]
+    }
+}
+
+/// Top-level harness handle (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed `group/`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            prefix: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    prefix: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as benchmark `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.prefix, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs `f` with `input` as benchmark `group/function/parameter`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.prefix, id.full),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        sample_size: sample_size.max(1),
+        median_ns: 0,
+    };
+    f(&mut bencher);
+    println!("bench: {id} median_ns {}", bencher.median_ns);
+}
+
+/// Declares a bench group entry point (mirrors `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main` (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_nonzero_median_for_real_work() {
+        let mut c = Criterion::default();
+        c.sample_size(5);
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(5);
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..512u64 {
+                    acc = acc.wrapping_add(i * i);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &n| {
+            b.iter_batched(
+                || vec![1u8; n * 64],
+                |v| v.iter().map(|&b| b as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,172 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! Emits empty marker-trait impls. Parsing is hand-rolled (no `syn`): it
+//! extracts the item name and generic parameter names from the derive input
+//! token stream, which covers every derive in this workspace (plain structs
+//! and enums, at most simple generics).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let impl_generics = item.impl_generics(None);
+    let ty_args = item.type_args();
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {}{ty_args} {{}}",
+        item.name
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let impl_generics = item.impl_generics(Some("'de"));
+    let ty_args = item.type_args();
+    format!(
+        "impl{impl_generics} ::serde::Deserialize<'de> for {}{ty_args} {{}}",
+        item.name
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter names (lifetimes keep their tick), bounds stripped.
+    params: Vec<String>,
+    /// Full generic declaration tokens (with bounds), for the impl header.
+    decl: String,
+}
+
+impl Item {
+    fn impl_generics(&self, extra_lifetime: Option<&str>) -> String {
+        match (extra_lifetime, self.decl.is_empty()) {
+            (None, true) => String::new(),
+            (None, false) => format!("<{}>", self.decl),
+            (Some(lt), true) => format!("<{lt}>"),
+            (Some(lt), false) => format!("<{lt}, {}>", self.decl),
+        }
+    }
+
+    fn type_args(&self) -> String {
+        if self.params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.params.join(", "))
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes and visibility until the struct/enum/union keyword.
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("derive input has no item name (got {other:?})"),
+    };
+
+    // Generic declaration, if present: the balanced `<...>` group right
+    // after the name. `>` only ever closes a generic bracket here because
+    // bounds with `->` or nested generics keep the depth bookkeeping right.
+    let mut decl_tokens: Vec<String> = Vec::new();
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1u32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            decl_tokens.push(render(&tt));
+        }
+    }
+    let decl = decl_tokens.join(" ");
+    let params = param_names(&decl_tokens);
+    Item { name, params, decl }
+}
+
+/// Extracts parameter names from the generic declaration token list:
+/// first identifier of each comma-separated (depth-0) parameter, with a
+/// leading `'` re-attached for lifetimes and `const` skipped.
+fn param_names(decl: &[String]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut depth = 0u32;
+    let mut at_param_start = true;
+    let mut lifetime = false;
+    let mut was_const = false;
+    for tok in decl {
+        match tok.as_str() {
+            "<" | "(" | "[" => depth += 1,
+            ">" | ")" | "]" => depth = depth.saturating_sub(1),
+            "," if depth == 0 => {
+                at_param_start = true;
+                lifetime = false;
+                was_const = false;
+                continue;
+            }
+            _ => {}
+        }
+        if !at_param_start || depth > 0 {
+            continue;
+        }
+        if tok == "'" {
+            lifetime = true;
+            continue;
+        }
+        if tok == "const" {
+            was_const = true;
+            continue;
+        }
+        // First identifier of the parameter.
+        if tok
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            let name = if lifetime {
+                format!("'{tok}")
+            } else {
+                tok.clone()
+            };
+            let _ = was_const; // const params contribute their bare name too
+            names.push(name);
+            at_param_start = false;
+        }
+    }
+    names
+}
+
+fn render(tt: &TokenTree) -> String {
+    match tt {
+        TokenTree::Group(g) => {
+            let (open, close) = match g.delimiter() {
+                Delimiter::Parenthesis => ("(", ")"),
+                Delimiter::Brace => ("{", "}"),
+                Delimiter::Bracket => ("[", "]"),
+                Delimiter::None => ("", ""),
+            };
+            let inner: Vec<String> = g.stream().into_iter().map(|t| render(&t)).collect();
+            format!("{open} {} {close}", inner.join(" "))
+        }
+        other => other.to_string(),
+    }
+}

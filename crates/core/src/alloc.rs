@@ -112,7 +112,10 @@ impl BlockAllocator {
                     }
                 }
             }
-            return Err(NdsError::DeviceFull { channel: 0, bank: 0 });
+            return Err(NdsError::DeviceFull {
+                channel: 0,
+                bank: 0,
+            });
         }
 
         // Overwrites keep the superseded unit's lane (§4.2).
@@ -142,8 +145,8 @@ impl BlockAllocator {
             ),
             Some(last) => {
                 let cur_bank = last.bank;
-                let bank_full = (0..channels)
-                    .all(|c| lane_use[(c * banks + cur_bank) as usize] > 0);
+                let bank_full =
+                    (0..channels).all(|c| lane_use[(c * banks + cur_bank) as usize] > 0);
                 let target_bank = if bank_full {
                     // Rule 3/4: an unused bank, else the least-used bank.
                     // Ties break cyclically after the current bank so that
@@ -279,9 +282,7 @@ mod tests {
         let units = fill_block(&mut alloc, &mut backend, 8);
         let old = units[3];
         let existing: Vec<Option<UnitLocation>> = units.iter().copied().map(Some).collect();
-        let replacement = alloc
-            .allocate(&mut backend, &existing, Some(old))
-            .unwrap();
+        let replacement = alloc.allocate(&mut backend, &existing, Some(old)).unwrap();
         assert_eq!(replacement.channel, old.channel);
         assert_eq!(replacement.bank, old.bank);
         assert_ne!(replacement.unit, old.unit);

@@ -69,9 +69,7 @@ impl DeviceSpec {
 /// `channel` and `bank` are physical (they drive the timing model's resource
 /// choice); `unit` is an opaque identifier stable across device-internal
 /// relocation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct UnitLocation {
     /// Physical channel the unit occupies.
     pub channel: u32,
@@ -113,13 +111,40 @@ pub trait NvmBackend {
     /// (encryption, compression — §5.3.3/§5.3.4) return an owned buffer.
     fn read_unit(&self, loc: UnitLocation) -> Option<Cow<'_, [u8]>>;
 
-    /// Writes a unit's contents (exactly `unit_bytes` bytes).
+    /// Writes a unit's contents (exactly `unit_bytes` bytes). Takes a
+    /// borrowed slice so callers can reuse one staging buffer across units;
+    /// implementations copy (or transform) into their own storage.
     ///
     /// # Panics
     ///
     /// Implementations may panic if `data` is not exactly one unit or the
     /// handle was not allocated.
-    fn write_unit(&mut self, loc: UnitLocation, data: Vec<u8>);
+    fn write_unit(&mut self, loc: UnitLocation, data: &[u8]);
+
+    /// Reads a batch of units, one result slot per requested location
+    /// (`None` for never-written/released handles, like
+    /// [`read_unit`](Self::read_unit)).
+    ///
+    /// The default forwards to `read_unit` per location; backends with
+    /// cheaper bulk paths (one map traversal, vectorized device commands)
+    /// override it. This is the STL assembly hot path: each distinct unit of
+    /// a block cover is fetched exactly once per request through this call.
+    fn read_units(&self, locs: &[UnitLocation]) -> Vec<Option<Cow<'_, [u8]>>> {
+        locs.iter().map(|&loc| self.read_unit(loc)).collect()
+    }
+
+    /// Writes a batch of units (each slice exactly `unit_bytes` bytes).
+    ///
+    /// The default forwards to [`write_unit`](Self::write_unit) per entry.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as `write_unit`, per entry.
+    fn write_units(&mut self, writes: &[(UnitLocation, &[u8])]) {
+        for &(loc, data) in writes {
+            self.write_unit(loc, data);
+        }
+    }
 }
 
 /// A heap-backed [`NvmBackend`] for tests and for host-resident STL
@@ -132,7 +157,7 @@ pub trait NvmBackend {
 ///
 /// let mut b = MemBackend::new(DeviceSpec::new(4, 2, 64), 128);
 /// let loc = b.alloc_unit(1, 0).unwrap();
-/// b.write_unit(loc, vec![9; 64]);
+/// b.write_unit(loc, &[9; 64]);
 /// assert_eq!(b.read_unit(loc).unwrap()[0], 9);
 /// b.release_unit(loc);
 /// assert!(b.read_unit(loc).is_none());
@@ -216,13 +241,29 @@ impl NvmBackend for MemBackend {
         self.data.get(&loc).map(|v| Cow::Borrowed(v.as_slice()))
     }
 
-    fn write_unit(&mut self, loc: UnitLocation, data: Vec<u8>) {
+    fn write_unit(&mut self, loc: UnitLocation, data: &[u8]) {
         assert_eq!(
             data.len(),
             self.spec.unit_bytes as usize,
             "unit writes must be exactly one unit"
         );
-        self.data.insert(loc, data);
+        // Reuse the existing allocation on rewrite instead of reallocating.
+        match self.data.entry(loc) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                slot.get_mut().copy_from_slice(data);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(data.to_vec());
+            }
+        }
+    }
+
+    fn read_units(&self, locs: &[UnitLocation]) -> Vec<Option<Cow<'_, [u8]>>> {
+        // One pass over the request; each lookup borrows straight from the
+        // stored image (no per-unit allocation).
+        locs.iter()
+            .map(|loc| self.data.get(loc).map(|v| Cow::Borrowed(v.as_slice())))
+            .collect()
     }
 }
 
@@ -264,7 +305,7 @@ mod tests {
     fn release_refunds_lane() {
         let mut b = backend();
         let loc = b.alloc_unit(3, 0).unwrap();
-        b.write_unit(loc, vec![1; 16]);
+        b.write_unit(loc, &[1; 16]);
         assert_eq!(b.free_units(3, 0), 7);
         b.release_unit(loc);
         assert_eq!(b.free_units(3, 0), 8);
@@ -283,7 +324,41 @@ mod tests {
     fn wrong_size_write_panics() {
         let mut b = backend();
         let loc = b.alloc_unit(0, 0).unwrap();
-        b.write_unit(loc, vec![0; 15]);
+        b.write_unit(loc, &[0; 15]);
+    }
+
+    #[test]
+    fn batch_reads_mirror_single_reads() {
+        let mut b = backend();
+        let written = b.alloc_unit(0, 0).unwrap();
+        let empty = b.alloc_unit(0, 1).unwrap();
+        b.write_unit(written, &[7; 16]);
+        let batch = b.read_units(&[written, empty, written]);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].as_deref(), Some(&[7u8; 16][..]));
+        assert!(batch[1].is_none());
+        assert_eq!(batch[2].as_deref(), Some(&[7u8; 16][..]));
+    }
+
+    #[test]
+    fn batch_writes_mirror_single_writes() {
+        let mut b = backend();
+        let x = b.alloc_unit(1, 0).unwrap();
+        let y = b.alloc_unit(1, 1).unwrap();
+        b.write_units(&[(x, &[1; 16]), (y, &[2; 16])]);
+        assert_eq!(b.read_unit(x).unwrap()[0], 1);
+        assert_eq!(b.read_unit(y).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn rewrite_reuses_storage() {
+        let mut b = backend();
+        let loc = b.alloc_unit(2, 0).unwrap();
+        b.write_unit(loc, &[1; 16]);
+        let before = b.stored_bytes();
+        b.write_unit(loc, &[2; 16]);
+        assert_eq!(b.stored_bytes(), before);
+        assert_eq!(b.read_unit(loc).unwrap()[0], 2);
     }
 
     #[test]

@@ -167,7 +167,10 @@ impl BlockShape {
             !dims.is_empty() && dims.iter().all(|&d| d > 0),
             "block extents must be non-empty and non-zero"
         );
-        assert!(element_bytes > 0 && unit_bytes > 0, "sizes must be non-zero");
+        assert!(
+            element_bytes > 0 && unit_bytes > 0,
+            "sizes must be non-zero"
+        );
         BlockShape {
             dims,
             element_bytes,
@@ -226,7 +229,11 @@ impl BlockShape {
     /// Panics if arities differ.
     pub fn block_of(&self, coord: &[u64]) -> Vec<u64> {
         assert_eq!(coord.len(), self.dims.len());
-        coord.iter().zip(&self.dims).map(|(&x, &bb)| x / bb).collect()
+        coord
+            .iter()
+            .zip(&self.dims)
+            .map(|(&x, &bb)| x / bb)
+            .collect()
     }
 }
 

@@ -119,7 +119,10 @@ impl LocatorTree {
     fn check_coord(&self, coord: &[u64]) {
         assert_eq!(coord.len(), self.grid.ndims(), "block coordinate arity");
         for (i, (&c, &g)) in coord.iter().zip(self.grid.dims()).enumerate() {
-            assert!(c < g, "block coordinate {c} out of range in dim {i} (grid {g})");
+            assert!(
+                c < g,
+                "block coordinate {c} out of range in dim {i} (grid {g})"
+            );
         }
     }
 

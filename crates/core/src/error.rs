@@ -80,7 +80,10 @@ impl fmt::Display for NdsError {
                 "partition reaches element {end} in dimension {dim}, past the view size of {size}"
             ),
             NdsError::BadPayloadSize { got, expected } => {
-                write!(f, "payload is {got} bytes but the partition holds {expected}")
+                write!(
+                    f,
+                    "payload is {got} bytes but the partition holds {expected}"
+                )
             }
             NdsError::EmptyShape => write!(f, "shapes must have at least one non-zero dimension"),
             NdsError::DeviceFull { channel, bank } => write!(
@@ -88,7 +91,10 @@ impl fmt::Display for NdsError {
                 "no free unit in channel {channel}, bank {bank} after garbage collection"
             ),
             NdsError::MissingUnit(loc) => {
-                write!(f, "backend lost unit {loc} that the locator tree references")
+                write!(
+                    f,
+                    "backend lost unit {loc} that the locator tree references"
+                )
             }
         }
     }
@@ -105,7 +111,11 @@ mod tests {
         let cases = [
             NdsError::UnknownSpace(SpaceId(3)).to_string(),
             NdsError::ViewVolumeMismatch { space: 4, view: 8 }.to_string(),
-            NdsError::ArityMismatch { view: 2, request: 3 }.to_string(),
+            NdsError::ArityMismatch {
+                view: 2,
+                request: 3,
+            }
+            .to_string(),
             NdsError::OutOfBounds {
                 dim: 0,
                 end: 10,
@@ -118,7 +128,11 @@ mod tests {
             }
             .to_string(),
             NdsError::EmptyShape.to_string(),
-            NdsError::DeviceFull { channel: 1, bank: 2 }.to_string(),
+            NdsError::DeviceFull {
+                channel: 1,
+                bank: 2,
+            }
+            .to_string(),
         ];
         for msg in cases {
             assert!(!msg.is_empty());

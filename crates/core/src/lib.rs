@@ -63,6 +63,7 @@ mod block;
 mod btree;
 mod element;
 mod error;
+mod plan_cache;
 mod shape;
 mod space;
 mod stl;
@@ -76,6 +77,7 @@ pub use block::{BlockDimensionality, BlockShape};
 pub use btree::LocatorTree;
 pub use element::ElementType;
 pub use error::NdsError;
+pub use plan_cache::PlanCache;
 pub use shape::{Region, Shape};
 pub use space::{Space, SpaceId};
 pub use stl::{AccessReport, BlockAccess, Stl, StlConfig, WriteReport};

@@ -1,0 +1,274 @@
+//! A bounded LRU cache of translation plans.
+//!
+//! Translation (equation (5), [`crate::translator`]) is a pure function of
+//! the space shape, the building-block geometry, the requested view, and the
+//! partition coordinate — it never looks at allocation state. Workloads that
+//! stream same-shaped partitions (every figure-9/10 experiment, all the
+//! `nds-workloads` drivers) therefore recompute byte-identical plans on
+//! every request. [`PlanCache`] memoizes them keyed by
+//! `(space, view shape, coord, sub_dims)`.
+//!
+//! The cache affects **wall-clock time only**: a cached plan is
+//! [`Arc`]-shared and compares equal to a fresh one, so every
+//! [`crate::AccessReport`] is bit-identical with the cache on or off. Hit
+//! and miss counters are exposed for the `nds-sim` stats sinks; modeled time
+//! never charges for (or discounts) translation based on cache state.
+//!
+//! Eviction is least-recently-used via a monotonic access stamp. The
+//! eviction scan is `O(capacity)`, which is fine for the intended
+//! double-digit-to-hundreds capacities; a linked-map would only pay off far
+//! beyond that.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::shape::Shape;
+use crate::space::SpaceId;
+use crate::translator::Translation;
+
+/// Everything a translation depends on besides the space's own geometry
+/// (which is fixed at [`crate::Stl::create_space`] time and keyed by the id).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    space: SpaceId,
+    view: Shape,
+    coord: Vec<u64>,
+    sub_dims: Vec<u64>,
+}
+
+/// A bounded LRU memo of [`Translation`]s (see module docs).
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    entries: HashMap<PlanKey, (Arc<Translation>, u64)>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans. Capacity 0 disables
+    /// caching entirely: every lookup misses and nothing is stored.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            entries: HashMap::new(),
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Whether the cache stores anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Maximum number of plans retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Plans currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache currently holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups that returned a cached plan.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to translate afresh (including all lookups while
+    /// disabled).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Memoized translation: returns the cached plan for
+    /// `(space, view, coord, sub_dims)` or computes one via `translate` and
+    /// caches it. `translate` runs at most once, and only on a miss.
+    pub fn get_or_translate<E>(
+        &mut self,
+        space: SpaceId,
+        view: &Shape,
+        coord: &[u64],
+        sub_dims: &[u64],
+        translate: impl FnOnce() -> Result<Translation, E>,
+    ) -> Result<Arc<Translation>, E> {
+        if self.capacity == 0 {
+            self.misses += 1;
+            return Ok(Arc::new(translate()?));
+        }
+        let key = PlanKey {
+            space,
+            view: view.clone(),
+            coord: coord.to_vec(),
+            sub_dims: sub_dims.to_vec(),
+        };
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some((plan, last_used)) = self.entries.get_mut(&key) {
+            *last_used = stamp;
+            self.hits += 1;
+            return Ok(Arc::clone(plan));
+        }
+        self.misses += 1;
+        let plan = Arc::new(translate()?);
+        if self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.entries.insert(key, (Arc::clone(&plan), stamp));
+        Ok(plan)
+    }
+
+    /// Drops every plan for `space`. Correctness never requires this —
+    /// [`SpaceId`]s are not reused and a space's geometry is immutable — but
+    /// deleting a space would otherwise pin its plans until eviction.
+    pub fn invalidate_space(&mut self, space: SpaceId) {
+        self.entries.retain(|key, _| key.space != space);
+    }
+
+    /// Drops all cached plans (counters are preserved).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, (_, last_used))| *last_used)
+            .map(|(key, _)| key.clone());
+        if let Some(key) = victim {
+            self.entries.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(tag: u64) -> Translation {
+        // Distinguishable dummy plans; contents don't matter to the cache.
+        Translation {
+            blocks: Vec::new(),
+            total_bytes: tag,
+        }
+    }
+
+    fn shape(dims: &[u64]) -> Shape {
+        Shape::new(dims.to_vec())
+    }
+
+    #[test]
+    fn hit_returns_same_plan_without_recomputing() {
+        let mut cache = PlanCache::new(4);
+        let view = shape(&[8, 8]);
+        let first: Arc<Translation> = cache
+            .get_or_translate::<()>(SpaceId(1), &view, &[0, 0], &[4, 4], || Ok(plan(1)))
+            .unwrap();
+        let second = cache
+            .get_or_translate::<()>(SpaceId(1), &view, &[0, 0], &[4, 4], || {
+                panic!("must not retranslate on a hit")
+            })
+            .unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn distinct_keys_miss() {
+        let mut cache = PlanCache::new(4);
+        let view = shape(&[8, 8]);
+        for (coord, tag) in [([0u64, 0], 1u64), ([1, 0], 2), ([0, 1], 3)] {
+            let got = cache
+                .get_or_translate::<()>(SpaceId(1), &view, &coord, &[4, 4], || Ok(plan(tag)))
+                .unwrap();
+            assert_eq!(got.total_bytes, tag);
+        }
+        assert_eq!((cache.hits(), cache.misses()), (0, 3));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut cache = PlanCache::new(2);
+        let view = shape(&[8]);
+        cache
+            .get_or_translate::<()>(SpaceId(1), &view, &[0], &[4], || Ok(plan(1)))
+            .unwrap();
+        cache
+            .get_or_translate::<()>(SpaceId(1), &view, &[1], &[4], || Ok(plan(2)))
+            .unwrap();
+        // Touch [0] so [1] becomes the LRU victim.
+        cache
+            .get_or_translate::<()>(SpaceId(1), &view, &[0], &[4], || Ok(plan(1)))
+            .unwrap();
+        cache
+            .get_or_translate::<()>(SpaceId(1), &view, &[2], &[4], || Ok(plan(3)))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        // [0] survived; [1] was evicted and retranslates.
+        cache
+            .get_or_translate::<()>(SpaceId(1), &view, &[0], &[4], || {
+                panic!("[0] should still be cached")
+            })
+            .unwrap();
+        let refreshed = cache
+            .get_or_translate::<()>(SpaceId(1), &view, &[1], &[4], || Ok(plan(9)))
+            .unwrap();
+        assert_eq!(refreshed.total_bytes, 9);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage_but_counts_misses() {
+        let mut cache = PlanCache::new(0);
+        let view = shape(&[8]);
+        for _ in 0..3 {
+            cache
+                .get_or_translate::<()>(SpaceId(1), &view, &[0], &[4], || Ok(plan(1)))
+                .unwrap();
+        }
+        assert!(!cache.is_enabled());
+        assert_eq!((cache.hits(), cache.misses()), (0, 3));
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn errors_pass_through_and_cache_nothing() {
+        let mut cache = PlanCache::new(4);
+        let view = shape(&[8]);
+        let err = cache
+            .get_or_translate::<&str>(SpaceId(1), &view, &[0], &[4], || Err("boom"))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        assert_eq!(cache.len(), 0);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+    }
+
+    #[test]
+    fn invalidate_space_drops_only_that_space() {
+        let mut cache = PlanCache::new(8);
+        let view = shape(&[8]);
+        cache
+            .get_or_translate::<()>(SpaceId(1), &view, &[0], &[4], || Ok(plan(1)))
+            .unwrap();
+        cache
+            .get_or_translate::<()>(SpaceId(2), &view, &[0], &[4], || Ok(plan(2)))
+            .unwrap();
+        cache.invalidate_space(SpaceId(1));
+        assert_eq!(cache.len(), 1);
+        cache
+            .get_or_translate::<()>(SpaceId(2), &view, &[0], &[4], || {
+                panic!("space 2 must survive")
+            })
+            .unwrap();
+    }
+}

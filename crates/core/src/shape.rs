@@ -309,7 +309,11 @@ mod tests {
 
         assert!(matches!(
             Region::from_request(&v, &[2, 0], &[8, 8]),
-            Err(NdsError::OutOfBounds { dim: 0, end: 24, size: 16 })
+            Err(NdsError::OutOfBounds {
+                dim: 0,
+                end: 24,
+                size: 16
+            })
         ));
         assert!(matches!(
             Region::from_request(&v, &[0], &[8]),

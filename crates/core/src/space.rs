@@ -11,9 +11,7 @@ use crate::shape::Shape;
 
 /// Identifier of a multi-dimensional address space, as handed back by space
 /// creation (the paper's `open_space`, §5.3.1).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SpaceId(pub u64);
 
 impl fmt::Display for SpaceId {

@@ -17,6 +17,7 @@
 //! interconnect, and the assembling CPU without re-deriving the translation.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +26,7 @@ use crate::backend::{NvmBackend, UnitLocation};
 use crate::block::{BlockDimensionality, BlockShape};
 use crate::element::ElementType;
 use crate::error::NdsError;
+use crate::plan_cache::PlanCache;
 use crate::shape::Shape;
 use crate::space::{Space, SpaceId};
 use crate::translator::{self, Segment, Translation};
@@ -50,6 +52,11 @@ pub struct StlConfig {
     pub block_multiplier: u64,
     /// Seed for the randomized first-unit placement of §4.2.
     pub seed: u64,
+    /// Maximum translation plans memoized by the [`PlanCache`]; 0 disables
+    /// caching. The cache is a wall-clock optimization only — reports and
+    /// modeled time are bit-identical with it on or off (see
+    /// [`crate::plan_cache`] module docs).
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for StlConfig {
@@ -60,6 +67,7 @@ impl Default for StlConfig {
             block_dimensionality: BlockDimensionality::Auto,
             block_multiplier: 1,
             seed: 0x4E44_5321, // "NDS!"
+            plan_cache_capacity: 128,
         }
     }
 }
@@ -123,6 +131,23 @@ pub struct Stl<B> {
     spaces: BTreeMap<SpaceId, Space>,
     views: ViewRegistry,
     next_id: u64,
+    plan_cache: PlanCache,
+    scratch: Scratch,
+}
+
+/// Reusable request-scoped buffers, so the steady-state hot loop performs no
+/// per-request heap allocation beyond what the backend itself needs.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Read path: `(unit index, location)` pairs of one cover, deduplicated.
+    touched: Vec<(usize, UnitLocation)>,
+    /// Read path: the locations alone, in `touched` order, for batch fetch.
+    locs: Vec<UnitLocation>,
+    /// Write path: `(unit index, unit offset, buffer offset, length)` spans
+    /// of one cover, grouped by a stable sort on the unit index.
+    spans: Vec<(usize, usize, usize, usize)>,
+    /// Write path: the staging image of the unit being composed.
+    image: Vec<u8>,
 }
 
 impl<B: NvmBackend> Stl<B> {
@@ -135,6 +160,8 @@ impl<B: NvmBackend> Stl<B> {
             spaces: BTreeMap::new(),
             views: ViewRegistry::new(),
             next_id: 1,
+            plan_cache: PlanCache::new(config.plan_cache_capacity),
+            scratch: Scratch::default(),
         }
     }
 
@@ -205,6 +232,10 @@ impl<B: NvmBackend> Stl<B> {
             self.backend.release_unit(unit);
         }
         self.views.close_all_of(id);
+        // Not required for correctness (space ids are never reused), but
+        // plans of a dead space would otherwise sit in the cache until
+        // evicted.
+        self.plan_cache.invalidate_space(id);
         Ok(())
     }
 
@@ -288,6 +319,34 @@ impl<B: NvmBackend> Stl<B> {
         translator::translate(space.shape(), space.block_shape(), view, coord, sub_dims)
     }
 
+    /// Like [`plan`](Self::plan), but memoized through the [`PlanCache`] —
+    /// the entry point `read`/`write` use. A cached plan is shared, not
+    /// recomputed, and compares equal to a fresh [`plan`](Self::plan) of the
+    /// same request (translation is a pure function of shapes and geometry).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`plan`](Self::plan). Errors are never cached.
+    pub fn plan_cached(
+        &mut self,
+        id: SpaceId,
+        view: &Shape,
+        coord: &[u64],
+        sub_dims: &[u64],
+    ) -> Result<Arc<Translation>, NdsError> {
+        let space = self.spaces.get(&id).ok_or(NdsError::UnknownSpace(id))?;
+        let (shape, block) = (space.shape(), space.block_shape());
+        self.plan_cache
+            .get_or_translate(id, view, coord, sub_dims, || {
+                translator::translate(shape, block, view, coord, sub_dims)
+            })
+    }
+
+    /// The translation-plan cache (hit/miss counters for the stats sinks).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
     /// Reads the partition at `coord` (extent `sub_dims`) of `view`,
     /// assembling it into a dense buffer in view order. Unwritten elements
     /// read as zero, like fresh storage.
@@ -302,45 +361,97 @@ impl<B: NvmBackend> Stl<B> {
         coord: &[u64],
         sub_dims: &[u64],
     ) -> Result<(Vec<u8>, AccessReport), NdsError> {
-        let translation = self.plan(id, view, coord, sub_dims)?;
-        let space = self.spaces.get(&id).expect("checked by plan");
+        let mut buffer = Vec::new();
+        let report = self.read_into(id, view, coord, sub_dims, &mut buffer)?;
+        Ok((buffer, report))
+    }
+
+    /// Like [`read`](Self::read), but assembles into a caller-provided
+    /// buffer, which is cleared and resized to the partition — repeated
+    /// same-shaped reads through one buffer perform no per-request
+    /// allocation. The report is identical to [`read`](Self::read)'s.
+    ///
+    /// # Errors
+    ///
+    /// [`NdsError::UnknownSpace`] plus translation errors.
+    pub fn read_into(
+        &mut self,
+        id: SpaceId,
+        view: &Shape,
+        coord: &[u64],
+        sub_dims: &[u64],
+        buf: &mut Vec<u8>,
+    ) -> Result<AccessReport, NdsError> {
+        let translation = self.plan_cached(id, view, coord, sub_dims)?;
+        let space = self.spaces.get(&id).expect("checked by plan_cached");
         let unit_bytes = space.block_shape().unit_bytes() as u64;
 
-        let mut buffer = vec![0u8; translation.total_bytes as usize];
+        buf.clear();
+        buf.resize(translation.total_bytes as usize, 0);
         let mut blocks = Vec::with_capacity(translation.blocks.len());
         for cover in &translation.blocks {
             let Some(entry) = space.tree().get(&cover.coord) else {
                 continue; // never-written block: zeros
             };
             // Units overlapped by this cover's segments, deduplicated in
-            // sequential order.
-            let mut touched: BTreeMap<usize, UnitLocation> = BTreeMap::new();
+            // sequential order (ascending unit index, exactly the order the
+            // per-unit map used to yield — reports stay bit-identical).
+            self.scratch.touched.clear();
             for seg in &cover.segments {
                 let first = (seg.block_offset / unit_bytes) as usize;
                 let last = ((seg.block_offset + seg.len - 1) / unit_bytes) as usize;
                 for u in first..=last {
                     if let Some(loc) = entry.units[u] {
-                        touched.insert(u, loc);
+                        self.scratch.touched.push((u, loc));
                     }
                 }
             }
-            // Assemble: copy each segment from unit data into the buffer.
+            self.scratch.touched.sort_unstable();
+            self.scratch.touched.dedup();
+            // One batched fetch per cover: each distinct unit is read once,
+            // not once per overlapping segment.
+            self.scratch.locs.clear();
+            self.scratch
+                .locs
+                .extend(self.scratch.touched.iter().map(|&(_, loc)| loc));
+            let fetched = self.backend.read_units(&self.scratch.locs);
+            // Assemble: copy each segment from the fetched units into `buf`.
             for seg in &cover.segments {
-                copy_from_units(&self.backend, entry, unit_bytes, seg, &mut buffer)?;
+                let mut block_off = seg.block_offset;
+                let mut buf_off = seg.buffer_offset as usize;
+                let mut remaining = seg.len;
+                while remaining > 0 {
+                    let unit_idx = (block_off / unit_bytes) as usize;
+                    let unit_off = (block_off % unit_bytes) as usize;
+                    let take = remaining.min(unit_bytes - unit_off as u64) as usize;
+                    // Unallocated units read as zero; `buf` is pre-zeroed.
+                    if let Ok(pos) = self
+                        .scratch
+                        .touched
+                        .binary_search_by_key(&unit_idx, |&(u, _)| u)
+                    {
+                        let loc = self.scratch.touched[pos].1;
+                        let data = fetched[pos].as_deref().ok_or(NdsError::MissingUnit(loc))?;
+                        buf[buf_off..buf_off + take]
+                            .copy_from_slice(&data[unit_off..unit_off + take]);
+                    }
+                    block_off += take as u64;
+                    buf_off += take;
+                    remaining -= take as u64;
+                }
             }
             blocks.push(BlockAccess {
                 coord: cover.coord.clone(),
-                units: touched.into_values().collect(),
+                units: self.scratch.locs.clone(),
                 sector_bytes: sector_rounded(&cover.segments),
             });
         }
-        let report = AccessReport {
+        Ok(AccessReport {
             blocks,
             segments: translation.segment_count(),
             bytes: translation.total_bytes,
             min_segment_bytes: translation.min_segment_bytes(),
-        };
-        Ok((buffer, report))
+        })
     }
 
     /// Writes `data` (dense, in view order) to the partition at `coord` of
@@ -360,21 +471,24 @@ impl<B: NvmBackend> Stl<B> {
         sub_dims: &[u64],
         data: &[u8],
     ) -> Result<WriteReport, NdsError> {
-        let translation = self.plan(id, view, coord, sub_dims)?;
+        let translation = self.plan_cached(id, view, coord, sub_dims)?;
         if data.len() as u64 != translation.total_bytes {
             return Err(NdsError::BadPayloadSize {
                 got: data.len(),
                 expected: translation.total_bytes as usize,
             });
         }
-        let space = self.spaces.get_mut(&id).expect("checked by plan");
+        let space = self.spaces.get_mut(&id).expect("checked by plan_cached");
         let unit_bytes = space.block_shape().unit_bytes() as usize;
 
         let mut blocks = Vec::with_capacity(translation.blocks.len());
         let mut rmw_units = 0u64;
         for cover in &translation.blocks {
-            // Group this block's dirty byte spans per unit.
-            let mut per_unit: BTreeMap<usize, Vec<(usize, usize, usize)>> = BTreeMap::new();
+            // Group this block's dirty byte spans per unit: collect flat,
+            // then stable-sort by unit index. Ascending units with spans in
+            // discovery order — the same grouping the per-unit map produced,
+            // so reports stay bit-identical.
+            self.scratch.spans.clear();
             for seg in &cover.segments {
                 let mut block_off = seg.block_offset as usize;
                 let mut buf_off = seg.buffer_offset as usize;
@@ -383,48 +497,63 @@ impl<B: NvmBackend> Stl<B> {
                     let unit_idx = block_off / unit_bytes;
                     let unit_off = block_off % unit_bytes;
                     let take = remaining.min(unit_bytes - unit_off);
-                    per_unit
-                        .entry(unit_idx)
-                        .or_default()
-                        .push((unit_off, buf_off, take));
+                    self.scratch.spans.push((unit_idx, unit_off, buf_off, take));
                     block_off += take;
                     buf_off += take;
                     remaining -= take;
                 }
             }
+            self.scratch.spans.sort_by_key(|&(unit_idx, ..)| unit_idx);
 
             let entry = space.tree_mut().get_or_insert(&cover.coord);
-            let mut written = Vec::with_capacity(per_unit.len());
-            for (unit_idx, spans) in per_unit {
-                let covered: usize = spans.iter().map(|&(_, _, len)| len).sum();
+            let mut written = Vec::new();
+            let mut start = 0;
+            while start < self.scratch.spans.len() {
+                let unit_idx = self.scratch.spans[start].0;
+                let mut end = start + 1;
+                while end < self.scratch.spans.len() && self.scratch.spans[end].0 == unit_idx {
+                    end += 1;
+                }
+                let spans = start..end;
+                start = end;
+
+                let covered: usize = self.scratch.spans[spans.clone()]
+                    .iter()
+                    .map(|&(_, _, _, len)| len)
+                    .sum();
                 let full = covered == unit_bytes;
                 let old = entry.units[unit_idx];
                 // Base image: zeros for fresh/full writes, the old unit's
-                // bytes for a partial overwrite (read-modify-write).
-                let mut image = vec![0u8; unit_bytes];
+                // bytes for a partial overwrite (read-modify-write). The
+                // staging buffer is reused across units and requests.
+                self.scratch.image.clear();
+                self.scratch.image.resize(unit_bytes, 0);
                 if !full {
                     if let Some(old_loc) = old {
                         if let Some(existing) = self.backend.read_unit(old_loc) {
-                            image.copy_from_slice(&existing);
+                            self.scratch.image.copy_from_slice(&existing);
                         }
                         rmw_units += 1;
                     }
                 }
-                for (unit_off, buf_off, len) in spans {
-                    image[unit_off..unit_off + len]
+                for span in spans {
+                    let (_, unit_off, buf_off, len) = self.scratch.spans[span];
+                    self.scratch.image[unit_off..unit_off + len]
                         .copy_from_slice(&data[buf_off..buf_off + len]);
                 }
                 // §8: all-zero units need no physical storage — unallocated
                 // units already read back as zeros.
-                if self.config.zero_unit_elision && image.iter().all(|&b| b == 0) {
+                if self.config.zero_unit_elision && self.scratch.image.iter().all(|&b| b == 0) {
                     if let Some(old_loc) = old {
                         self.backend.release_unit(old_loc);
                         entry.units[unit_idx] = None;
                     }
                     continue;
                 }
-                let target = self.allocator.allocate(&mut self.backend, &entry.units, old)?;
-                self.backend.write_unit(target, image);
+                let target = self
+                    .allocator
+                    .allocate(&mut self.backend, &entry.units, old)?;
+                self.backend.write_unit(target, &self.scratch.image);
                 if let Some(old_loc) = old {
                     self.backend.release_unit(old_loc);
                 }
@@ -464,41 +593,17 @@ fn sector_rounded(segments: &[Segment]) -> u64 {
     for seg in segments {
         let first = seg.block_offset / SECTOR;
         let last = (seg.block_offset + seg.len - 1) / SECTOR;
-        let start = if first == last_sector_end { first + 1 } else { first };
+        let start = if first == last_sector_end {
+            first + 1
+        } else {
+            first
+        };
         if last >= start {
             bytes += (last - start + 1) * SECTOR;
         }
         last_sector_end = last;
     }
     bytes
-}
-
-/// Copies one translation segment out of a block's units into `buffer`.
-fn copy_from_units<B: NvmBackend>(
-    backend: &B,
-    entry: &crate::btree::BlockEntry,
-    unit_bytes: u64,
-    seg: &Segment,
-    buffer: &mut [u8],
-) -> Result<(), NdsError> {
-    let mut block_off = seg.block_offset;
-    let mut buf_off = seg.buffer_offset as usize;
-    let mut remaining = seg.len;
-    while remaining > 0 {
-        let unit_idx = (block_off / unit_bytes) as usize;
-        let unit_off = (block_off % unit_bytes) as usize;
-        let take = remaining.min(unit_bytes - unit_off as u64) as usize;
-        if let Some(loc) = entry.units[unit_idx] {
-            let data = backend.read_unit(loc).ok_or(NdsError::MissingUnit(loc))?;
-            buffer[buf_off..buf_off + take]
-                .copy_from_slice(&data[unit_off..unit_off + take]);
-        }
-        // Unallocated units read as zero; the buffer is pre-zeroed.
-        block_off += take as u64;
-        buf_off += take;
-        remaining -= take as u64;
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -699,6 +804,93 @@ mod tests {
             (meta as f64) < 0.01 * payload as f64,
             "translation metadata {meta} B should be ≪ payload {payload} B"
         );
+    }
+
+    #[test]
+    fn read_into_matches_read_and_reuses_capacity() {
+        let mut s = stl();
+        let shape = Shape::new([64, 64]);
+        let id = s.create_space(shape.clone(), ElementType::F32).unwrap();
+        let data: Vec<f32> = (0..64 * 64).map(|i| i as f32).collect();
+        s.write(id, &shape, &[0, 0], &[64, 64], &f32_bytes(&data))
+            .unwrap();
+        let (owned, report_owned) = s.read(id, &shape, &[1, 1], &[32, 32]).unwrap();
+        let mut buf = Vec::new();
+        let report_into = s
+            .read_into(id, &shape, &[1, 1], &[32, 32], &mut buf)
+            .unwrap();
+        assert_eq!(buf, owned);
+        assert_eq!(report_into, report_owned);
+        // A second same-shaped read must not grow the buffer's allocation.
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        s.read_into(id, &shape, &[0, 0], &[32, 32], &mut buf)
+            .unwrap();
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.as_ptr(), ptr, "no reallocation on reuse");
+    }
+
+    #[test]
+    fn plan_cache_counts_hits_and_misses() {
+        let mut s = stl();
+        let shape = Shape::new([64, 64]);
+        let id = s.create_space(shape.clone(), ElementType::F32).unwrap();
+        let data = vec![1u8; 64 * 64 * 4];
+        s.write(id, &shape, &[0, 0], &[64, 64], &data).unwrap(); // miss
+        for _ in 0..3 {
+            s.read(id, &shape, &[0, 0], &[64, 64]).unwrap(); // same key: hits
+        }
+        s.read(id, &shape, &[1, 1], &[32, 32]).unwrap(); // new key: miss
+        assert_eq!(s.plan_cache().hits(), 3);
+        assert_eq!(s.plan_cache().misses(), 2);
+    }
+
+    #[test]
+    fn reports_identical_with_cache_on_and_off() {
+        let run = |capacity: usize| {
+            let backend = MemBackend::new(DeviceSpec::new(8, 4, 512), 4096);
+            let mut s = Stl::new(
+                backend,
+                StlConfig {
+                    plan_cache_capacity: capacity,
+                    ..StlConfig::default()
+                },
+            );
+            let shape = Shape::new([64, 64]);
+            let id = s.create_space(shape.clone(), ElementType::F32).unwrap();
+            let data: Vec<f32> = (0..64 * 64).map(|i| (i % 97) as f32).collect();
+            let mut log = Vec::new();
+            log.push(format!(
+                "{:?}",
+                s.write(id, &shape, &[0, 0], &[64, 64], &f32_bytes(&data))
+                    .unwrap()
+            ));
+            for coord in [[0u64, 0], [1, 0], [0, 1], [1, 1], [0, 0], [1, 1]] {
+                let (bytes, report) = s.read(id, &shape, &coord, &[32, 32]).unwrap();
+                log.push(format!("{report:?}"));
+                log.push(format!("{bytes:?}"));
+            }
+            log.push(format!(
+                "{:?}",
+                s.write(id, &shape, &[3, 7], &[5, 5], &f32_bytes(&[9.0; 25]))
+                    .unwrap()
+            ));
+            log
+        };
+        assert_eq!(run(0), run(128), "cache must not change any report or byte");
+    }
+
+    #[test]
+    fn cached_plan_equals_fresh_plan() {
+        let mut s = stl();
+        let shape = Shape::new([64, 64]);
+        let id = s.create_space(shape.clone(), ElementType::F32).unwrap();
+        let fresh = s.plan(id, &shape, &[1, 1], &[16, 16]).unwrap();
+        let cached_miss = s.plan_cached(id, &shape, &[1, 1], &[16, 16]).unwrap();
+        let cached_hit = s.plan_cached(id, &shape, &[1, 1], &[16, 16]).unwrap();
+        assert_eq!(*cached_miss, fresh);
+        assert_eq!(*cached_hit, fresh);
+        assert_eq!(s.plan_cache().hits(), 1);
     }
 
     fn total_free(s: &Stl<MemBackend>) -> usize {

@@ -124,7 +124,7 @@ impl SectionCipher {
 /// let inner = MemBackend::new(DeviceSpec::new(4, 2, 64), 32);
 /// let mut b = SecureBackend::new(inner, SectionCipher::new(42));
 /// let loc = b.alloc_unit(0, 0).unwrap();
-/// b.write_unit(loc, vec![5u8; 64]);
+/// b.write_unit(loc, &[5u8; 64]);
 /// // Transparent to readers…
 /// assert_eq!(b.read_unit(loc).unwrap().as_ref(), vec![5u8; 64].as_slice());
 /// // …but the medium holds ciphertext.
@@ -175,9 +175,10 @@ impl<B: NvmBackend> NvmBackend for SecureBackend<B> {
         Some(Cow::Owned(data))
     }
 
-    fn write_unit(&mut self, loc: UnitLocation, mut data: Vec<u8>) {
-        self.cipher.encrypt(Self::tweak(loc), &mut data);
-        self.inner.write_unit(loc, data);
+    fn write_unit(&mut self, loc: UnitLocation, data: &[u8]) {
+        let mut ciphertext = data.to_vec();
+        self.cipher.encrypt(Self::tweak(loc), &mut ciphertext);
+        self.inner.write_unit(loc, &ciphertext);
     }
 }
 
@@ -209,7 +210,10 @@ pub mod unit_codec {
     ///
     /// Panics on truncated input (odd length).
     pub fn decompress(data: &[u8]) -> Vec<u8> {
-        assert!(data.len().is_multiple_of(2), "rle stream must be (len, byte) pairs");
+        assert!(
+            data.len().is_multiple_of(2),
+            "rle stream must be (len, byte) pairs"
+        );
         let mut out = Vec::with_capacity(data.len() * 2);
         for pair in data.chunks_exact(2) {
             out.extend(std::iter::repeat_n(pair[1], pair[0] as usize + 1));
@@ -300,10 +304,10 @@ impl<B: NvmBackend> NvmBackend for CompressedBackend<B> {
         Some(Cow::Owned(data))
     }
 
-    fn write_unit(&mut self, loc: UnitLocation, data: Vec<u8>) {
+    fn write_unit(&mut self, loc: UnitLocation, data: &[u8]) {
         let unit = self.spec().unit_bytes as usize;
         assert_eq!(data.len(), unit, "unit writes must be exactly one unit");
-        let compressed = unit_codec::compress(&data);
+        let compressed = unit_codec::compress(data);
         self.raw += unit as u64;
         if compressed.len() + 4 <= unit {
             self.saved += (unit - compressed.len() - 4) as u64;
@@ -312,14 +316,14 @@ impl<B: NvmBackend> NvmBackend for CompressedBackend<B> {
             stored.extend_from_slice(&(compressed.len() as u32).to_le_bytes());
             stored.extend_from_slice(&compressed);
             stored.resize(unit, 0);
-            self.inner.write_unit(loc, stored);
+            self.inner.write_unit(loc, &stored);
         } else {
             // Incompressible: a real controller stores the page raw. The
             // medium gets a marker image; the raw bytes live beside it.
             let mut stored = vec![0u8; unit];
             stored[..4].copy_from_slice(&u32::MAX.to_le_bytes());
-            self.incompressible.insert(loc, data);
-            self.inner.write_unit(loc, stored);
+            self.incompressible.insert(loc, data.to_vec());
+            self.inner.write_unit(loc, &stored);
         }
     }
 }
@@ -327,7 +331,6 @@ impl<B: NvmBackend> NvmBackend for CompressedBackend<B> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
 
     #[test]
     fn cipher_round_trips_all_sizes() {

@@ -16,9 +16,7 @@ use crate::shape::Shape;
 use crate::space::SpaceId;
 
 /// The dynamic identifier `open_space` hands back for one application view.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ViewId(pub u64);
 
 impl core::fmt::Display for ViewId {

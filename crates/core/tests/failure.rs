@@ -5,8 +5,7 @@
 use std::borrow::Cow;
 
 use nds_core::{
-    DeviceSpec, ElementType, MemBackend, NdsError, NvmBackend, Shape, Stl, StlConfig,
-    UnitLocation,
+    DeviceSpec, ElementType, MemBackend, NdsError, NvmBackend, Shape, Stl, StlConfig, UnitLocation,
 };
 
 /// A backend that starts failing allocations after a budget is exhausted —
@@ -54,7 +53,7 @@ impl NvmBackend for FlakyBackend {
         self.inner.read_unit(loc)
     }
 
-    fn write_unit(&mut self, loc: UnitLocation, data: Vec<u8>) {
+    fn write_unit(&mut self, loc: UnitLocation, data: &[u8]) {
         self.inner.write_unit(loc, data);
     }
 }

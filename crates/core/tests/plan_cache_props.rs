@@ -1,0 +1,133 @@
+//! Property-based equivalence tests for the translation-plan cache.
+//!
+//! The plan cache is a pure wall-clock optimization: translation depends only
+//! on space geometry (shape, block shape, view, coordinate, sub-dims), never
+//! on allocation state, so a memoized plan must be *identical* to a freshly
+//! computed one, and every observable output of the STL — payload bytes,
+//! [`AccessReport`]s, [`WriteReport`]s — must be bit-identical whether the
+//! cache is enabled or disabled. These properties back the "modeled time
+//! untouched" invariant the simulator relies on.
+//!
+//! [`AccessReport`]: nds_core::AccessReport
+//! [`WriteReport`]: nds_core::WriteReport
+
+use proptest::prelude::*;
+
+use nds_core::{DeviceSpec, ElementType, MemBackend, Shape, Stl, StlConfig};
+
+fn spec() -> DeviceSpec {
+    DeviceSpec::new(4, 2, 64)
+}
+
+/// A small but varied space shape: 1–3 dims of 1..=48 elements.
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    prop::collection::vec(1u64..=48, 1..=3).prop_map(Shape::new)
+}
+
+/// An aligned partition of `shape`: per dim, a sub-extent dividing the dim
+/// and a partition coordinate inside the resulting grid.
+fn partition_of(shape: &Shape) -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    let dims: Vec<u64> = shape.dims().to_vec();
+    let per_dim: Vec<_> = dims
+        .iter()
+        .map(|&d| {
+            let divs: Vec<u64> = (1..=d).filter(|s| d % s == 0).collect();
+            (0usize..divs.len()).prop_flat_map(move |i| {
+                let sub = divs[i];
+                (Just(sub), 0..d / sub)
+            })
+        })
+        .collect();
+    per_dim.prop_map(|pairs| {
+        let (sub, coord): (Vec<u64>, Vec<u64>) = pairs.into_iter().unzip();
+        (sub, coord)
+    })
+}
+
+fn stl_with_capacity(seed: u64, capacity: usize) -> Stl<MemBackend> {
+    let backend = MemBackend::new(spec(), 65536);
+    Stl::new(
+        backend,
+        StlConfig {
+            seed,
+            plan_cache_capacity: capacity,
+            ..StlConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A plan served from the cache equals a freshly translated one, for
+    /// arbitrary aligned partition requests — including repeat requests
+    /// that hit the cache.
+    #[test]
+    fn cached_plan_equals_fresh_plan(
+        (shape, (sub, coord)) in shape_strategy().prop_flat_map(|s| {
+            let p = partition_of(&s);
+            (Just(s), p)
+        }),
+        seed in any::<u64>(),
+    ) {
+        let mut cached = stl_with_capacity(seed, 64);
+        let mut fresh = stl_with_capacity(seed, 0);
+        let id_c = cached.create_space(shape.clone(), ElementType::F32).unwrap();
+        let id_f = fresh.create_space(shape.clone(), ElementType::F32).unwrap();
+        prop_assert_eq!(id_c, id_f);
+
+        // First call populates the cache; second is served from it.
+        let first = cached.plan_cached(id_c, &shape, &coord, &sub).unwrap();
+        let hit = cached.plan_cached(id_c, &shape, &coord, &sub).unwrap();
+        let direct = fresh.plan_cached(id_f, &shape, &coord, &sub).unwrap();
+        prop_assert_eq!(&*first, &*direct, "memoized plan diverges from fresh");
+        prop_assert_eq!(&*hit, &*direct, "cache-hit plan diverges from fresh");
+        prop_assert!(cached.plan_cache().hits() >= 1, "second lookup must hit");
+        prop_assert_eq!(fresh.plan_cache().hits(), 0);
+    }
+
+    /// With the cache on vs off, an identical request trace produces
+    /// identical bytes, identical [`AccessReport`]s, and identical
+    /// [`WriteReport`]s — repeats included, so the on-side serves plans
+    /// from the cache while the off-side recomputes every time.
+    ///
+    /// [`AccessReport`]: nds_core::AccessReport
+    /// [`WriteReport`]: nds_core::WriteReport
+    #[test]
+    fn cache_on_and_off_produce_identical_reads(
+        (shape, parts) in shape_strategy().prop_flat_map(|s| {
+            let ps = prop::collection::vec(partition_of(&s), 1..=4);
+            (Just(s), ps)
+        }),
+        seed in any::<u64>(),
+    ) {
+        let mut on = stl_with_capacity(seed, 128);
+        let mut off = stl_with_capacity(seed, 0);
+        let id_on = on.create_space(shape.clone(), ElementType::F32).unwrap();
+        let id_off = off.create_space(shape.clone(), ElementType::F32).unwrap();
+
+        // Position-dependent payload so assembly errors are visible.
+        let volume = shape.volume() as usize;
+        let data: Vec<u8> = (0..volume)
+            .flat_map(|i| (i as f32).to_le_bytes())
+            .collect();
+        let full: Vec<u64> = shape.dims().to_vec();
+        let zeros = vec![0u64; shape.ndims()];
+        let w_on = on.write(id_on, &shape, &zeros, &full, &data).unwrap();
+        let w_off = off.write(id_off, &shape, &zeros, &full, &data).unwrap();
+        prop_assert_eq!(w_on, w_off, "write reports diverge");
+
+        // Replay the trace twice so the second pass is all cache hits.
+        let mut buf_on = Vec::new();
+        let mut buf_off = Vec::new();
+        for (sub, coord) in parts.iter().chain(parts.iter()) {
+            let r_on = on.read_into(id_on, &shape, coord, sub, &mut buf_on).unwrap();
+            let r_off = off.read_into(id_off, &shape, coord, sub, &mut buf_off).unwrap();
+            prop_assert_eq!(&buf_on, &buf_off, "payload bytes diverge");
+            prop_assert_eq!(&r_on, &r_off, "access reports diverge");
+        }
+        prop_assert!(on.plan_cache().hits() >= parts.len() as u64);
+        prop_assert_eq!(off.plan_cache().hits(), 0);
+        prop_assert_eq!(off.plan_cache().len(), 0, "capacity 0 must store nothing");
+    }
+}

@@ -40,7 +40,13 @@ fn spec() -> DeviceSpec {
 }
 
 fn block_for(shape: &Shape) -> BlockShape {
-    BlockShape::for_space(shape, ElementType::F32, spec(), BlockDimensionality::Auto, 1)
+    BlockShape::for_space(
+        shape,
+        ElementType::F32,
+        spec(),
+        BlockDimensionality::Auto,
+        1,
+    )
 }
 
 proptest! {
@@ -199,7 +205,9 @@ fn view_lifecycle_matches_direct_requests() {
     let backend = MemBackend::new(spec(), 65536);
     let mut stl = Stl::new(backend, StlConfig::default());
     let producer = Shape::new([64, 64]);
-    let id = stl.create_space(producer.clone(), ElementType::F32).unwrap();
+    let id = stl
+        .create_space(producer.clone(), ElementType::F32)
+        .unwrap();
     let data: Vec<u8> = (0..64u32 * 64 * 4).map(|i| (i % 251) as u8).collect();
     stl.write(id, &producer, &[0, 0], &[64, 64], &data).unwrap();
 
@@ -210,9 +218,7 @@ fn view_lifecycle_matches_direct_requests() {
 
     // View-addressed reads equal the equivalent direct reads.
     let (via_view, _) = stl.read_view(flat, &[1], &[1024]).unwrap();
-    let (direct, _) = stl
-        .read(id, &Shape::new([4096]), &[1], &[1024])
-        .unwrap();
+    let (direct, _) = stl.read(id, &Shape::new([4096]), &[1], &[1024]).unwrap();
     assert_eq!(via_view, direct);
     let (via_wide, _) = stl.read_view(wide, &[0, 1], &[128, 16]).unwrap();
     assert_eq!(via_wide.len(), 128 * 16 * 4);
@@ -277,7 +283,10 @@ fn zero_units_consume_no_storage() {
     sparse[0] = 1; // one non-zero element in the first unit
     stl.write(id, &shape, &[0, 0], &[64, 64], &sparse).unwrap();
     let used = before - total_free(&stl);
-    assert!((1..=2).contains(&used), "expected ~1 unit allocated, got {used}");
+    assert!(
+        (1..=2).contains(&used),
+        "expected ~1 unit allocated, got {used}"
+    );
     let (out, _) = stl.read(id, &shape, &[0, 0], &[64, 64]).unwrap();
     assert_eq!(out, sparse);
 

@@ -64,7 +64,9 @@ fn three_d_round_trip_with_sub_cube_reads() {
     let mut stl = stl_3d();
     let shape = Shape::new([32, 32, 32]);
     let id = stl.create_space(shape.clone(), ElementType::F32).unwrap();
-    let data: Vec<u8> = (0..32u64 * 32 * 32 * 4).map(|i| (i * 7 % 251) as u8).collect();
+    let data: Vec<u8> = (0..32u64 * 32 * 32 * 4)
+        .map(|i| (i * 7 % 251) as u8)
+        .collect();
     stl.write(id, &shape, &[0, 0, 0], &[32, 32, 32], &data)
         .unwrap();
 

@@ -54,7 +54,8 @@ fn medium_holds_ciphertext() {
     // Uniform non-zero plaintext (all-zero units are elided per §8 and
     // would never reach the medium).
     let plaintext = vec![0x11u8; 64 * 64 * 4];
-    stl.write(id, &shape, &[0, 0], &[64, 64], &plaintext).unwrap();
+    stl.write(id, &shape, &[0, 0], &[64, 64], &plaintext)
+        .unwrap();
     // Every allocated unit's at-rest image must differ from the plaintext.
     let space = stl.space(id).unwrap();
     let unit = stl.backend().spec().unit_bytes as usize;

@@ -21,9 +21,7 @@ fn element_oracle(
     let mut counter = vec![0u64; ndims];
     let volume = region.volume();
     for _ in 0..volume {
-        let coord: Vec<u64> = (0..ndims)
-            .map(|i| region.origin[i] + counter[i])
-            .collect();
+        let coord: Vec<u64> = (0..ndims).map(|i| region.origin[i] + counter[i]).collect();
         let linear = view.linear_index(&coord);
         let storage = space.coord_at(linear);
         let block: Vec<u64> = storage

@@ -61,10 +61,7 @@ impl FlashDevice {
     ///
     /// Panics if the geometry fails [`FlashGeometry::validate`].
     pub fn new(config: FlashConfig) -> Self {
-        config
-            .geometry
-            .validate()
-            .expect("invalid flash geometry");
+        config.geometry.validate().expect("invalid flash geometry");
         let g = config.geometry;
         let total_pages = g.total_pages();
         let total_banks = g.total_banks();
@@ -325,12 +322,11 @@ impl FlashDevice {
     /// Like [`schedule_reads`](Self::schedule_reads) but returns the
     /// completion instant of every page, in input order — used by assembly
     /// models that start work as soon as individual pages land.
-    pub fn schedule_reads_detailed(
-        &mut self,
-        pages: &[PageAddr],
-        ready: SimTime,
-    ) -> Vec<SimTime> {
-        let transfer = self.config.timing.transfer_time(self.config.geometry.page_size);
+    pub fn schedule_reads_detailed(&mut self, pages: &[PageAddr], ready: SimTime) -> Vec<SimTime> {
+        let transfer = self
+            .config
+            .timing
+            .transfer_time(self.config.geometry.page_size);
         let read_lat = self.config.timing.read_latency;
         pages
             .iter()
@@ -345,7 +341,10 @@ impl FlashDevice {
     /// instant. Data crosses the channel bus first, then the bank holds for
     /// the program latency.
     pub fn schedule_programs(&mut self, pages: &[PageAddr], ready: SimTime) -> SimTime {
-        let transfer = self.config.timing.transfer_time(self.config.geometry.page_size);
+        let transfer = self
+            .config
+            .timing
+            .transfer_time(self.config.geometry.page_size);
         let prog_lat = self.config.timing.program_latency;
         pages
             .iter()
@@ -359,7 +358,8 @@ impl FlashDevice {
     /// Schedules a block erase and returns its completion instant.
     pub fn schedule_erase(&mut self, block: BlockAddr, ready: SimTime) -> SimTime {
         let bank_id = block.channel * self.config.geometry.banks_per_channel + block.bank;
-        self.banks.acquire(bank_id, ready, self.config.timing.erase_latency)
+        self.banks
+            .acquire(bank_id, ready, self.config.timing.erase_latency)
     }
 
     /// The instant at which every channel and bank has drained its committed
@@ -429,10 +429,7 @@ mod tests {
         let ps = d.geometry().page_size;
         let a = page(0, 0, 0, 0);
         d.program(a, vec![1; ps]).unwrap();
-        assert_eq!(
-            d.program(a, vec![2; ps]),
-            Err(FlashError::PageNotFree(a))
-        );
+        assert_eq!(d.program(a, vec![2; ps]), Err(FlashError::PageNotFree(a)));
     }
 
     #[test]
@@ -537,9 +534,7 @@ mod tests {
         let batch = [page(0, 0, 0, 0), page(0, 1, 0, 0)];
         let done = d.schedule_reads(&batch, SimTime::ZERO);
         let t = *d.timing();
-        let expect = SimTime::ZERO
-            + t.read_latency
-            + t.transfer_time(d.geometry().page_size) * 2;
+        let expect = SimTime::ZERO + t.read_latency + t.transfer_time(d.geometry().page_size) * 2;
         assert_eq!(done, expect);
     }
 
@@ -550,9 +545,7 @@ mod tests {
         let done = d.schedule_reads(&batch, SimTime::ZERO);
         let t = *d.timing();
         // Second sense starts only after the first completes.
-        let expect = SimTime::ZERO
-            + t.read_latency * 2
-            + t.transfer_time(d.geometry().page_size);
+        let expect = SimTime::ZERO + t.read_latency * 2 + t.transfer_time(d.geometry().page_size);
         assert_eq!(done, expect);
     }
 
@@ -561,8 +554,7 @@ mod tests {
         let mut d = dev();
         let done = d.schedule_programs(&[page(0, 0, 0, 0)], SimTime::ZERO);
         let t = *d.timing();
-        let expect =
-            SimTime::ZERO + t.transfer_time(d.geometry().page_size) + t.program_latency;
+        let expect = SimTime::ZERO + t.transfer_time(d.geometry().page_size) + t.program_latency;
         assert_eq!(done, expect);
     }
 

@@ -130,7 +130,8 @@ impl Ftl {
     /// Reads the bytes of `lba` without touching timing or counters (the
     /// functional peek used when a system accounts device time separately).
     pub fn peek(&self, lba: u64) -> Option<&[u8]> {
-        self.physical_of(lba).and_then(|addr| self.device.peek(addr))
+        self.physical_of(lba)
+            .and_then(|addr| self.device.peek(addr))
     }
 
     /// The `(channel, bank)` lane that LBA striping assigns to `lba`.
@@ -343,7 +344,10 @@ mod tests {
     use crate::FlashConfig;
 
     fn ftl() -> Ftl {
-        Ftl::new(FlashDevice::new(FlashConfig::small_test()), FtlConfig::default())
+        Ftl::new(
+            FlashDevice::new(FlashConfig::small_test()),
+            FtlConfig::default(),
+        )
     }
 
     fn pagev(ftl: &Ftl, fill: u8) -> Vec<u8> {

@@ -116,7 +116,10 @@ impl FlashGeometry {
     ///
     /// Panics if `index >= total_pages()`.
     pub fn page_at(&self, index: usize) -> PageAddr {
-        assert!(index < self.total_pages(), "page index {index} out of range");
+        assert!(
+            index < self.total_pages(),
+            "page index {index} out of range"
+        );
         let page = index % self.pages_per_block;
         let rest = index / self.pages_per_block;
         let block = rest % self.blocks_per_bank;

@@ -8,7 +8,10 @@ use nds_flash::{FlashConfig, FlashDevice, Ftl, FtlConfig, PageAddr};
 use nds_sim::SimTime;
 
 fn small_ftl() -> Ftl {
-    Ftl::new(FlashDevice::new(FlashConfig::small_test()), FtlConfig::default())
+    Ftl::new(
+        FlashDevice::new(FlashConfig::small_test()),
+        FtlConfig::default(),
+    )
 }
 
 proptest! {

@@ -24,9 +24,7 @@ pub const MAX_ELEMENTS_PER_DIM: u64 = 1 << 24;
 /// The paper's `open_space` returns a 64-bit identifier plus a dynamic space
 /// ID that distinguishes per-application *views*; we fold both into one
 /// opaque 64-bit handle.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SpaceId(pub u64);
 
 impl fmt::Display for SpaceId {
@@ -194,8 +192,12 @@ impl NvmeCommand {
                 check_dims(dims)
             }
             NvmeCommand::CloseSpace { .. } | NvmeCommand::DeleteSpace { .. } => Ok(()),
-            NvmeCommand::NdsRead { coord, sub_dims, .. }
-            | NvmeCommand::NdsWrite { coord, sub_dims, .. } => {
+            NvmeCommand::NdsRead {
+                coord, sub_dims, ..
+            }
+            | NvmeCommand::NdsWrite {
+                coord, sub_dims, ..
+            } => {
                 if coord.len() != sub_dims.len() {
                     return Err(CommandError::MismatchedArity {
                         coord: coord.len(),

@@ -138,13 +138,20 @@ mod tests {
         let link = Link::new(LinkConfig::nvmeof_40g());
         let peak = link.config().peak.bytes_per_sec_f64();
         let at_32k = link.effective_bandwidth(32 * 1024).bytes_per_sec_f64() / peak;
-        let at_2m = link.effective_bandwidth(2 * 1024 * 1024).bytes_per_sec_f64() / peak;
+        let at_2m = link
+            .effective_bandwidth(2 * 1024 * 1024)
+            .bytes_per_sec_f64()
+            / peak;
         assert!(
             (at_32k - 0.66).abs() < 0.04,
             "32 KB should reach ~66% of peak, got {:.0}%",
             at_32k * 100.0
         );
-        assert!(at_2m > 0.98, "2 MB should saturate, got {:.0}%", at_2m * 100.0);
+        assert!(
+            at_2m > 0.98,
+            "2 MB should saturate, got {:.0}%",
+            at_2m * 100.0
+        );
     }
 
     #[test]

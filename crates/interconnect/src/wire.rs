@@ -171,8 +171,16 @@ pub fn encode(cmd: &NvmeCommand) -> Result<WireCommand, WireError> {
             put_u64(&mut entry, 0, u64::from(op) | EXT_BIT);
             put_u64(&mut entry, 16, space.0);
         }
-        NvmeCommand::NdsRead { space, coord, sub_dims }
-        | NvmeCommand::NdsWrite { space, coord, sub_dims } => {
+        NvmeCommand::NdsRead {
+            space,
+            coord,
+            sub_dims,
+        }
+        | NvmeCommand::NdsWrite {
+            space,
+            coord,
+            sub_dims,
+        } => {
             let op = if matches!(cmd, NvmeCommand::NdsRead { .. }) {
                 OP_NDS_READ
             } else {
@@ -280,9 +288,17 @@ pub fn decode(wired: &WireCommand) -> Result<NvmeCommand, WireError> {
                 sub_dims.push(check_extent(get_u64(page.as_slice(), i * 16 + 8))?);
             }
             Ok(if opcode == OP_NDS_READ {
-                NvmeCommand::NdsRead { space, coord, sub_dims }
+                NvmeCommand::NdsRead {
+                    space,
+                    coord,
+                    sub_dims,
+                }
             } else {
-                NvmeCommand::NdsWrite { space, coord, sub_dims }
+                NvmeCommand::NdsWrite {
+                    space,
+                    coord,
+                    sub_dims,
+                }
             })
         }
         other => Err(WireError::UnknownOpcode(other)),
@@ -391,7 +407,10 @@ mod tests {
         })
         .unwrap();
         put_u64(&mut wired.entry, 24, 33);
-        assert_eq!(decode(&wired).unwrap_err(), WireError::BadDimensionCount(33));
+        assert_eq!(
+            decode(&wired).unwrap_err(),
+            WireError::BadDimensionCount(33)
+        );
     }
 
     #[test]

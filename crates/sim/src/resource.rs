@@ -133,7 +133,9 @@ impl ResourceSet {
     pub fn new(name: &str, count: usize) -> Self {
         assert!(count > 0, "a resource set needs at least one member");
         ResourceSet {
-            members: (0..count).map(|i| Resource::new(format!("{name}[{i}]"))).collect(),
+            members: (0..count)
+                .map(|i| Resource::new(format!("{name}[{i}]")))
+                .collect(),
         }
     }
 

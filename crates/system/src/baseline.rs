@@ -20,7 +20,7 @@ use nds_sim::{SimDuration, SimTime, Stats};
 
 use crate::config::SystemConfig;
 use crate::error::SystemError;
-use crate::frontend::{DatasetId, ReadOutcome, StorageFrontEnd, WriteOutcome};
+use crate::frontend::{DatasetId, ReadMetrics, ReadOutcome, StorageFrontEnd, WriteOutcome};
 
 #[derive(Debug, Clone)]
 struct Dataset {
@@ -239,7 +239,8 @@ impl StorageFrontEnd for BaselineSystem {
 
         // [P1] serialization: scattering the object into the linear layout.
         let marshal = if extents.len() > 1 {
-            self.cpu.scatter_copy_time(extents.len() as u64, total_bytes)
+            self.cpu
+                .scatter_copy_time(extents.len() as u64, total_bytes)
         } else {
             SimDuration::ZERO
         };
@@ -287,12 +288,11 @@ impl StorageFrontEnd for BaselineSystem {
             link_end = self.link.transfer(count * ps, SimTime::ZERO);
         }
         let submit = self.cpu.submit_time(commands.len() as u64);
-        let io = link_end
-            .saturating_since(SimTime::ZERO)
-            .max(submit);
+        let io = link_end.saturating_since(SimTime::ZERO).max(submit);
         let latency = marshal + io + program_end.saturating_since(SimTime::ZERO);
 
-        self.stats.add("system.write_commands", commands.len() as u64);
+        self.stats
+            .add("system.write_commands", commands.len() as u64);
         self.stats.add("system.write_bytes", total_bytes);
         Ok(WriteOutcome {
             latency,
@@ -308,6 +308,19 @@ impl StorageFrontEnd for BaselineSystem {
         coord: &[u64],
         sub_dims: &[u64],
     ) -> Result<ReadOutcome, SystemError> {
+        let mut data = Vec::new();
+        let metrics = self.read_into(id, view, coord, sub_dims, &mut data)?;
+        Ok(metrics.into_outcome(data))
+    }
+
+    fn read_into(
+        &mut self,
+        id: DatasetId,
+        view: &Shape,
+        coord: &[u64],
+        sub_dims: &[u64],
+        buf: &mut Vec<u8>,
+    ) -> Result<ReadMetrics, SystemError> {
         let ds = self.dataset(id)?.clone();
         let extents = Self::extents(&ds, view, coord, sub_dims)?;
         let total_bytes: u64 = extents.iter().map(|e| e.len).sum();
@@ -320,8 +333,7 @@ impl StorageFrontEnd for BaselineSystem {
         // the link transfer overlaps the device batch: it can start once the
         // first page has been sensed and transferred internally.
         let timing = *self.ftl.device().timing();
-        let first_page =
-            SimTime::ZERO + timing.read_latency + timing.transfer_time(ps as usize);
+        let first_page = SimTime::ZERO + timing.read_latency + timing.transfer_time(ps as usize);
         let mut io_end = SimTime::ZERO;
         for &(first, count, wire_bytes) in &commands {
             // Device: all the command's mapped pages, as one batch.
@@ -353,20 +365,22 @@ impl StorageFrontEnd for BaselineSystem {
         // extents (free when the request is one contiguous extent — DMA
         // lands it directly).
         let restructure = if extents.len() > 1 {
-            self.cpu.scatter_copy_time(extents.len() as u64, total_bytes)
+            self.cpu
+                .scatter_copy_time(extents.len() as u64, total_bytes)
         } else {
             SimDuration::ZERO
         };
 
-        let mut buffer = vec![0u8; total_bytes as usize];
+        buf.clear();
+        buf.resize(total_bytes as usize, 0);
         for e in &extents {
-            self.read_extent(&ds, *e, &mut buffer);
+            self.read_extent(&ds, *e, buf);
         }
 
-        self.stats.add("system.read_commands", commands.len() as u64);
+        self.stats
+            .add("system.read_commands", commands.len() as u64);
         self.stats.add("system.read_bytes", total_bytes);
-        Ok(ReadOutcome {
-            data: buffer,
+        Ok(ReadMetrics {
             io_latency,
             io_occupancy,
             restructure,
@@ -519,7 +533,9 @@ mod tests {
     fn reshaped_view_reads_linear_order() {
         let mut sys = system();
         let producer = Shape::new([256]);
-        let id = sys.create_dataset(producer.clone(), ElementType::F32).unwrap();
+        let id = sys
+            .create_dataset(producer.clone(), ElementType::F32)
+            .unwrap();
         let data: Vec<u8> = (0..256u32).flat_map(|i| (i as f32).to_le_bytes()).collect();
         sys.write(id, &producer, &[0], &[256], &data).unwrap();
         let view = Shape::new([16, 16]);

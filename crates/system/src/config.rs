@@ -166,8 +166,7 @@ mod tests {
             .internal_read_bandwidth(c.flash.geometry.channels);
         assert!(internal.bytes_per_sec_f64() > c.link.peak.bytes_per_sec_f64());
         assert!(
-            c.controller.assemble_bandwidth.bytes_per_sec_f64()
-                > c.link.peak.bytes_per_sec_f64()
+            c.controller.assemble_bandwidth.bytes_per_sec_f64() > c.link.peak.bytes_per_sec_f64()
         );
     }
 

@@ -36,7 +36,7 @@ const GC_THRESHOLD: f64 = 0.10;
 ///
 /// let mut backend = FlashBackend::new(FlashConfig::small_test());
 /// let loc = backend.alloc_unit(0, 0).unwrap();
-/// backend.write_unit(loc, vec![7; backend.spec().unit_bytes as usize]);
+/// backend.write_unit(loc, &vec![7; backend.spec().unit_bytes as usize]);
 /// assert_eq!(backend.read_unit(loc).unwrap()[0], 7);
 /// ```
 #[derive(Debug)]
@@ -189,7 +189,9 @@ impl FlashBackend {
         avoid_block: usize,
     ) -> Option<PageAddr> {
         for _ in 0..self.device.geometry().pages_per_bank() {
-            let page = self.device.find_free_page(channel as usize, bank as usize)?;
+            let page = self
+                .device
+                .find_free_page(channel as usize, bank as usize)?;
             if page.block != avoid_block {
                 return Some(page);
             }
@@ -241,7 +243,7 @@ impl NvmBackend for FlashBackend {
         self.device.peek(*page).map(Cow::Borrowed)
     }
 
-    fn write_unit(&mut self, loc: UnitLocation, data: Vec<u8>) {
+    fn write_unit(&mut self, loc: UnitLocation, data: &[u8]) {
         // Out-of-place: supersede any existing page for this handle.
         if let Some(old) = self.forward.remove(&loc) {
             self.reverse.remove(&old);
@@ -254,9 +256,27 @@ impl NvmBackend for FlashBackend {
             .device
             .find_free_page(loc.channel as usize, loc.bank as usize)
             .expect("alloc_unit guaranteed lane space");
-        self.device.program(page, data).expect("page is free");
+        self.device
+            .program(page, data.to_vec())
+            .expect("page is free");
         self.forward.insert(loc, page);
         self.reverse.insert(page, loc);
+    }
+
+    fn read_units(&self, locs: &[UnitLocation]) -> Vec<Option<Cow<'_, [u8]>>> {
+        // One pass: handle → page → borrowed page image, no per-unit copies.
+        locs.iter()
+            .map(|loc| {
+                let page = self.forward.get(loc)?;
+                self.device.peek(*page).map(Cow::Borrowed)
+            })
+            .collect()
+    }
+
+    fn write_units(&mut self, writes: &[(UnitLocation, &[u8])]) {
+        for &(loc, data) in writes {
+            self.write_unit(loc, data);
+        }
     }
 }
 
@@ -277,7 +297,7 @@ mod tests {
         let mut b = backend();
         let n = unit_bytes(&b);
         let loc = b.alloc_unit(1, 1).unwrap();
-        b.write_unit(loc, vec![0xCD; n]);
+        b.write_unit(loc, &vec![0xCD; n]);
         assert_eq!(b.read_unit(loc).unwrap().as_ref(), vec![0xCD; n].as_slice());
     }
 
@@ -286,9 +306,9 @@ mod tests {
         let mut b = backend();
         let n = unit_bytes(&b);
         let loc = b.alloc_unit(0, 0).unwrap();
-        b.write_unit(loc, vec![1; n]);
+        b.write_unit(loc, &vec![1; n]);
         let first = b.physical_of(loc).unwrap();
-        b.write_unit(loc, vec![2; n]);
+        b.write_unit(loc, &vec![2; n]);
         let second = b.physical_of(loc).unwrap();
         assert_ne!(first, second, "NAND rewrite must relocate");
         assert_eq!(b.read_unit(loc).unwrap()[0], 2);
@@ -299,7 +319,7 @@ mod tests {
         let mut b = backend();
         let n = unit_bytes(&b);
         let loc = b.alloc_unit(2, 0).unwrap();
-        b.write_unit(loc, vec![9; n]);
+        b.write_unit(loc, &vec![9; n]);
         b.release_unit(loc);
         assert!(b.read_unit(loc).is_none());
     }
@@ -311,7 +331,7 @@ mod tests {
         let per_bank = b.device().geometry().pages_per_bank();
         let loc = b.alloc_unit(0, 0).unwrap();
         for round in 0..(per_bank * 3) as u64 {
-            b.write_unit(loc, vec![(round % 251) as u8; n]);
+            b.write_unit(loc, &vec![(round % 251) as u8; n]);
         }
         assert!(b.stats().get("backend.gc_runs") > 0);
         assert_eq!(
@@ -331,14 +351,14 @@ mod tests {
         let mut stable = Vec::new();
         for i in 0..24u64 {
             let s = b.alloc_unit(0, 0).unwrap();
-            b.write_unit(s, vec![(100 + i) as u8; n]);
+            b.write_unit(s, &vec![(100 + i) as u8; n]);
             stable.push(s);
-            b.write_unit(hot, vec![0; n]);
-            b.write_unit(hot, vec![0; n]);
+            b.write_unit(hot, &vec![0; n]);
+            b.write_unit(hot, &vec![0; n]);
         }
         let per_bank = b.device().geometry().pages_per_bank();
         for i in 0..(per_bank * 2) as u64 {
-            b.write_unit(hot, vec![(i % 200) as u8; n]);
+            b.write_unit(hot, &vec![(i % 200) as u8; n]);
         }
         assert!(b.stats().get("backend.gc_relocated") > 0);
         for (i, s) in stable.iter().enumerate() {
@@ -358,7 +378,7 @@ mod tests {
         let units: Vec<UnitLocation> = (0..channels)
             .map(|c| {
                 let loc = b.alloc_unit(c, 0).unwrap();
-                b.write_unit(loc, vec![0; n]);
+                b.write_unit(loc, &vec![0; n]);
                 loc
             })
             .collect();
@@ -368,7 +388,7 @@ mod tests {
         let serial_units: Vec<UnitLocation> = (0..channels as u64)
             .map(|_| {
                 let loc = b.alloc_unit(0, 0).unwrap();
-                b.write_unit(loc, vec![0; n]);
+                b.write_unit(loc, &vec![0; n]);
                 loc
             })
             .collect();

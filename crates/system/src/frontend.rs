@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::SystemError;
 
 /// Identifier of a dataset created through a front-end.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DatasetId(pub u64);
 
 /// The result of a front-end read.
@@ -53,6 +51,58 @@ impl ReadOutcome {
     /// the metric of Fig. 9.
     pub fn effective_bandwidth(&self) -> Throughput {
         Throughput::from_bytes_over(self.bytes, self.latency())
+    }
+
+    /// The outcome's accounting without the payload.
+    pub fn metrics(&self) -> ReadMetrics {
+        ReadMetrics {
+            io_latency: self.io_latency,
+            io_occupancy: self.io_occupancy,
+            restructure: self.restructure,
+            commands: self.commands,
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// A [`ReadOutcome`] without the payload — what
+/// [`read_into`](StorageFrontEnd::read_into) returns when the data lands in
+/// the caller's buffer instead. Field meanings match [`ReadOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadMetrics {
+    /// Time for the data to land in host memory.
+    pub io_latency: SimDuration,
+    /// Throughput-limiting portion of `io_latency` (see [`ReadOutcome`]).
+    pub io_occupancy: SimDuration,
+    /// Host-CPU restructuring still required after `io_latency`.
+    pub restructure: SimDuration,
+    /// I/O commands that crossed the host↔device interface.
+    pub commands: u64,
+    /// Application-payload bytes delivered.
+    pub bytes: u64,
+}
+
+impl ReadMetrics {
+    /// End-to-end latency of the read as an unpipelined operation.
+    pub fn latency(&self) -> SimDuration {
+        self.io_latency + self.restructure
+    }
+
+    /// Application-level effective bandwidth — the metric of Fig. 9.
+    pub fn effective_bandwidth(&self) -> Throughput {
+        Throughput::from_bytes_over(self.bytes, self.latency())
+    }
+
+    /// Reattaches a payload, producing the equivalent [`ReadOutcome`].
+    pub fn into_outcome(self, data: Vec<u8>) -> ReadOutcome {
+        ReadOutcome {
+            data,
+            io_latency: self.io_latency,
+            io_occupancy: self.io_occupancy,
+            restructure: self.restructure,
+            commands: self.commands,
+            bytes: self.bytes,
+        }
     }
 }
 
@@ -123,6 +173,32 @@ pub trait StorageFrontEnd {
         coord: &[u64],
         sub_dims: &[u64],
     ) -> Result<ReadOutcome, SystemError>;
+
+    /// Reads the partition at `coord`/`sub_dims` of `view` into a
+    /// caller-provided buffer (cleared and resized to the partition), so
+    /// repeated same-shaped reads reuse one allocation. Timing is identical
+    /// to [`read`](StorageFrontEnd::read) — the buffer only changes who owns
+    /// the wall-clock memory traffic, never the modeled time.
+    ///
+    /// The default copies out of [`read`](StorageFrontEnd::read);
+    /// architectures with a genuine zero-copy path override it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`read`](StorageFrontEnd::read).
+    fn read_into(
+        &mut self,
+        id: DatasetId,
+        view: &Shape,
+        coord: &[u64],
+        sub_dims: &[u64],
+        buf: &mut Vec<u8>,
+    ) -> Result<ReadMetrics, SystemError> {
+        let outcome = self.read(id, view, coord, sub_dims)?;
+        buf.clear();
+        buf.extend_from_slice(&outcome.data);
+        Ok(outcome.metrics())
+    }
 
     /// Permanently deletes a dataset, releasing its storage (the paper's
     /// `delete_space` command, §5.3.1: building blocks are invalidated and

@@ -21,7 +21,7 @@ use nds_sim::{Resource, SimDuration, SimTime, Stats};
 use crate::config::{ControllerConfig, SystemConfig};
 use crate::error::SystemError;
 use crate::flash_backend::FlashBackend;
-use crate::frontend::{DatasetId, ReadOutcome, StorageFrontEnd, WriteOutcome};
+use crate::frontend::{DatasetId, ReadMetrics, ReadOutcome, StorageFrontEnd, WriteOutcome};
 
 /// NDS with the STL embedded in the storage controller.
 #[derive(Debug)]
@@ -58,9 +58,8 @@ impl HardwareNds {
     /// queue, exactly as the host driver would: encode, submit, device pops
     /// and decodes. Returns the decoded command the controller executes.
     fn submit_command(&mut self, cmd: NvmeCommand) -> Result<NvmeCommand, SystemError> {
-        let wired = wire::encode(&cmd).map_err(|_| {
-            SystemError::Command(nds_interconnect::CommandError::ZeroExtent)
-        })?;
+        let wired = wire::encode(&cmd)
+            .map_err(|_| SystemError::Command(nds_interconnect::CommandError::ZeroExtent))?;
         self.stats.add("nvme.wire_bytes", wired.wire_bytes());
         self.queue.submit(cmd).expect("queue drained synchronously");
         let popped = self.queue.device_pop().expect("just submitted");
@@ -167,7 +166,9 @@ impl StorageFrontEnd for HardwareNds {
         cmd.validate()?;
         let decoded = self.submit_command(cmd)?;
         let (coord, sub_dims) = match &decoded {
-            NvmeCommand::NdsWrite { coord, sub_dims, .. } => (coord.clone(), sub_dims.clone()),
+            NvmeCommand::NdsWrite {
+                coord, sub_dims, ..
+            } => (coord.clone(), sub_dims.clone()),
             _ => unreachable!("decoded command kind matches"),
         };
         let report = self.stl.write(space, view, &coord, &sub_dims, data)?;
@@ -207,6 +208,19 @@ impl StorageFrontEnd for HardwareNds {
         coord: &[u64],
         sub_dims: &[u64],
     ) -> Result<ReadOutcome, SystemError> {
+        let mut data = Vec::new();
+        let metrics = self.read_into(id, view, coord, sub_dims, &mut data)?;
+        Ok(metrics.into_outcome(data))
+    }
+
+    fn read_into(
+        &mut self,
+        id: DatasetId,
+        view: &Shape,
+        coord: &[u64],
+        sub_dims: &[u64],
+        buf: &mut Vec<u8>,
+    ) -> Result<ReadMetrics, SystemError> {
         let space = self.space_of(id)?;
         // The request travels as one extended NVMe read (§5.3.1), marshalled
         // through the real wire codec and submission queue.
@@ -218,10 +232,12 @@ impl StorageFrontEnd for HardwareNds {
         cmd.validate()?;
         let decoded = self.submit_command(cmd)?;
         let (coord, sub_dims) = match &decoded {
-            NvmeCommand::NdsRead { coord, sub_dims, .. } => (coord.clone(), sub_dims.clone()),
+            NvmeCommand::NdsRead {
+                coord, sub_dims, ..
+            } => (coord.clone(), sub_dims.clone()),
             _ => unreachable!("decoded command kind matches"),
         };
-        let (data, report) = self.stl.read(space, view, &coord, &sub_dims)?;
+        let report = self.stl.read_into(space, view, &coord, &sub_dims, buf)?;
         self.stl.backend_mut().device_mut().reset_timing();
         self.link.reset_timing();
 
@@ -244,9 +260,8 @@ impl StorageFrontEnd for HardwareNds {
                 first_block = end.saturating_since(SimTime::ZERO);
             }
             dev_end = dev_end.max(end);
-            asm_end = asm_end.max(
-                assembler.acquire(end, self.assemble_time(seg_per_block, bytes_per_block)),
-            );
+            asm_end = asm_end
+                .max(assembler.acquire(end, self.assemble_time(seg_per_block, bytes_per_block)));
         }
         let link = self.chunked_link_time(report.bytes);
         let submit = self.cpu.submit_time(1);
@@ -267,8 +282,7 @@ impl StorageFrontEnd for HardwareNds {
 
         self.stats.add("system.read_commands", 1);
         self.stats.add("system.read_bytes", report.bytes);
-        Ok(ReadOutcome {
-            data,
+        Ok(ReadMetrics {
             io_latency,
             io_occupancy,
             restructure: SimDuration::ZERO,
@@ -292,6 +306,8 @@ impl StorageFrontEnd for HardwareNds {
         s.merge(self.link.stats());
         s.merge(self.stl.backend().stats());
         s.merge(self.stl.backend().device().stats());
+        s.add("stl.plan_cache.hits", self.stl.plan_cache().hits());
+        s.add("stl.plan_cache.misses", self.stl.plan_cache().misses());
         s
     }
 }

@@ -63,7 +63,7 @@ pub use config::{ControllerConfig, SystemConfig};
 pub use controller::{ControllerPipeline, HostStlPath};
 pub use error::SystemError;
 pub use flash_backend::FlashBackend;
-pub use frontend::{DatasetId, ReadOutcome, StorageFrontEnd, WriteOutcome};
+pub use frontend::{DatasetId, ReadMetrics, ReadOutcome, StorageFrontEnd, WriteOutcome};
 pub use hardware::HardwareNds;
 pub use oracle::OracleSystem;
 pub use software::SoftwareNds;

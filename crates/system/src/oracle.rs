@@ -22,7 +22,7 @@ use nds_sim::{SimDuration, Stats};
 use crate::baseline::BaselineSystem;
 use crate::config::SystemConfig;
 use crate::error::SystemError;
-use crate::frontend::{DatasetId, ReadOutcome, StorageFrontEnd, WriteOutcome};
+use crate::frontend::{DatasetId, ReadMetrics, ReadOutcome, StorageFrontEnd, WriteOutcome};
 
 #[derive(Debug, Clone)]
 struct OracleDataset {
@@ -190,33 +190,50 @@ impl StorageFrontEnd for OracleSystem {
         coord: &[u64],
         sub_dims: &[u64],
     ) -> Result<ReadOutcome, SystemError> {
+        let mut data = Vec::new();
+        let metrics = self.read_into(id, view, coord, sub_dims, &mut data)?;
+        Ok(metrics.into_outcome(data))
+    }
+
+    fn read_into(
+        &mut self,
+        id: DatasetId,
+        view: &Shape,
+        coord: &[u64],
+        sub_dims: &[u64],
+        buf: &mut Vec<u8>,
+    ) -> Result<ReadMetrics, SystemError> {
         let ds = self.dataset(id)?.clone();
         let plan = Self::plan(&ds, view, coord, sub_dims)?;
         let tile_elems = ds.tile.volume();
 
-        let mut buffer = vec![0u8; plan.total_bytes as usize];
+        buf.clear();
+        buf.resize(plan.total_bytes as usize, 0);
+        let mut tile_buf = Vec::new();
         let mut io_latency = SimDuration::ZERO;
         let mut io_occupancy = SimDuration::ZERO;
         let mut commands = 0;
         for cover in &plan.blocks {
             let tile = ds.grid.linear_index(&cover.coord);
-            let out =
-                self.inner
-                    .read(ds.backing, &ds.backing_view, &[0, tile], &[tile_elems, 1])?;
+            let out = self.inner.read_into(
+                ds.backing,
+                &ds.backing_view,
+                &[0, tile],
+                &[tile_elems, 1],
+                &mut tile_buf,
+            )?;
             debug_assert_eq!(out.restructure, SimDuration::ZERO, "tiles are contiguous");
             io_latency = io_latency.max(out.io_latency);
             io_occupancy = io_occupancy.max(out.io_occupancy);
             commands += out.commands;
             for seg in &cover.segments {
-                buffer[seg.buffer_offset as usize..(seg.buffer_offset + seg.len) as usize]
+                buf[seg.buffer_offset as usize..(seg.buffer_offset + seg.len) as usize]
                     .copy_from_slice(
-                        &out.data
-                            [seg.block_offset as usize..(seg.block_offset + seg.len) as usize],
+                        &tile_buf[seg.block_offset as usize..(seg.block_offset + seg.len) as usize],
                     );
             }
         }
-        Ok(ReadOutcome {
-            data: buffer,
+        Ok(ReadMetrics {
             io_latency,
             io_occupancy,
             restructure: SimDuration::ZERO, // zero overhead by definition
@@ -322,12 +339,18 @@ mod tests {
         let data = vec![1u8; 256 * 256 * 4];
 
         let mut oracle = OracleSystem::with_tile(config.clone(), vec![64, 64]);
-        let id = oracle.create_dataset(shape.clone(), ElementType::F32).unwrap();
-        oracle.write(id, &shape, &[0, 0], &[256, 256], &data).unwrap();
+        let id = oracle
+            .create_dataset(shape.clone(), ElementType::F32)
+            .unwrap();
+        oracle
+            .write(id, &shape, &[0, 0], &[256, 256], &data)
+            .unwrap();
         let o = oracle.read(id, &shape, &[1, 1], &[64, 64]).unwrap();
 
         let mut base = BaselineSystem::new(config);
-        let id = base.create_dataset(shape.clone(), ElementType::F32).unwrap();
+        let id = base
+            .create_dataset(shape.clone(), ElementType::F32)
+            .unwrap();
         base.write(id, &shape, &[0, 0], &[256, 256], &data).unwrap();
         let b = base.read(id, &shape, &[1, 1], &[64, 64]).unwrap();
 

@@ -27,7 +27,7 @@ use crate::config::SystemConfig;
 use crate::controller::HostStlPath;
 use crate::error::SystemError;
 use crate::flash_backend::FlashBackend;
-use crate::frontend::{DatasetId, ReadOutcome, StorageFrontEnd, WriteOutcome};
+use crate::frontend::{DatasetId, ReadMetrics, ReadOutcome, StorageFrontEnd, WriteOutcome};
 
 /// NDS with the STL running on the host CPU over LightNVM.
 #[derive(Debug)]
@@ -155,8 +155,21 @@ impl StorageFrontEnd for SoftwareNds {
         coord: &[u64],
         sub_dims: &[u64],
     ) -> Result<ReadOutcome, SystemError> {
+        let mut data = Vec::new();
+        let metrics = self.read_into(id, view, coord, sub_dims, &mut data)?;
+        Ok(metrics.into_outcome(data))
+    }
+
+    fn read_into(
+        &mut self,
+        id: DatasetId,
+        view: &Shape,
+        coord: &[u64],
+        sub_dims: &[u64],
+        buf: &mut Vec<u8>,
+    ) -> Result<ReadMetrics, SystemError> {
         let space = self.space_of(id)?;
-        let (data, report) = self.stl.read(space, view, coord, sub_dims)?;
+        let report = self.stl.read_into(space, view, coord, sub_dims, buf)?;
         let page = self.stl.backend().spec().unit_bytes as u64;
         self.stl.backend_mut().device_mut().reset_timing();
         self.link.reset_timing();
@@ -208,8 +221,7 @@ impl StorageFrontEnd for SoftwareNds {
         // has drained.
         let assembly = self.cpu.scatter_copy_time(report.segments, report.bytes);
         let io_dur = io_end.saturating_since(SimTime::ZERO);
-        let io_latency =
-            self.stl_latency(space) + io_dur.max(submit).max(assembly + first_block);
+        let io_latency = self.stl_latency(space) + io_dur.max(submit).max(assembly + first_block);
         // Steady-state pacing: aggregate device, wire, submission, and host
         // assembly work, whichever drains slowest.
         let io_occupancy = self
@@ -223,8 +235,7 @@ impl StorageFrontEnd for SoftwareNds {
 
         self.stats.add("system.read_commands", commands);
         self.stats.add("system.read_bytes", report.bytes);
-        Ok(ReadOutcome {
-            data,
+        Ok(ReadMetrics {
             io_latency,
             io_occupancy,
             restructure: SimDuration::ZERO,
@@ -247,6 +258,8 @@ impl StorageFrontEnd for SoftwareNds {
         s.merge(self.link.stats());
         s.merge(self.stl.backend().stats());
         s.merge(self.stl.backend().device().stats());
+        s.add("stl.plan_cache.hits", self.stl.plan_cache().hits());
+        s.add("stl.plan_cache.misses", self.stl.plan_cache().misses());
         s
     }
 }

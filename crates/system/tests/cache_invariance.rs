@@ -1,0 +1,126 @@
+//! Fig-level invariance of the translation-plan cache.
+//!
+//! The plan cache and the batched/zero-copy data path are wall-clock
+//! optimizations only: every *modeled* quantity — payload bytes, latency
+//! breakdowns, command counts — must be bit-identical with the cache on or
+//! off. These tests replay a Fig. 9-style request sweep (rows, columns,
+//! submatrices, repeats that hit the cache) on every architecture and
+//! compare whole [`ReadOutcome`]s/[`WriteOutcome`]s across the two
+//! configurations.
+
+use nds_core::{ElementType, Shape};
+use nds_system::{
+    BaselineSystem, HardwareNds, OracleSystem, ReadOutcome, SoftwareNds, StorageFrontEnd,
+    SystemConfig, WriteOutcome,
+};
+
+const N: u64 = 512;
+
+fn config_with_cache(capacity: usize) -> SystemConfig {
+    let mut config = SystemConfig::small_test();
+    config.stl.plan_cache_capacity = capacity;
+    config
+}
+
+/// The request trace: a miniature Fig. 9 sweep, each request issued twice so
+/// the second pass is served from the plan cache when it is enabled.
+fn sweep() -> Vec<(Vec<u64>, Vec<u64>)> {
+    let mut requests = vec![
+        (vec![0, 0], vec![N, 64]),    // rows (9a)
+        (vec![0, 0], vec![64, N]),    // columns (9b)
+        (vec![1, 1], vec![128, 128]), // submatrix (9c)
+        (vec![0, 1], vec![256, 128]), // wide tile
+        (vec![0, 0], vec![N, N]),     // whole matrix
+    ];
+    let repeats = requests.clone();
+    requests.extend(repeats);
+    requests
+}
+
+/// Runs write + sweep on one front-end and returns every modeled outcome.
+fn run<S: StorageFrontEnd>(mut sys: S) -> (WriteOutcome, Vec<ReadOutcome>) {
+    let shape = Shape::new([N, N]);
+    let id = sys
+        .create_dataset(shape.clone(), ElementType::F32)
+        .expect("create");
+    let bytes: Vec<u8> = (0..N * N * 4).map(|i| (i % 251) as u8).collect();
+    let w = sys
+        .write(id, &shape, &[0, 0], &[N, N], &bytes)
+        .expect("write");
+    let reads = sweep()
+        .iter()
+        .map(|(coord, sub)| sys.read(id, &shape, coord, sub).expect("read"))
+        .collect();
+    (w, reads)
+}
+
+fn assert_invariant(on: (WriteOutcome, Vec<ReadOutcome>), off: (WriteOutcome, Vec<ReadOutcome>)) {
+    assert_eq!(on.0, off.0, "write outcome diverges with cache on vs off");
+    for (i, (a, b)) in on.1.iter().zip(off.1.iter()).enumerate() {
+        assert_eq!(a, b, "read outcome {i} diverges with cache on vs off");
+    }
+}
+
+#[test]
+fn software_nds_outcomes_identical_with_cache_on_and_off() {
+    assert_invariant(
+        run(SoftwareNds::new(config_with_cache(128))),
+        run(SoftwareNds::new(config_with_cache(0))),
+    );
+}
+
+#[test]
+fn hardware_nds_outcomes_identical_with_cache_on_and_off() {
+    assert_invariant(
+        run(HardwareNds::new(config_with_cache(128))),
+        run(HardwareNds::new(config_with_cache(0))),
+    );
+}
+
+#[test]
+fn baseline_outcomes_identical_with_cache_on_and_off() {
+    assert_invariant(
+        run(BaselineSystem::new(config_with_cache(128))),
+        run(BaselineSystem::new(config_with_cache(0))),
+    );
+}
+
+#[test]
+fn oracle_outcomes_identical_with_cache_on_and_off() {
+    assert_invariant(
+        run(OracleSystem::with_tile(
+            config_with_cache(128),
+            vec![64, 64],
+        )),
+        run(OracleSystem::with_tile(config_with_cache(0), vec![64, 64])),
+    );
+}
+
+/// `read` and `read_into` are the same modeled operation: identical metrics,
+/// identical bytes, on every architecture.
+#[test]
+fn read_into_matches_read_on_every_architecture() {
+    fn check<S: StorageFrontEnd>(mut sys: S) {
+        let shape = Shape::new([N, N]);
+        let id = sys
+            .create_dataset(shape.clone(), ElementType::F32)
+            .expect("create");
+        let bytes: Vec<u8> = (0..N * N * 4).map(|i| (i % 251) as u8).collect();
+        sys.write(id, &shape, &[0, 0], &[N, N], &bytes)
+            .expect("write");
+        let mut buf = Vec::new();
+        for (coord, sub) in sweep() {
+            let out = sys.read(id, &shape, &coord, &sub).expect("read");
+            let metrics = sys
+                .read_into(id, &shape, &coord, &sub, &mut buf)
+                .expect("read_into");
+            assert_eq!(buf, out.data, "{}: bytes diverge", sys.name());
+            assert_eq!(metrics, out.metrics(), "{}: metrics diverge", sys.name());
+        }
+    }
+    let config = SystemConfig::small_test();
+    check(BaselineSystem::new(config.clone()));
+    check(SoftwareNds::new(config.clone()));
+    check(HardwareNds::new(config.clone()));
+    check(OracleSystem::with_tile(config, vec![64, 64]));
+}

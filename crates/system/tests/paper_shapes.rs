@@ -4,9 +4,7 @@
 //! measured magnitudes.
 
 use nds_core::{ElementType, Shape};
-use nds_system::{
-    BaselineSystem, HardwareNds, SoftwareNds, StorageFrontEnd, SystemConfig,
-};
+use nds_system::{BaselineSystem, HardwareNds, SoftwareNds, StorageFrontEnd, SystemConfig};
 
 const N: u64 = 4096;
 
@@ -16,7 +14,8 @@ fn setup<S: StorageFrontEnd>(mut sys: S) -> (S, nds_system::DatasetId, Shape) {
         .create_dataset(shape.clone(), ElementType::F64)
         .expect("create");
     let bytes: Vec<u8> = (0..N * N * 8).map(|i| (i % 251) as u8).collect();
-    sys.write(id, &shape, &[0, 0], &[N, N], &bytes).expect("write");
+    sys.write(id, &shape, &[0, 0], &[N, N], &bytes)
+        .expect("write");
     (sys, id, shape)
 }
 
@@ -74,7 +73,9 @@ fn fig9c_submatrix_order_baseline_software_hardware() {
     let (mut sw, s_id, _) = setup(SoftwareNds::new(config.clone()));
     let (mut hw, h_id, _) = setup(HardwareNds::new(config));
 
-    let b = base.read(b_id, &shape, &[1, 1], &[1024, 1024]).expect("tile");
+    let b = base
+        .read(b_id, &shape, &[1, 1], &[1024, 1024])
+        .expect("tile");
     let s = sw.read(s_id, &shape, &[1, 1], &[1024, 1024]).expect("tile");
     let h = hw.read(h_id, &shape, &[1, 1], &[1024, 1024]).expect("tile");
     assert!(
@@ -102,7 +103,9 @@ fn fig9d_write_penalties_in_paper_bands() {
         &mut sw as &mut dyn StorageFrontEnd,
         &mut hw as &mut dyn StorageFrontEnd,
     ] {
-        let id = sys.create_dataset(shape.clone(), ElementType::F64).expect("create");
+        let id = sys
+            .create_dataset(shape.clone(), ElementType::F64)
+            .expect("create");
         let out = sys
             .write(id, &shape, &[0, 0], &[2048, 2048], &bytes)
             .expect("write");
@@ -144,10 +147,14 @@ fn sec73_added_latency_in_paper_order() {
         &mut sw as &mut dyn StorageFrontEnd,
         &mut hw as &mut dyn StorageFrontEnd,
     ] {
-        let id = sys.create_dataset(shape.clone(), ElementType::F64).expect("create");
+        let id = sys
+            .create_dataset(shape.clone(), ElementType::F64)
+            .expect("create");
         sys.write(id, &shape, &[0, 0], &[page_elems, 64], &bytes)
             .expect("write");
-        let out = sys.read(id, &shape, &[0, 9], &[page_elems, 1]).expect("read");
+        let out = sys
+            .read(id, &shape, &[0, 9], &[page_elems, 1])
+            .expect("read");
         latencies.push(out.latency());
     }
     let (b, s, h) = (latencies[0], latencies[1], latencies[2]);

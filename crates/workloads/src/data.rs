@@ -9,7 +9,9 @@ use rand::{Rng, SeedableRng};
 //  input for Block-GEMM, Conv2D, and Hotspot.
 pub fn matrix_f32(width: u64, height: u64, seed: u64) -> Vec<f32> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..width * height).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    (0..width * height)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect()
 }
 
 /// A dense random `side³` f32 tensor (x fastest) — input for TTV and TC.
@@ -58,7 +60,13 @@ pub fn weights_i32(adjacency: &[u8], _nodes: u64, seed: u64) -> Vec<i32> {
     let mut rng = StdRng::seed_from_u64(seed);
     adjacency
         .iter()
-        .map(|&a| if a != 0 { rng.gen_range(1..100) } else { i32::MAX })
+        .map(|&a| {
+            if a != 0 {
+                rng.gen_range(1..100)
+            } else {
+                i32::MAX
+            }
+        })
         .collect()
 }
 
@@ -124,7 +132,11 @@ mod tests {
         let ones: u64 = m.iter().map(|&b| b as u64).sum();
         assert_eq!(ones, 256);
         for i in 0..nodes {
-            assert_eq!(m[(i * nodes + (i + 1) % nodes) as usize], 1, "ring edge {i}");
+            assert_eq!(
+                m[(i * nodes + (i + 1) % nodes) as usize],
+                1,
+                "ring edge {i}"
+            );
         }
     }
 

@@ -86,8 +86,10 @@ impl WorkloadRun {
 /// Runs one pipelined phase.
 ///
 /// For each block, the driver (1) performs the block's reads through the
-/// front-end, (2) calls `kernel` with the blocks' data so the workload can
-/// compute real results, and (3) schedules the pipeline with stage times
+/// front-end into a pool of reused buffers ([`StorageFrontEnd::read_into`],
+/// so steady-state streaming allocates nothing per block), (2) calls
+/// `kernel` with the blocks' data so the workload can compute real results,
+/// and (3) schedules the pipeline with stage times
 /// `[io, restructure, h2d, kernel]`. `tile_side` selects the engine's
 /// operating point on its rate curve; `h2d` is the host→device copy path
 /// (use [`LinkConfig::pcie3_x16`]; kernels that run on the host CPU pass
@@ -106,29 +108,35 @@ pub fn stream_phase<S, F>(
 ) -> Result<PhaseOutcome, SystemError>
 where
     S: StorageFrontEnd + ?Sized,
-    F: FnMut(usize, Vec<Vec<u8>>),
+    F: FnMut(usize, &[Vec<u8>]),
 {
     let mut stage_times = Vec::with_capacity(blocks.len());
     let mut commands = 0u64;
     let mut bytes = 0u64;
+    let mut buffers: Vec<Vec<u8>> = Vec::new();
     for (i, block) in blocks.iter().enumerate() {
         let mut io = SimDuration::ZERO;
         let mut restructure = SimDuration::ZERO;
         let mut block_bytes = 0u64;
-        let mut buffers = Vec::with_capacity(block.len());
-        for (dataset, view, coord, sub) in block {
-            let out = sys.read(*dataset, view, coord, sub)?;
+        if buffers.len() < block.len() {
+            buffers.resize_with(block.len(), Vec::new);
+        }
+        for ((dataset, view, coord, sub), buf) in block.iter().zip(buffers.iter_mut()) {
+            let out = sys.read_into(*dataset, view, coord, sub, buf)?;
             // Deep command queues hide fixed per-request latency after the
             // pipeline fills: the first block pays full latency, steady
             // state is paced by occupancy.
-            io += if i == 0 { out.io_latency } else { out.io_occupancy };
+            io += if i == 0 {
+                out.io_latency
+            } else {
+                out.io_occupancy
+            };
             restructure += out.restructure;
             commands += out.commands;
             bytes += out.bytes;
             block_bytes += out.bytes;
-            buffers.push(out.data);
         }
-        kernel(i, buffers);
+        kernel(i, &buffers[..block.len()]);
         let h2d_time = match h2d {
             Some(link) => link.per_command + link.peak.time_for_bytes(block_bytes),
             None => SimDuration::ZERO,

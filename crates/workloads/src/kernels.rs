@@ -361,7 +361,9 @@ pub fn checksum_f32(values: &[f32]) -> u64 {
 pub fn checksum_u64(values: impl IntoIterator<Item = u64>) -> u64 {
     let mut acc = 0u64;
     for v in values {
-        acc = acc.wrapping_add(v.wrapping_mul(0x9E37_79B9_7F4A_7C15)).rotate_left(7);
+        acc = acc
+            .wrapping_add(v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .rotate_left(7);
     }
     acc
 }

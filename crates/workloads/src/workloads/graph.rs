@@ -107,7 +107,12 @@ impl Workload for Bfs {
             level += 1;
         }
         let checksum = kernels::checksum_u64(levels.iter().map(|&l| l as u64));
-        Ok(WorkloadRun::from_phases(self.name(), sys.name(), &phases, checksum))
+        Ok(WorkloadRun::from_phases(
+            self.name(),
+            sys.name(),
+            &phases,
+            checksum,
+        ))
     }
 
     fn reference_checksum(&self) -> u64 {
@@ -195,8 +200,9 @@ impl Workload for Sssp {
         for _ in 0..MAX_SSSP_ROUNDS {
             let blocks: Vec<BlockReads> = (0..tiles)
                 .flat_map(|rp| {
-                    (0..tiles)
-                        .map(move |cb| -> BlockReads { vec![(id, Shape::new([n, n]), vec![cb, rp], vec![t, t])] })
+                    (0..tiles).map(move |cb| -> BlockReads {
+                        vec![(id, Shape::new([n, n]), vec![cb, rp], vec![t, t])]
+                    })
                 })
                 .collect();
             let mut changed = false;
@@ -218,7 +224,12 @@ impl Workload for Sssp {
             }
         }
         let checksum = kernels::checksum_u64(dist.iter().map(|&d| d as u64));
-        Ok(WorkloadRun::from_phases(self.name(), sys.name(), &phases, checksum))
+        Ok(WorkloadRun::from_phases(
+            self.name(),
+            sys.name(),
+            &phases,
+            checksum,
+        ))
     }
 
     fn reference_checksum(&self) -> u64 {
@@ -307,8 +318,9 @@ impl Workload for PageRank {
         for _ in 0..self.params.iterations {
             let blocks: Vec<BlockReads> = (0..tiles)
                 .flat_map(|rp| {
-                    (0..tiles)
-                        .map(move |cb| -> BlockReads { vec![(id, Shape::new([n, n]), vec![cb, rp], vec![t, t])] })
+                    (0..tiles).map(move |cb| -> BlockReads {
+                        vec![(id, Shape::new([n, n]), vec![cb, rp], vec![t, t])]
+                    })
                 })
                 .collect();
             let mut next = vec![0.0f64; ns];
@@ -336,7 +348,12 @@ impl Workload for PageRank {
             rank = Self::damp(&next, ns);
         }
         let checksum = kernels::checksum_f32(&rank);
-        Ok(WorkloadRun::from_phases(self.name(), sys.name(), &phases, checksum))
+        Ok(WorkloadRun::from_phases(
+            self.name(),
+            sys.name(),
+            &phases,
+            checksum,
+        ))
     }
 
     fn reference_checksum(&self) -> u64 {
@@ -371,7 +388,10 @@ mod tests {
     fn sssp_distances_are_finite() {
         let sssp = Sssp::new(WorkloadParams::tiny_test(13));
         let dist = sssp.compute(&sssp.weights());
-        assert!(dist.iter().all(|&d| d != i64::MAX), "ring keeps all reachable");
+        assert!(
+            dist.iter().all(|&d| d != i64::MAX),
+            "ring keeps all reachable"
+        );
         assert_eq!(dist[0], 0);
     }
 

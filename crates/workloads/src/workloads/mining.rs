@@ -194,7 +194,12 @@ impl Workload for KMeans {
             kernels::kmeans_update(&sums, &counts, d, &mut centroids);
         }
         let checksum = kernels::checksum_f32(&centroids);
-        Ok(WorkloadRun::from_phases(self.name(), sys.name(), &phases, checksum))
+        Ok(WorkloadRun::from_phases(
+            self.name(),
+            sys.name(),
+            &phases,
+            checksum,
+        ))
     }
 
     fn reference_checksum(&self) -> u64 {
@@ -287,8 +292,9 @@ impl Workload for Knn {
 
         let blocks: Vec<BlockReads> = (0..panels)
             .flat_map(|p| {
-                (0..panels)
-                    .map(move |a| -> BlockReads { vec![(id, points_shape_of(d as u64), vec![a, p], vec![t, t])] })
+                (0..panels).map(move |a| -> BlockReads {
+                    vec![(id, points_shape_of(d as u64), vec![a, p], vec![t, t])]
+                })
             })
             .collect();
         let mut best: Vec<(f32, u64)> = Vec::new();

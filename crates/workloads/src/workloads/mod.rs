@@ -1,11 +1,11 @@
 //! The workload trait and the Table 1 catalog.
 
 mod graph;
-mod util;
 mod linalg;
 mod mining;
 mod stencil;
 mod tensor;
+mod util;
 
 pub use graph::{Bfs, PageRank, Sssp};
 pub use linalg::Gemm;
@@ -71,8 +71,8 @@ mod tests {
         assert_eq!(
             names,
             [
-                "BFS", "SSSP", "GEMM", "Hotspot", "KMeans", "KNN", "PageRank", "Conv2D",
-                "TTV", "TC"
+                "BFS", "SSSP", "GEMM", "Hotspot", "KMeans", "KNN", "PageRank", "Conv2D", "TTV",
+                "TC"
             ]
         );
         for w in &all {

@@ -205,7 +205,12 @@ impl Workload for Hotspot {
         let full = vec![n, n];
         let final_temp = sys.read(ping, &shape, &zeros, &full)?;
         let checksum = kernels::checksum_f32(&data::f32_from_bytes(&final_temp.data));
-        Ok(WorkloadRun::from_phases(self.name(), sys.name(), &phases, checksum))
+        Ok(WorkloadRun::from_phases(
+            self.name(),
+            sys.name(),
+            &phases,
+            checksum,
+        ))
     }
 
     fn reference_checksum(&self) -> u64 {

@@ -34,7 +34,11 @@ fn ktile(params: &WorkloadParams) -> u64 {
 /// Tensor depth (number of slices). TTV touches each slice once with a
 /// trivial kernel; TC runs a blocked matmul per slice, so it uses fewer.
 fn depth(params: &WorkloadParams, for_tc: bool) -> u64 {
-    let d = if for_tc { params.tile / 16 } else { params.tile / 4 };
+    let d = if for_tc {
+        params.tile / 16
+    } else {
+        params.tile / 4
+    };
     d.max(4)
 }
 
@@ -80,7 +84,11 @@ impl Ttv {
     }
 
     fn tensor(&self) -> Vec<f32> {
-        gen_tensor(side(&self.params), depth(&self.params, false), self.params.seed)
+        gen_tensor(
+            side(&self.params),
+            depth(&self.params, false),
+            self.params.seed,
+        )
     }
 
     fn compute(&self) -> Vec<f32> {
@@ -97,7 +105,11 @@ impl Ttv {
                     let tile = slice_tile(&tensor, m, q, tx, ty, s);
                     for y in 0..q {
                         let row = (ty * q + y) * m + tx * q;
-                        kernels::ttv_slice(&tile[y * q..(y + 1) * q], weight, &mut out[row..row + q]);
+                        kernels::ttv_slice(
+                            &tile[y * q..(y + 1) * q],
+                            weight,
+                            &mut out[row..row + q],
+                        );
                     }
                 }
             }
@@ -135,7 +147,12 @@ impl Workload for Ttv {
                 (0..grid * grid).map(move |g| -> BlockReads {
                     let ty = g / grid;
                     let tx = g % grid;
-                    vec![(id, Shape::new([m, m, slices]), vec![tx, ty, s], vec![q, q, 1])]
+                    vec![(
+                        id,
+                        Shape::new([m, m, slices]),
+                        vec![tx, ty, s],
+                        vec![q, q, 1],
+                    )]
                 })
             })
             .collect();
@@ -257,8 +274,18 @@ impl Workload for Tc {
                 for j in 0..grid {
                     for k in 0..grid {
                         blocks.push(vec![
-                            (a_id, Shape::new([m, m, slices]), vec![k, i, s], vec![q, q, 1]),
-                            (b_id, Shape::new([m, m, slices]), vec![j, k, s], vec![q, q, 1]),
+                            (
+                                a_id,
+                                Shape::new([m, m, slices]),
+                                vec![k, i, s],
+                                vec![q, q, 1],
+                            ),
+                            (
+                                b_id,
+                                Shape::new([m, m, slices]),
+                                vec![j, k, s],
+                                vec![q, q, 1],
+                            ),
                         ]);
                     }
                 }

@@ -10,9 +10,7 @@
 //! cargo run --release --example blocked_gemm
 //! ```
 
-use nds::system::{
-    BaselineSystem, HardwareNds, OracleSystem, SoftwareNds, SystemConfig,
-};
+use nds::system::{BaselineSystem, HardwareNds, OracleSystem, SoftwareNds, SystemConfig};
 use nds::workloads::{Gemm, Workload, WorkloadParams};
 
 fn main() {
@@ -43,7 +41,10 @@ fn main() {
     let mut baseline_secs = None;
     let runs = [
         gemm.run(&mut BaselineSystem::new(config.clone())),
-        gemm.run(&mut OracleSystem::with_tile(config.clone(), gemm.kernel_tile())),
+        gemm.run(&mut OracleSystem::with_tile(
+            config.clone(),
+            gemm.kernel_tile(),
+        )),
         gemm.run(&mut SoftwareNds::new(config.clone())),
         gemm.run(&mut HardwareNds::new(config.clone())),
     ];

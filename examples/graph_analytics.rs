@@ -26,7 +26,10 @@ fn main() {
     // (see SystemConfig::with_scaled_command_costs).
     let config = config.with_scaled_command_costs(2);
 
-    println!("graph analytics on a {0}-node dense adjacency matrix\n", params.n);
+    println!(
+        "graph analytics on a {0}-node dense adjacency matrix\n",
+        params.n
+    );
     for workload in [
         Box::new(Bfs::new(params)) as Box<dyn Workload>,
         Box::new(Sssp::new(params)),

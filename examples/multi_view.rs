@@ -56,9 +56,10 @@ fn main() -> Result<(), SystemError> {
         "1-D consumer streamed the first slab's volume in {} ({} command)",
         head.io_latency, head.commands
     );
-    assert!(head.data.chunks_exact(4).all(|c| {
-        f32::from_le_bytes(c.try_into().expect("4 bytes")) == 1.0
-    }));
+    assert!(head
+        .data
+        .chunks_exact(4)
+        .all(|c| { f32::from_le_bytes(c.try_into().expect("4 bytes")) == 1.0 }));
 
     println!("three dimensionalities, one stored dataset, zero marshalling code");
     Ok(())

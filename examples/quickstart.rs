@@ -15,9 +15,7 @@ fn main() -> Result<(), SystemError> {
     // --- Producer: store a 4096×4096 f32 matrix (row-major, x fastest). ---
     let n = 4096u64;
     let shape = Shape::new([n, n]);
-    let matrix: Vec<u8> = (0..n * n)
-        .flat_map(|i| (i as f32).to_le_bytes())
-        .collect();
+    let matrix: Vec<u8> = (0..n * n).flat_map(|i| (i as f32).to_le_bytes()).collect();
 
     let mut nds = HardwareNds::new(config.clone());
     let dataset = nds.create_dataset(shape.clone(), ElementType::F32)?;

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Runs the criterion `stl` and `microbench` benches and appends one
+# trajectory entry to BENCH_stl.json (papyrus-style records: every value is
+# median wall-clock nanoseconds, smaller is better).
+#
+# The entry also records `speedup`, the plan-cache win on repeated
+# same-shape reads (uncached / cached median), which the acceptance bar
+# requires to stay >= 1.3x.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_stl.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+cargo bench -p nds-bench --bench stl --bench microbench 2>/dev/null \
+    | grep '^bench: ' | tee "$raw"
+
+RAW="$raw" OUT="$out" python3 - <<'PY'
+import json, os, subprocess, time
+
+records = []
+with open(os.environ["RAW"]) as f:
+    for line in f:
+        # bench: <group>/<name> median_ns <N>
+        _, name, _, ns = line.split()
+        records.append({"name": name, "value": int(ns), "unit": "ns",
+                        "direction": "smaller-is-better"})
+
+by_name = {r["name"]: r["value"] for r in records}
+speedup = {}
+for cached, uncached in [("stl/read_tile_256", "stl/read_tile_256_uncached"),
+                         ("stl/read_column_64", "stl/read_column_64_uncached")]:
+    if cached in by_name and uncached in by_name and by_name[cached] > 0:
+        speedup[cached] = round(by_name[uncached] / by_name[cached], 3)
+
+commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                        capture_output=True, text=True).stdout.strip() or None
+entry = {
+    "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "commit": commit,
+    "records": records,
+    "speedup": speedup,
+}
+
+out = os.environ["OUT"]
+trajectory = []
+if os.path.exists(out):
+    with open(out) as f:
+        trajectory = json.load(f).get("trajectory", [])
+trajectory.append(entry)
+with open(out, "w") as f:
+    json.dump({"bench": "stl", "trajectory": trajectory}, f, indent=2)
+    f.write("\n")
+
+worst = min(speedup.values()) if speedup else 0.0
+print(f"wrote {out}: {len(records)} records, "
+      f"repeated same-shape read speedup {speedup} (floor 1.3x)")
+if worst < 1.3:
+    raise SystemExit(f"FAIL: plan-cache speedup {worst} < 1.3x")
+PY

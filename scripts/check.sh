@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI hygiene gate: formatting, lints (warnings are errors), and the full
+# workspace test suite.
+#
+# Usage: scripts/check.sh [--no-test]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "--no-test" ]]; then
+    echo "== cargo test --workspace"
+    cargo test --workspace --quiet
+fi
+
+echo "check.sh: all green"

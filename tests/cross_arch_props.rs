@@ -10,13 +10,7 @@ use nds::system::{
 };
 
 /// The in-memory reference: the canonical-order slice of the partition.
-fn reference_slice(
-    data: &[u8],
-    view: &Shape,
-    coord: &[u64],
-    sub: &[u64],
-    elem: usize,
-) -> Vec<u8> {
+fn reference_slice(data: &[u8], view: &Shape, coord: &[u64], sub: &[u64], elem: usize) -> Vec<u8> {
     let region = nds::core::Region::from_request(view, coord, sub).expect("valid request");
     let mut out = vec![0u8; (region.volume() as usize) * elem];
     region.for_each_run(view, |buf, linear, len| {

@@ -2,9 +2,7 @@
 //! architecture, produces bit-identical functional results, and the timing
 //! relations the paper asserts hold.
 
-use nds::system::{
-    BaselineSystem, HardwareNds, OracleSystem, SoftwareNds, SystemConfig,
-};
+use nds::system::{BaselineSystem, HardwareNds, OracleSystem, SoftwareNds, SystemConfig};
 use nds::workloads::{all_workloads, WorkloadParams, WorkloadRun};
 
 fn run_everywhere(

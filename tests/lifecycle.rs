@@ -10,9 +10,12 @@ use nds::system::{
 
 fn write_one(sys: &mut dyn StorageFrontEnd) -> nds::system::DatasetId {
     let shape = Shape::new([64, 64]);
-    let id = sys.create_dataset(shape.clone(), ElementType::F32).expect("create");
+    let id = sys
+        .create_dataset(shape.clone(), ElementType::F32)
+        .expect("create");
     let data = vec![7u8; 64 * 64 * 4];
-    sys.write(id, &shape, &[0, 0], &[64, 64], &data).expect("write");
+    sys.write(id, &shape, &[0, 0], &[64, 64], &data)
+        .expect("write");
     id
 }
 
@@ -91,7 +94,9 @@ fn extended_command_limits_enforced() {
     let config = SystemConfig::small_test();
     let mut sys = HardwareNds::new(config);
     let shape = Shape::new([64, 64]);
-    let id = sys.create_dataset(shape.clone(), ElementType::F32).expect("create");
+    let id = sys
+        .create_dataset(shape.clone(), ElementType::F32)
+        .expect("create");
     let mut dims = vec![1u64; 33];
     dims[0] = 64;
     dims[1] = 64;
