@@ -188,6 +188,18 @@ macro_rules! int_range_strategy {
 
 int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        // 53 mantissa bits give a uniform grid over [0, 1).
+        const STEPS: u128 = 1 << 53;
+        let u = rng.below(STEPS) as f64 / STEPS as f64;
+        self.start + (self.end - self.start) * u
+    }
+}
+
 macro_rules! tuple_strategy {
     ($(($($s:ident),+))*) => {
         $(

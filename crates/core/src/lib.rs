@@ -67,6 +67,8 @@ mod plan_cache;
 mod shape;
 mod space;
 mod stl;
+#[cfg(feature = "testing")]
+pub mod testing;
 pub mod transform;
 pub mod translator;
 pub mod views;

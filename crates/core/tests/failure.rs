@@ -2,61 +2,8 @@
 //! panics, no corruption of previously-written data — when the device runs
 //! out of space or a backend misbehaves under it.
 
-use std::borrow::Cow;
-
-use nds_core::{
-    DeviceSpec, ElementType, MemBackend, NdsError, NvmBackend, Shape, Stl, StlConfig, UnitLocation,
-};
-
-/// A backend that starts failing allocations after a budget is exhausted —
-/// simulating a device whose reclamation cannot keep up.
-struct FlakyBackend {
-    inner: MemBackend,
-    allocations_left: u32,
-}
-
-impl FlakyBackend {
-    fn new(spec: DeviceSpec, units_per_lane: usize, budget: u32) -> Self {
-        FlakyBackend {
-            inner: MemBackend::new(spec, units_per_lane),
-            allocations_left: budget,
-        }
-    }
-}
-
-impl NvmBackend for FlakyBackend {
-    fn spec(&self) -> DeviceSpec {
-        self.inner.spec()
-    }
-
-    fn alloc_unit(&mut self, channel: u32, bank: u32) -> Option<UnitLocation> {
-        if self.allocations_left == 0 {
-            return None;
-        }
-        self.allocations_left -= 1;
-        self.inner.alloc_unit(channel, bank)
-    }
-
-    fn release_unit(&mut self, loc: UnitLocation) {
-        self.inner.release_unit(loc);
-    }
-
-    fn free_units(&self, channel: u32, bank: u32) -> usize {
-        if self.allocations_left == 0 {
-            0
-        } else {
-            self.inner.free_units(channel, bank)
-        }
-    }
-
-    fn read_unit(&self, loc: UnitLocation) -> Option<Cow<'_, [u8]>> {
-        self.inner.read_unit(loc)
-    }
-
-    fn write_unit(&mut self, loc: UnitLocation, data: &[u8]) {
-        self.inner.write_unit(loc, data);
-    }
-}
+use nds_core::testing::FlakyBackend;
+use nds_core::{DeviceSpec, ElementType, MemBackend, NdsError, NvmBackend, Shape, Stl, StlConfig};
 
 #[test]
 fn device_exhaustion_surfaces_as_device_full() {
@@ -104,7 +51,7 @@ fn deleting_a_space_recovers_from_exhaustion() {
 fn mid_write_allocation_failure_is_typed_and_prior_data_survives() {
     let spec = DeviceSpec::new(4, 2, 512);
     // Enough budget for the first write plus part of the second.
-    let backend = FlakyBackend::new(spec, 1024, 40);
+    let backend = FlakyBackend::with_alloc_budget(spec, 1024, 40);
     let mut stl = Stl::new(backend, StlConfig::default());
     let shape = Shape::new([64, 64]);
     let data: Vec<u8> = (0..64 * 64 * 4).map(|i| (i % 251) as u8).collect();

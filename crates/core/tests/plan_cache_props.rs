@@ -13,7 +13,8 @@
 
 use proptest::prelude::*;
 
-use nds_core::{DeviceSpec, ElementType, MemBackend, Shape, Stl, StlConfig};
+use nds_core::testing::FlakyBackend;
+use nds_core::{DeviceSpec, ElementType, MemBackend, NdsError, Shape, Stl, StlConfig};
 
 fn spec() -> DeviceSpec {
     DeviceSpec::new(4, 2, 64)
@@ -130,4 +131,62 @@ proptest! {
         prop_assert_eq!(off.plan_cache().hits(), 0);
         prop_assert_eq!(off.plan_cache().len(), 0, "capacity 0 must store nothing");
     }
+}
+
+/// A backend fault during a cached-plan replay must not poison the cache:
+/// the failing read surfaces as a typed error, and the *next* request with
+/// the same geometry is served from the cache (another hit, no eviction)
+/// with byte-exact data. Plans describe geometry, not device health, so a
+/// media fault is no reason to forget one.
+#[test]
+fn backend_fault_during_replay_does_not_poison_the_cache() {
+    let spec = DeviceSpec::new(4, 2, 512);
+    let backend = FlakyBackend::new(spec, 1024);
+    let mut stl = Stl::new(
+        backend,
+        StlConfig {
+            plan_cache_capacity: 64,
+            ..StlConfig::default()
+        },
+    );
+    let shape = Shape::new([32, 32]);
+    let id = stl.create_space(shape.clone(), ElementType::F32).unwrap();
+    let data: Vec<u8> = (0..32 * 32)
+        .flat_map(|i| (i as f32).to_le_bytes())
+        .collect();
+    stl.write(id, &shape, &[0, 0], &[32, 32], &data).unwrap();
+
+    // Warm the cache, then replay once from it.
+    let mut buf = Vec::new();
+    stl.read_into(id, &shape, &[0, 0], &[16, 16], &mut buf)
+        .unwrap();
+    stl.read_into(id, &shape, &[0, 0], &[16, 16], &mut buf)
+        .unwrap();
+    let hits_before = stl.plan_cache().hits();
+    let len_before = stl.plan_cache().len();
+    assert!(hits_before >= 1, "second identical read must hit the cache");
+
+    // Inject a transient media failure into the next replay.
+    stl.backend_mut().fail_next_reads(1);
+    let err = stl
+        .read_into(id, &shape, &[0, 0], &[16, 16], &mut buf)
+        .expect_err("injected read failure must surface");
+    assert!(matches!(err, NdsError::MissingUnit(_)), "got {err}");
+
+    // The fault must not have evicted or bypassed the plan: the retry is
+    // another cache hit and the bytes are exact.
+    let report = stl
+        .read_into(id, &shape, &[0, 0], &[16, 16], &mut buf)
+        .expect("device recovered; plan still valid");
+    assert!(
+        stl.plan_cache().hits() > hits_before,
+        "post-fault read must still be served from the cache"
+    );
+    assert_eq!(stl.plan_cache().len(), len_before, "fault must not evict");
+    let expected: Vec<u8> = (0..16)
+        .flat_map(|r| (0..16).map(move |c| r * 32 + c))
+        .flat_map(|i: u64| (i as f32).to_le_bytes())
+        .collect();
+    assert_eq!(buf, expected, "post-fault replay corrupted the payload");
+    assert_eq!(report.bytes, 16 * 16 * 4);
 }

@@ -1,5 +1,6 @@
 //! The functional + timing flash device.
 
+use nds_faults::{FaultConfig, FaultPlan, MediaReadFault};
 use nds_sim::{ResourceSet, SimTime, Stats};
 use serde::{Deserialize, Serialize};
 
@@ -52,6 +53,22 @@ pub struct FlashDevice {
     channels: ResourceSet,
     banks: ResourceSet,
     stats: Stats,
+    faults: Option<MediaFaults>,
+}
+
+/// Media-fault bookkeeping installed by
+/// [`install_faults`](FlashDevice::install_faults): the deterministic plan
+/// plus per-block bad/read-disturb state.
+#[derive(Debug, Clone)]
+struct MediaFaults {
+    plan: FaultPlan,
+    /// Blocks retired after a permanent program failure.
+    bad: Vec<bool>,
+    /// Array reads absorbed by each block since its last erase.
+    disturb: Vec<u64>,
+    /// Blocks past the disturb limit, awaiting preventive migration by the
+    /// translation layer.
+    disturbed: Vec<BlockAddr>,
 }
 
 impl FlashDevice {
@@ -74,6 +91,7 @@ impl FlashDevice {
             alloc_cursor: vec![0; total_banks],
             free_count: vec![g.pages_per_bank(); total_banks],
             stats: Stats::new(),
+            faults: None,
             config,
         }
     }
@@ -189,6 +207,10 @@ impl FlashDevice {
     pub fn erase_block(&mut self, block: BlockAddr) {
         let g = self.config.geometry;
         let block_idx = g.block_index(block);
+        if self.is_bad_block(block) {
+            // Retired blocks are never erased back into service.
+            return;
+        }
         self.erase_counts[block_idx] += 1;
         let bank = block.channel * g.banks_per_channel + block.bank;
         for p in 0..g.pages_per_block {
@@ -203,6 +225,10 @@ impl FlashDevice {
             }
             self.state[idx] = PageState::Free;
             self.data[idx] = None;
+        }
+        if let Some(f) = self.faults.as_mut() {
+            // An erase refreshes the block, clearing accumulated disturb.
+            f.disturb[block_idx] = 0;
         }
         self.stats.add("flash.blocks_erased", 1);
     }
@@ -267,7 +293,53 @@ impl FlashDevice {
                 block: local / g.pages_per_block,
                 page: local % g.pages_per_block,
             };
-            if self.state[g.page_index(addr)] == PageState::Free {
+            if self.state[g.page_index(addr)] == PageState::Free
+                && !self.is_bad_block(addr.block_addr())
+            {
+                self.alloc_cursor[bank_id] = (local + 1) % pages;
+                return Some(addr);
+            }
+        }
+        None
+    }
+
+    /// Like [`find_free_page`](Self::find_free_page) but never returns a
+    /// page inside `excluded` — for relocation out of a block that is about
+    /// to be erased (GC victims, retired blocks, disturb migration).
+    /// Allocating the destination inside the doomed block would erase the
+    /// relocated data along with the garbage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel or bank index is out of range.
+    pub fn find_free_page_excluding(
+        &mut self,
+        channel: usize,
+        bank: usize,
+        excluded: BlockAddr,
+    ) -> Option<PageAddr> {
+        let g = self.config.geometry;
+        assert!(channel < g.channels && bank < g.banks_per_channel);
+        let bank_id = channel * g.banks_per_channel + bank;
+        if self.free_count[bank_id] == 0 {
+            return None;
+        }
+        let pages = g.pages_per_bank();
+        let start = self.alloc_cursor[bank_id];
+        for off in 0..pages {
+            let local = (start + off) % pages;
+            let addr = PageAddr {
+                channel,
+                bank,
+                block: local / g.pages_per_block,
+                page: local % g.pages_per_block,
+            };
+            if addr.block_addr() == excluded {
+                continue;
+            }
+            if self.state[g.page_index(addr)] == PageState::Free
+                && !self.is_bad_block(addr.block_addr())
+            {
                 self.alloc_cursor[bank_id] = (local + 1) % pages;
                 return Some(addr);
             }
@@ -390,6 +462,176 @@ impl FlashDevice {
     /// Channel resources (for utilization reporting).
     pub fn channel_resources(&self) -> &ResourceSet {
         &self.channels
+    }
+
+    // ------------------------------------------------------------------
+    // Fault layer
+    // ------------------------------------------------------------------
+
+    /// Installs a deterministic media-fault plan. Reads scheduled through
+    /// [`fault_read_batch`](Self::fault_read_batch) and programs checked via
+    /// [`next_program_fault`](Self::next_program_fault) then draw from it;
+    /// the plain `schedule_*` calls stay fault-free for golden runs.
+    pub fn install_faults(&mut self, config: FaultConfig) {
+        let blocks = self.config.geometry.total_blocks();
+        self.faults = Some(MediaFaults {
+            plan: FaultPlan::new(config),
+            bad: vec![false; blocks],
+            disturb: vec![0; blocks],
+            disturbed: Vec::new(),
+        });
+    }
+
+    /// True if a fault plan has been installed.
+    pub fn faults_installed(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// True if `block` has been retired after a permanent program failure.
+    /// Retired blocks are skipped by allocation and never erased; their
+    /// valid pages stay readable until the translation layer relocates them.
+    pub fn is_bad_block(&self, block: BlockAddr) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.bad[self.config.geometry.block_index(block)])
+    }
+
+    /// Number of retired blocks.
+    pub fn bad_block_count(&self) -> usize {
+        self.faults
+            .as_ref()
+            .map_or(0, |f| f.bad.iter().filter(|&&b| b).count())
+    }
+
+    /// Schedules a batch of page reads under the installed fault plan.
+    ///
+    /// Each page behaves exactly like [`schedule_reads`](Self::schedule_reads)
+    /// — bank array read, then channel transfer — and additionally draws one
+    /// fault decision. A transient ECC failure re-runs the array read and
+    /// transfer once per required retry (each counted in `retries.flash`),
+    /// bounded by the configured read-retry budget. Every array read also
+    /// feeds the block's read-disturb counter; blocks past the limit queue
+    /// for preventive migration via
+    /// [`take_disturbed_blocks`](Self::take_disturbed_blocks).
+    ///
+    /// With no plan installed (or a zero rate), this is schedule-identical
+    /// to `schedule_reads`.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::ReadUnrecoverable`] if a page still fails after the
+    /// retry budget is spent (the spent retries remain on the timeline).
+    pub fn fault_read_batch(
+        &mut self,
+        pages: &[PageAddr],
+        ready: SimTime,
+    ) -> Result<SimTime, FlashError> {
+        let g = self.config.geometry;
+        let transfer = self.config.timing.transfer_time(g.page_size);
+        let read_lat = self.config.timing.read_latency;
+        let budget = self
+            .faults
+            .as_ref()
+            .map_or(0, |f| f.plan.config().read_retry_budget);
+        let mut done = ready;
+        for &p in pages {
+            let bank_id = p.channel * g.banks_per_channel + p.bank;
+            let bank_end = self.banks.acquire(bank_id, ready, read_lat);
+            let mut end = self.channels.acquire(p.channel, bank_end, transfer);
+            let decision = match self.faults.as_mut() {
+                Some(f) => f.plan.next_read_fault(),
+                None => MediaReadFault::None,
+            };
+            let mut senses = 1u64;
+            if let MediaReadFault::Transient { retries } = decision {
+                self.stats.add("faults.injected", 1);
+                for _ in 0..retries.min(budget) {
+                    self.stats.add("retries.flash", 1);
+                    let again = self.banks.acquire(bank_id, end, read_lat);
+                    end = self.channels.acquire(p.channel, again, transfer);
+                    senses += 1;
+                }
+                if retries > budget {
+                    self.note_disturb(p, senses);
+                    return Err(FlashError::ReadUnrecoverable(p));
+                }
+                self.stats.add("faults.recovered", 1);
+            }
+            self.note_disturb(p, senses);
+            done = done.max(end);
+        }
+        Ok(done)
+    }
+
+    /// Feeds `senses` array reads of page `p` into its block's read-disturb
+    /// counter, queueing the block for migration when it crosses the limit.
+    fn note_disturb(&mut self, p: PageAddr, senses: u64) {
+        let g = self.config.geometry;
+        let block = p.block_addr();
+        let idx = g.block_index(block);
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        let limit = f.plan.config().read_disturb_limit;
+        if limit == 0 {
+            return;
+        }
+        f.disturb[idx] += senses;
+        if f.disturb[idx] >= limit && !f.bad[idx] && !f.disturbed.contains(&block) {
+            f.disturbed.push(block);
+        }
+    }
+
+    /// Draws the program-fault decision for a program targeting `addr`.
+    ///
+    /// On a fault the containing block is retired on the spot: it is marked
+    /// bad, its remaining free pages leave the allocation pool, and
+    /// `faults.injected` / `blocks.retired` are counted. The caller owns
+    /// recovery — re-place the payload on a fresh page and relocate the
+    /// block's surviving valid pages.
+    pub fn next_program_fault(&mut self, addr: PageAddr) -> bool {
+        let fault = match self.faults.as_mut() {
+            Some(f) => f.plan.next_program_fault(),
+            None => false,
+        };
+        if !fault {
+            return false;
+        }
+        self.stats.add("faults.injected", 1);
+        self.stats.add("blocks.retired", 1);
+        self.retire_block(addr.block_addr());
+        true
+    }
+
+    /// Marks `block` bad and removes its free pages from the allocator.
+    fn retire_block(&mut self, block: BlockAddr) {
+        let g = self.config.geometry;
+        let idx = g.block_index(block);
+        let already = self.faults.as_ref().is_some_and(|f| f.bad[idx]);
+        if already {
+            return;
+        }
+        let mut free_lost = 0;
+        for p in 0..g.pages_per_block {
+            if self.state[g.page_index(block.page(p))] == PageState::Free {
+                free_lost += 1;
+            }
+        }
+        let bank = block.channel * g.banks_per_channel + block.bank;
+        self.free_count[bank] -= free_lost;
+        if let Some(f) = self.faults.as_mut() {
+            f.bad[idx] = true;
+        }
+    }
+
+    /// Drains the queue of blocks whose read-disturb counters crossed the
+    /// limit. The translation layer relocates their valid pages and erases
+    /// them (the erase resets the counter).
+    pub fn take_disturbed_blocks(&mut self) -> Vec<BlockAddr> {
+        self.faults
+            .as_mut()
+            .map(|f| std::mem::take(&mut f.disturbed))
+            .unwrap_or_default()
     }
 }
 

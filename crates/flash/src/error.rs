@@ -35,6 +35,11 @@ pub enum FlashError {
     },
     /// Read of a logical page that was never written.
     LbaNotWritten(u64),
+    /// A page program failed permanently; the containing block has been
+    /// retired and the data must be placed elsewhere.
+    ProgramFailed(PageAddr),
+    /// A page read kept failing ECC after exhausting the read-retry budget.
+    ReadUnrecoverable(PageAddr),
 }
 
 impl fmt::Display for FlashError {
@@ -53,6 +58,12 @@ impl fmt::Display for FlashError {
                 write!(f, "lba {lba} outside exported capacity of {capacity} pages")
             }
             FlashError::LbaNotWritten(lba) => write!(f, "lba {lba} was never written"),
+            FlashError::ProgramFailed(a) => {
+                write!(f, "program of page {a} failed permanently; block retired")
+            }
+            FlashError::ReadUnrecoverable(a) => {
+                write!(f, "read of page {a} failed ecc beyond the retry budget")
+            }
         }
     }
 }
@@ -87,6 +98,8 @@ mod tests {
             }
             .to_string(),
             FlashError::LbaNotWritten(7).to_string(),
+            FlashError::ProgramFailed(a).to_string(),
+            FlashError::ReadUnrecoverable(a).to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

@@ -10,12 +10,13 @@
 
 use std::collections::HashMap;
 
+use nds_faults::FaultConfig;
 use nds_sim::{SimTime, Stats, Trace};
 use serde::{Deserialize, Serialize};
 
 use crate::device::{FlashDevice, PageState};
 use crate::error::FlashError;
-use crate::geometry::PageAddr;
+use crate::geometry::{BlockAddr, PageAddr};
 
 /// Tunables for the baseline FTL.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -107,9 +108,18 @@ impl Ftl {
         &mut self.device
     }
 
-    /// FTL-level counters (`ftl.gc_runs`, `ftl.gc_relocated`).
+    /// FTL-level counters (`ftl.gc_runs`, `ftl.gc_relocated`, and under a
+    /// fault plan `retries.flash`, `faults.recovered`, `faults.migrated`,
+    /// `faults.disturb_migrations`).
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Installs a deterministic media-fault plan on the wrapped device.
+    /// Subsequent [`write`](Self::write) / [`read`](Self::read) /
+    /// [`read_run`](Self::read_run) calls inject and recover from faults.
+    pub fn install_faults(&mut self, config: FaultConfig) {
+        self.device.install_faults(config);
     }
 
     /// The FTL's garbage-collection event trace (disabled by default).
@@ -190,10 +200,23 @@ impl Ftl {
         }
 
         now = self.maybe_gc(channel, bank, now)?;
-        let target = self
+        let mut target = self
             .device
             .find_free_page(channel, bank)
             .ok_or(FlashError::DeviceFull)?;
+        if self.device.next_program_fault(target) {
+            // The program status came back failed: the attempt already spent
+            // bus + program time, the device retired the block, and we must
+            // relocate its surviving live pages before retrying elsewhere.
+            now = self.device.schedule_programs(&[target], now);
+            self.stats.add("retries.flash", 1);
+            now = self.relocate_live_pages(target.block_addr(), now)?;
+            now = self.maybe_gc(channel, bank, now)?;
+            target = self
+                .recovery_free_page(channel, bank, target.block_addr())
+                .ok_or(FlashError::DeviceFull)?;
+            self.stats.add("faults.recovered", 1);
+        }
         self.device.program(target, payload)?;
         let done = self.device.schedule_programs(&[target], now);
         let idx = self.device.geometry().page_index(target);
@@ -211,8 +234,10 @@ impl Ftl {
     pub fn read(&mut self, lba: u64, ready: SimTime) -> Result<(Vec<u8>, SimTime), FlashError> {
         self.check_lba(lba)?;
         let addr = self.map[lba as usize].ok_or(FlashError::LbaNotWritten(lba))?;
-        let done = self.device.schedule_reads(&[addr], ready);
+        let done = self.device.fault_read_batch(&[addr], ready)?;
+        // Capture the bytes before preventive migration can move the page.
         let data = self.device.read(addr)?.to_vec();
+        let done = self.service_disturbed(done)?;
         Ok((data, done))
     }
 
@@ -236,11 +261,12 @@ impl Ftl {
             self.check_lba(l)?;
             addrs.push(self.map[l as usize].ok_or(FlashError::LbaNotWritten(l))?);
         }
-        let done = self.device.schedule_reads(&addrs, ready);
+        let done = self.device.fault_read_batch(&addrs, ready)?;
         let mut data = Vec::with_capacity(count as usize * self.page_size());
         for addr in addrs {
             data.extend_from_slice(self.device.read(addr)?);
         }
+        let done = self.service_disturbed(done)?;
         Ok((data, done))
     }
 
@@ -260,6 +286,86 @@ impl Ftl {
             self.stats.add("ftl.trimmed", 1);
         }
         Ok(())
+    }
+
+    /// Relocates and erases every block whose read-disturb counter crossed
+    /// the configured limit — the preventive-migration half of the fault
+    /// model. Called automatically by the fault-aware read paths; a no-op
+    /// when no plan is installed or nothing is pending. Returns the instant
+    /// the migrations complete.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::DeviceFull`] if a victim's live pages cannot be
+    /// re-placed in their lane.
+    pub fn service_disturbed(&mut self, mut now: SimTime) -> Result<SimTime, FlashError> {
+        for block in self.device.take_disturbed_blocks() {
+            now = self.relocate_live_pages(block, now)?;
+            self.device.erase_block(block);
+            now = self.device.schedule_erase(block, now);
+            self.stats.add("faults.disturb_migrations", 1);
+        }
+        Ok(now)
+    }
+
+    /// Moves every valid page of `block` to a fresh page in the same
+    /// `(channel, bank)` lane, updating the LBA map. Used for both retired
+    /// blocks (which allocation already skips) and disturb victims.
+    /// Free-page search for recovery paths only: the home lane first
+    /// (preserving stripe placement), then any lane — a fault must not
+    /// strand data while the device still has space somewhere. Foreground
+    /// writes never take this path, so fault-free placement is unchanged.
+    /// `avoid` is the block being evacuated; destinations inside it would
+    /// be lost to its upcoming erase.
+    fn recovery_free_page(
+        &mut self,
+        channel: usize,
+        bank: usize,
+        avoid: BlockAddr,
+    ) -> Option<PageAddr> {
+        if let Some(p) = self.device.find_free_page_excluding(channel, bank, avoid) {
+            return Some(p);
+        }
+        let g = *self.device.geometry();
+        for c in 0..g.channels {
+            for b in 0..g.banks_per_channel {
+                if let Some(p) = self.device.find_free_page_excluding(c, b, avoid) {
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+
+    fn relocate_live_pages(
+        &mut self,
+        block: BlockAddr,
+        mut now: SimTime,
+    ) -> Result<SimTime, FlashError> {
+        let g = *self.device.geometry();
+        for p in 0..g.pages_per_block {
+            let addr = block.page(p);
+            if self.device.page_state(addr) != PageState::Valid {
+                continue;
+            }
+            let data = self.device.read(addr)?.to_vec();
+            now = self.device.schedule_reads(&[addr], now);
+            // Copy-then-invalidate: secure the destination before touching
+            // the source, so a DeviceFull here leaves the old copy mapped
+            // and readable instead of stranding the lba on an invalid page.
+            let dest = self
+                .recovery_free_page(block.channel, block.bank, block)
+                .ok_or(FlashError::DeviceFull)?;
+            self.device.program(dest, data)?;
+            now = self.device.schedule_programs(&[dest], now);
+            let idx = g.page_index(addr);
+            let lba = self.reverse.remove(&idx).expect("valid page has an lba");
+            self.device.invalidate(addr)?;
+            self.map[lba as usize] = Some(dest);
+            self.reverse.insert(g.page_index(dest), lba);
+            self.stats.add("faults.migrated", 1);
+        }
+        Ok(now)
     }
 
     /// Runs garbage collection on `(channel, bank)` if its free fraction is
@@ -286,7 +392,14 @@ impl Ftl {
                 .device
                 .block_occupancy(channel, bank)
                 .into_iter()
-                .filter(|&(_, _, invalid)| invalid > 0)
+                .filter(|&(block, _, invalid)| {
+                    invalid > 0
+                        && !self.device.is_bad_block(crate::BlockAddr {
+                            channel,
+                            bank,
+                            block,
+                        })
+                })
                 .max_by_key(|&(block, _, invalid)| {
                     let wear = self.device.erase_count(crate::BlockAddr {
                         channel,
@@ -312,15 +425,20 @@ impl Ftl {
                     }
                     let data = self.device.read(addr)?.to_vec();
                     now = self.device.schedule_reads(&[addr], now);
-                    let idx = g.page_index(addr);
-                    let lba = self.reverse.remove(&idx).expect("valid page has an lba");
-                    self.device.invalidate(addr)?;
+                    // Never place the survivor inside the victim itself —
+                    // the erase below would take the fresh copy with it.
+                    // Copy-then-invalidate: secure the destination before
+                    // touching the source, so DeviceFull leaves the old
+                    // copy mapped and readable.
                     let dest = self
                         .device
-                        .find_free_page(channel, bank)
+                        .find_free_page_excluding(channel, bank, block_addr)
                         .ok_or(FlashError::DeviceFull)?;
                     self.device.program(dest, data)?;
                     now = self.device.schedule_programs(&[dest], now);
+                    let idx = g.page_index(addr);
+                    let lba = self.reverse.remove(&idx).expect("valid page has an lba");
+                    self.device.invalidate(addr)?;
                     let dest_idx = g.page_index(dest);
                     self.map[lba as usize] = Some(dest);
                     self.reverse.insert(dest_idx, lba);

@@ -41,5 +41,5 @@ mod queue;
 pub mod wire;
 
 pub use command::{CommandError, NvmeCommand, SpaceId, MAX_DIMENSIONS, MAX_ELEMENTS_PER_DIM};
-pub use link::{Link, LinkConfig};
+pub use link::{Link, LinkConfig, LinkError};
 pub use queue::{QueueError, QueuePair};

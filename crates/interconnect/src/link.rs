@@ -1,7 +1,37 @@
 //! The interconnect bandwidth model.
 
+use core::fmt;
+
+use nds_faults::{FaultConfig, FaultPlan, LinkFault};
 use nds_sim::{Resource, SimDuration, SimTime, Stats, Throughput};
 use serde::{Deserialize, Serialize};
+
+/// Errors raised by the fault-aware link path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinkError {
+    /// A command kept timing out (or losing its completion) after the host
+    /// queue spent its whole retransmission budget.
+    RetriesExhausted {
+        /// Payload size of the abandoned command.
+        bytes: u64,
+        /// Transmission attempts made (original + retries).
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::RetriesExhausted { bytes, attempts } => write!(
+                f,
+                "link command of {bytes} bytes abandoned after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
 
 /// Parameters of a host↔device link.
 ///
@@ -65,6 +95,7 @@ pub struct Link {
     config: LinkConfig,
     wire: Resource,
     stats: Stats,
+    faults: Option<FaultPlan>,
 }
 
 impl Link {
@@ -74,6 +105,7 @@ impl Link {
             config,
             wire: Resource::new("link"),
             stats: Stats::new(),
+            faults: None,
         }
     }
 
@@ -97,12 +129,83 @@ impl Link {
         Throughput::from_bytes_over(bytes, self.occupancy(bytes))
     }
 
+    /// Installs a deterministic link-fault plan: subsequent
+    /// [`try_transfer`](Self::try_transfer) calls draw one decision per
+    /// command. The plain [`transfer`](Self::transfer) path stays fault-free
+    /// for golden runs.
+    pub fn install_faults(&mut self, config: FaultConfig) {
+        self.faults = Some(FaultPlan::new(config));
+    }
+
+    /// True if a fault plan has been installed.
+    pub fn faults_installed(&self) -> bool {
+        self.faults.is_some()
+    }
+
     /// Schedules one command moving `bytes`, ready at `ready`; returns the
-    /// completion instant. Commands serialize FIFO on the wire.
+    /// completion instant. Commands serialize FIFO on the wire. This path
+    /// never consults the fault plan — use
+    /// [`try_transfer`](Self::try_transfer) on operational paths.
     pub fn transfer(&mut self, bytes: u64, ready: SimTime) -> SimTime {
         self.stats.add("link.commands", 1);
         self.stats.add("link.bytes", bytes);
         self.wire.acquire(ready, self.occupancy(bytes))
+    }
+
+    /// Schedules one command under the installed fault plan.
+    ///
+    /// A clean command behaves exactly like [`transfer`](Self::transfer). A
+    /// faulted command (timeout or dropped completion — the host queue
+    /// cannot tell them apart) burns full wire occupancy per failed attempt,
+    /// then waits an exponentially doubling backoff before retransmitting;
+    /// each retransmission counts in `retries.link`. Retries never draw new
+    /// plan decisions, so fault sequences stay aligned across fault rates.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::RetriesExhausted`] when the command still fails after
+    /// the configured retry budget (the spent attempts stay on the wire's
+    /// timeline).
+    pub fn try_transfer(&mut self, bytes: u64, ready: SimTime) -> Result<SimTime, LinkError> {
+        self.stats.add("link.commands", 1);
+        self.stats.add("link.bytes", bytes);
+        let occupancy = self.occupancy(bytes);
+        let decision = match self.faults.as_mut() {
+            Some(plan) => plan.next_link_fault(),
+            None => LinkFault::None,
+        };
+        let (failures, mode) = match decision {
+            LinkFault::None => return Ok(self.wire.acquire(ready, occupancy)),
+            LinkFault::Timeout { failures } => (failures, "faults.link_timeouts"),
+            LinkFault::DroppedCompletion { failures } => (failures, "faults.link_drops"),
+        };
+        self.stats.add("faults.injected", 1);
+        self.stats.add(mode, 1);
+        let (budget, mut backoff) = {
+            let cfg = self
+                .faults
+                .as_ref()
+                .expect("a fault decision implies an installed plan")
+                .config();
+            (cfg.link_retry_budget, cfg.link_backoff)
+        };
+        let mut at = ready;
+        for _ in 0..failures.min(budget) {
+            // The failed attempt holds the wire for its full occupancy —
+            // the host only learns of the loss by timing out.
+            let failed_at = self.wire.acquire(at, occupancy);
+            self.stats.add("retries.link", 1);
+            at = failed_at + backoff;
+            backoff = backoff * 2;
+        }
+        if failures > budget {
+            return Err(LinkError::RetriesExhausted {
+                bytes,
+                attempts: budget + 1,
+            });
+        }
+        self.stats.add("faults.recovered", 1);
+        Ok(self.wire.acquire(at, occupancy))
     }
 
     /// Schedules a zero-payload command (e.g. `open_space`), charging only
@@ -212,5 +315,112 @@ mod tests {
         link.reset_timing();
         assert_eq!(link.drained_at(), SimTime::ZERO);
         assert_eq!(link.stats().get("link.commands"), 1);
+    }
+
+    #[test]
+    fn try_transfer_without_plan_matches_transfer() {
+        let mut plain = Link::new(LinkConfig::nvmeof_40g());
+        let mut faulty = Link::new(LinkConfig::nvmeof_40g());
+        for i in 1..32u64 {
+            let a = plain.transfer(i * 1024, SimTime::ZERO);
+            let b = faulty.try_transfer(i * 1024, SimTime::ZERO).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.stats(), faulty.stats());
+    }
+
+    #[test]
+    fn zero_rate_plan_is_schedule_identical() {
+        let mut plain = Link::new(LinkConfig::nvmeof_40g());
+        let mut faulty = Link::new(LinkConfig::nvmeof_40g());
+        faulty.install_faults(FaultConfig::with_rate(3, 0.0));
+        for i in 1..32u64 {
+            let a = plain.transfer(i * 1024, SimTime::ZERO);
+            let b = faulty.try_transfer(i * 1024, SimTime::ZERO).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.stats(), faulty.stats());
+    }
+
+    #[test]
+    fn injected_faults_add_time_and_always_recover_within_budget() {
+        let mut plain = Link::new(LinkConfig::nvmeof_40g());
+        let mut faulty = Link::new(LinkConfig::nvmeof_40g());
+        faulty.install_faults(FaultConfig {
+            seed: 7,
+            link_fault_rate: 1.0,
+            ..FaultConfig::disabled()
+        });
+        for _ in 0..64 {
+            let clean = plain.transfer(8192, SimTime::ZERO);
+            let recovered = faulty.try_transfer(8192, SimTime::ZERO).unwrap();
+            assert!(recovered > clean, "a faulted command must cost extra time");
+        }
+        let s = faulty.stats();
+        assert_eq!(s.get("faults.injected"), 64);
+        assert_eq!(s.get("faults.recovered"), 64);
+        assert!(s.get("retries.link") >= 64);
+        assert_eq!(
+            s.get("faults.link_timeouts") + s.get("faults.link_drops"),
+            64
+        );
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_typed_error() {
+        let mut link = Link::new(LinkConfig::nvmeof_40g());
+        link.install_faults(FaultConfig {
+            seed: 7,
+            link_fault_rate: 1.0,
+            link_retry_budget: 0,
+            ..FaultConfig::disabled()
+        });
+        let err = link.try_transfer(4096, SimTime::ZERO).unwrap_err();
+        assert!(matches!(
+            err,
+            LinkError::RetriesExhausted {
+                bytes: 4096,
+                attempts: 1
+            }
+        ));
+        assert!(!err.to_string().is_empty());
+        assert_eq!(link.stats().get("faults.recovered"), 0);
+    }
+
+    #[test]
+    fn backoff_doubles_between_retries() {
+        // Budget exactly covers a 2-failure fault: completion must include
+        // 3 occupancies + backoff + 2*backoff. Find a seed/command with
+        // failures == 2 by scanning the plan deterministically.
+        let cfg = FaultConfig {
+            seed: 1,
+            link_fault_rate: 1.0,
+            ..FaultConfig::disabled()
+        };
+        let mut probe = nds_faults::FaultPlan::new(cfg);
+        let mut skip = 0;
+        let failures = loop {
+            match probe.next_link_fault() {
+                LinkFault::Timeout { failures } | LinkFault::DroppedCompletion { failures } => {
+                    if failures == 2 {
+                        break failures;
+                    }
+                }
+                LinkFault::None => unreachable!("rate 1.0"),
+            }
+            skip += 1;
+        };
+        assert_eq!(failures, 2);
+        let mut link = Link::new(LinkConfig::nvmeof_40g());
+        link.install_faults(cfg);
+        let mut at = SimTime::ZERO;
+        for _ in 0..skip {
+            at = link.try_transfer(4096, at).unwrap();
+        }
+        let start = link.drained_at();
+        let done = link.try_transfer(4096, start).unwrap();
+        let occ = link.occupancy(4096);
+        let expect = start + occ * 3 + cfg.link_backoff + cfg.link_backoff * 2;
+        assert_eq!(done, expect);
     }
 }

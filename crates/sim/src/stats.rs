@@ -56,6 +56,28 @@ impl Stats {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// Sums every counter whose name starts with `prefix` — e.g.
+    /// `sum_prefix("retries.")` aggregates `retries.flash` and
+    /// `retries.link` into one recovery-effort figure.
+    ///
+    /// ```
+    /// use nds_sim::Stats;
+    ///
+    /// let mut stats = Stats::new();
+    /// stats.add("retries.flash", 3);
+    /// stats.add("retries.link", 2);
+    /// stats.add("faults.injected", 5);
+    /// assert_eq!(stats.sum_prefix("retries."), 5);
+    /// assert_eq!(stats.sum_prefix("nothing."), 0);
+    /// ```
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_owned()..)
+            .take_while(|(name, _)| name.starts_with(prefix))
+            .map(|(_, value)| value)
+            .sum()
+    }
+
     /// Merges another registry into this one, summing shared counters.
     pub fn merge(&mut self, other: &Stats) {
         for (name, value) in &other.counters {
@@ -135,6 +157,19 @@ mod tests {
         let mut s = Stats::new();
         s.add("a.b", 9);
         assert!(s.to_string().contains("a.b"));
+    }
+
+    #[test]
+    fn sum_prefix_bounds_are_exact() {
+        let mut s = Stats::new();
+        s.add("retries.flash", 1);
+        s.add("retries.link", 2);
+        // Lexicographic neighbours that must NOT be included.
+        s.add("retries", 100);
+        s.add("retriesx", 100);
+        s.add("retrie.", 100);
+        assert_eq!(s.sum_prefix("retries."), 3);
+        assert_eq!(s.sum_prefix(""), 303, "empty prefix sums everything");
     }
 
     #[test]

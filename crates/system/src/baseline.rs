@@ -56,9 +56,15 @@ impl BaselineSystem {
     /// Builds a baseline system from a configuration.
     pub fn new(config: SystemConfig) -> Self {
         let device = nds_flash::FlashDevice::new(config.flash.clone());
+        let mut ftl = Ftl::new(device, FtlConfig::default());
+        let mut link = Link::new(config.link);
+        if let Some(faults) = config.faults {
+            ftl.install_faults(faults);
+            link.install_faults(faults);
+        }
         BaselineSystem {
-            ftl: Ftl::new(device, FtlConfig::default()),
-            link: Link::new(config.link),
+            ftl,
+            link,
             cpu: config.cpu,
             datasets: HashMap::new(),
             next_id: 1,
@@ -285,7 +291,7 @@ impl StorageFrontEnd for BaselineSystem {
             let _ = first;
             // Writes carry whole pages (the controller cannot
             // read-modify-write sectors it never received).
-            link_end = self.link.transfer(count * ps, SimTime::ZERO);
+            link_end = self.link.try_transfer(count * ps, SimTime::ZERO)?;
         }
         let submit = self.cpu.submit_time(commands.len() as u64);
         let io = link_end.saturating_since(SimTime::ZERO).max(submit);
@@ -343,13 +349,18 @@ impl StorageFrontEnd for BaselineSystem {
             let dev_end = if addrs.is_empty() {
                 SimTime::ZERO
             } else {
-                self.ftl.device_mut().schedule_reads(&addrs, SimTime::ZERO)
+                self.ftl
+                    .device_mut()
+                    .fault_read_batch(&addrs, SimTime::ZERO)?
             };
             let link_end = self
                 .link
-                .transfer(wire_bytes.min(count * ps), first_page.min(dev_end));
+                .try_transfer(wire_bytes.min(count * ps), first_page.min(dev_end))?;
             io_end = io_end.max(dev_end).max(link_end);
         }
+        // Preventive migration of any blocks the batch pushed past the
+        // read-disturb limit, before the host sees the data.
+        io_end = io_end.max(self.ftl.service_disturbed(io_end)?);
         let submit = self.cpu.submit_time(commands.len() as u64);
         let io_latency = io_end.saturating_since(SimTime::ZERO).max(submit);
         // Steady-state pacing under a deep queue: device lanes, wire, and

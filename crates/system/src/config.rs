@@ -2,6 +2,7 @@
 
 use crate::controller::{ControllerPipeline, HostStlPath};
 use nds_core::StlConfig;
+use nds_faults::FaultConfig;
 use nds_flash::FlashConfig;
 use nds_host::CpuModel;
 use nds_interconnect::LinkConfig;
@@ -61,6 +62,9 @@ pub struct SystemConfig {
     /// ("as soon as a segment … reaches the optimal data-exchange volume",
     /// §4.4) — 2 MB saturates NVMe per §2.1.
     pub nds_transfer_chunk: u64,
+    /// Deterministic media/link fault plan installed into the device and
+    /// link at construction (`None` = fault-free; every preset is `None`).
+    pub faults: Option<FaultConfig>,
 }
 
 impl SystemConfig {
@@ -85,6 +89,7 @@ impl SystemConfig {
             },
             sw_stl_path: HostStlPath::linux_lightnvm(),
             nds_transfer_chunk: 2 * 1024 * 1024,
+            faults: None,
         }
     }
 
@@ -139,7 +144,17 @@ impl SystemConfig {
             stl: StlConfig::default(),
             sw_stl_path: HostStlPath::linux_lightnvm(),
             nds_transfer_chunk: 64 * 1024,
+            faults: None,
         }
+    }
+
+    /// Returns the configuration with a fault plan installed. Architectures
+    /// built from it inject deterministic media and link faults and recover
+    /// through retries, remaps, and preventive migration.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
     }
 }
 

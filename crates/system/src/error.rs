@@ -15,6 +15,9 @@ pub enum SystemError {
     /// The request violates the NVMe command extension's interface limits
     /// (§5.3.1: at most 32 dimensions of at most 2²⁴ elements).
     Command(nds_interconnect::CommandError),
+    /// The interconnect abandoned a command after exhausting its
+    /// retransmission budget.
+    Link(nds_interconnect::LinkError),
     /// No dataset with the given identifier.
     UnknownDataset(DatasetId),
     /// The dataset's LBA allocation would exceed device capacity.
@@ -32,6 +35,7 @@ impl fmt::Display for SystemError {
             SystemError::Nds(e) => write!(f, "stl: {e}"),
             SystemError::Flash(e) => write!(f, "flash: {e}"),
             SystemError::Command(e) => write!(f, "command: {e}"),
+            SystemError::Link(e) => write!(f, "link: {e}"),
             SystemError::UnknownDataset(id) => write!(f, "no dataset with identifier {id:?}"),
             SystemError::CapacityExceeded {
                 requested,
@@ -50,6 +54,7 @@ impl std::error::Error for SystemError {
             SystemError::Nds(e) => Some(e),
             SystemError::Flash(e) => Some(e),
             SystemError::Command(e) => Some(e),
+            SystemError::Link(e) => Some(e),
             _ => None,
         }
     }
@@ -70,6 +75,12 @@ impl From<nds_flash::FlashError> for SystemError {
 impl From<nds_interconnect::CommandError> for SystemError {
     fn from(e: nds_interconnect::CommandError) -> Self {
         SystemError::Command(e)
+    }
+}
+
+impl From<nds_interconnect::LinkError> for SystemError {
+    fn from(e: nds_interconnect::LinkError) -> Self {
+        SystemError::Link(e)
     }
 }
 

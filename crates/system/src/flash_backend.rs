@@ -17,7 +17,8 @@ use std::borrow::Cow;
 use std::collections::HashMap;
 
 use nds_core::{DeviceSpec, NvmBackend, UnitLocation};
-use nds_flash::{BlockAddr, FlashConfig, FlashDevice, PageAddr, PageState};
+use nds_faults::FaultConfig;
+use nds_flash::{BlockAddr, FlashConfig, FlashDevice, FlashError, PageAddr, PageState};
 use nds_sim::{SimTime, Stats};
 
 /// Fraction of a lane's pages below which garbage collection triggers
@@ -74,9 +75,18 @@ impl FlashBackend {
         &mut self.device
     }
 
-    /// Adapter counters (`backend.gc_runs`, `backend.gc_relocated`).
+    /// Adapter counters (`backend.gc_runs`, `backend.gc_relocated`, and
+    /// under a fault plan `retries.flash`, `faults.recovered`,
+    /// `faults.migrated`, `faults.disturb_migrations`).
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Installs a deterministic media-fault plan on the wrapped device.
+    /// The `try_schedule_unit_*` timing calls then inject and recover from
+    /// faults; the plain `schedule_unit_*` calls stay fault-free.
+    pub fn install_faults(&mut self, config: FaultConfig) {
+        self.device.install_faults(config);
     }
 
     fn lane(&self, channel: u32, bank: u32) -> usize {
@@ -117,6 +127,158 @@ impl FlashBackend {
         self.device.schedule_programs(&pages, ready)
     }
 
+    /// Fault-aware twin of [`schedule_unit_reads`](Self::schedule_unit_reads):
+    /// every page read draws from the installed plan, pays its ECC retries,
+    /// and any block past the read-disturb limit is preventively migrated
+    /// before the call returns. Schedule-identical to the plain call when no
+    /// plan (or a zero rate) is installed.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::ReadUnrecoverable`] if a page exhausts the retry
+    /// budget; [`FlashError::DeviceFull`] if a migration cannot re-place a
+    /// live page.
+    pub fn try_schedule_unit_reads(
+        &mut self,
+        units: &[UnitLocation],
+        ready: SimTime,
+    ) -> Result<SimTime, FlashError> {
+        let pages: Vec<PageAddr> = units
+            .iter()
+            .filter_map(|u| self.forward.get(u).copied())
+            .collect();
+        if pages.is_empty() {
+            return Ok(ready);
+        }
+        let done = self.device.fault_read_batch(&pages, ready)?;
+        self.service_disturbed(done)
+    }
+
+    /// Fault-aware twin of
+    /// [`schedule_unit_programs`](Self::schedule_unit_programs): every page
+    /// program draws from the installed plan. A permanent program failure
+    /// retires the block on the spot; the just-written unit and every other
+    /// live page of the block are re-placed in the same lane (the re-program
+    /// doubles as the retry), all on the modeled timeline.
+    /// Schedule-identical to the plain call when no plan is installed.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::DeviceFull`] if recovery cannot re-place a page even
+    /// after garbage collection.
+    pub fn try_schedule_unit_programs(
+        &mut self,
+        units: &[UnitLocation],
+        ready: SimTime,
+    ) -> Result<SimTime, FlashError> {
+        let pages: Vec<PageAddr> = units
+            .iter()
+            .filter_map(|u| self.forward.get(u).copied())
+            .collect();
+        let mut done = ready;
+        for page in pages {
+            let mut end = self.device.schedule_programs(&[page], ready);
+            if self.device.next_program_fault(page) {
+                // The failed program already spent its bus + program time;
+                // recovery relocates the whole retired block, including the
+                // unit that was just written.
+                self.stats.add("retries.flash", 1);
+                end = self.relocate_block(page.block_addr(), end)?;
+                self.stats.add("faults.recovered", 1);
+            }
+            done = done.max(end);
+        }
+        Ok(done)
+    }
+
+    /// Relocates and erases blocks past the read-disturb limit.
+    fn service_disturbed(&mut self, mut now: SimTime) -> Result<SimTime, FlashError> {
+        for block in self.device.take_disturbed_blocks() {
+            now = self.relocate_block(block, now)?;
+            self.device.erase_block(block);
+            now = self.device.schedule_erase(block, now);
+            self.stats.add("faults.disturb_migrations", 1);
+        }
+        Ok(now)
+    }
+
+    /// Free-page search for recovery paths only: the home lane first, then
+    /// any lane — a fault must not strand data while the device still has
+    /// space somewhere. Foreground allocation never takes this path.
+    /// `avoid` is the block being evacuated; destinations inside it would
+    /// be lost to its upcoming erase.
+    fn recovery_free_page(
+        &mut self,
+        channel: usize,
+        bank: usize,
+        avoid: BlockAddr,
+    ) -> Option<PageAddr> {
+        if let Some(p) = self.device.find_free_page_excluding(channel, bank, avoid) {
+            return Some(p);
+        }
+        let g = *self.device.geometry();
+        for c in 0..g.channels {
+            for b in 0..g.banks_per_channel {
+                if let Some(p) = self.device.find_free_page_excluding(c, b, avoid) {
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+
+    /// Moves every valid page of `block` to a fresh page in the same lane,
+    /// updating the handle maps and charging the moves to the timeline.
+    fn relocate_block(
+        &mut self,
+        block: BlockAddr,
+        mut now: SimTime,
+    ) -> Result<SimTime, FlashError> {
+        let g = *self.device.geometry();
+        for p in 0..g.pages_per_block {
+            let page = block.page(p);
+            if self.device.page_state(page) != PageState::Valid {
+                continue;
+            }
+            let data = self
+                .device
+                .peek(page)
+                .expect("valid page has data")
+                .to_vec();
+            now = self.device.schedule_reads(&[page], now);
+            // Copy-then-invalidate: secure the destination before touching
+            // the source, so an allocation failure leaves the old copy
+            // mapped and readable instead of stranding the handle.
+            let dest = match self
+                .device
+                .find_free_page_excluding(page.channel, page.bank, block)
+            {
+                Some(d) => d,
+                None => {
+                    self.maybe_gc(page.channel as u32, page.bank as u32);
+                    // GC may have relocated (or erased) the page under us;
+                    // if so its mapping is already fresh — nothing to move.
+                    if self.device.page_state(page) != PageState::Valid {
+                        continue;
+                    }
+                    self.recovery_free_page(page.channel, page.bank, block)
+                        .ok_or(FlashError::DeviceFull)?
+                }
+            };
+            self.device.program(dest, data)?;
+            now = self.device.schedule_programs(&[dest], now);
+            let handle = self
+                .reverse
+                .remove(&page)
+                .expect("valid page belongs to a handle");
+            self.device.invalidate(page)?;
+            self.forward.insert(handle, dest);
+            self.reverse.insert(dest, handle);
+            self.stats.add("faults.migrated", 1);
+        }
+        Ok(now)
+    }
+
     // ------------------------------------------------------------------
     // Garbage collection
     // ------------------------------------------------------------------
@@ -134,7 +296,14 @@ impl FlashBackend {
                 .device
                 .block_occupancy(channel as usize, bank as usize)
                 .into_iter()
-                .filter(|&(_, _, invalid)| invalid > 0)
+                .filter(|&(block, _, invalid)| {
+                    invalid > 0
+                        && !self.device.is_bad_block(BlockAddr {
+                            channel: channel as usize,
+                            bank: bank as usize,
+                            block,
+                        })
+                })
                 .max_by_key(|&(block, _, invalid)| {
                     let wear = self.device.erase_count(BlockAddr {
                         channel: channel as usize,

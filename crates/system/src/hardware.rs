@@ -40,10 +40,15 @@ pub struct HardwareNds {
 impl HardwareNds {
     /// Builds a hardware-NDS system from a configuration.
     pub fn new(config: SystemConfig) -> Self {
-        let backend = FlashBackend::new(config.flash.clone());
+        let mut backend = FlashBackend::new(config.flash.clone());
+        let mut link = Link::new(config.link);
+        if let Some(faults) = config.faults {
+            backend.install_faults(faults);
+            link.install_faults(faults);
+        }
         HardwareNds {
             stl: Stl::new(backend, config.stl),
-            link: Link::new(config.link),
+            link,
             cpu: config.cpu,
             controller: config.controller,
             transfer_chunk: config.nds_transfer_chunk,
@@ -114,18 +119,18 @@ impl HardwareNds {
     }
 
     /// Link time for shipping `bytes` in saturating chunks.
-    fn chunked_link_time(&mut self, bytes: u64) -> SimDuration {
+    fn chunked_link_time(&mut self, bytes: u64) -> Result<SimDuration, SystemError> {
         if bytes == 0 {
-            return SimDuration::ZERO;
+            return Ok(SimDuration::ZERO);
         }
         let mut remaining = bytes;
         let mut end = SimTime::ZERO;
         while remaining > 0 {
             let take = remaining.min(self.transfer_chunk);
-            end = self.link.transfer(take, SimTime::ZERO);
+            end = self.link.try_transfer(take, SimTime::ZERO)?;
             remaining -= take;
         }
-        end.saturating_since(SimTime::ZERO)
+        Ok(end.saturating_since(SimTime::ZERO))
     }
 }
 
@@ -178,13 +183,13 @@ impl StorageFrontEnd for HardwareNds {
         // One extended NVMe command; the object streams in over the link,
         // the controller decomposes it, the channel handlers program pages.
         let submit = self.cpu.submit_time(1);
-        let link = self.chunked_link_time(report.access.bytes);
+        let link = self.chunked_link_time(report.access.bytes)?;
         let decompose = self.decompose_time(report.access.segments, report.access.bytes);
         let mut program_end = SimTime::ZERO;
         for block in &report.access.blocks {
             let backend = self.stl.backend_mut();
             program_end =
-                program_end.max(backend.schedule_unit_programs(&block.units, SimTime::ZERO));
+                program_end.max(backend.try_schedule_unit_programs(&block.units, SimTime::ZERO)?);
         }
         let latency = self.stl_latency(space)
             + submit
@@ -255,7 +260,7 @@ impl StorageFrontEnd for HardwareNds {
                 continue;
             }
             let backend = self.stl.backend_mut();
-            let end = backend.schedule_unit_reads(&block.units, SimTime::ZERO);
+            let end = backend.try_schedule_unit_reads(&block.units, SimTime::ZERO)?;
             if i == 0 {
                 first_block = end.saturating_since(SimTime::ZERO);
             }
@@ -263,7 +268,7 @@ impl StorageFrontEnd for HardwareNds {
             asm_end = asm_end
                 .max(assembler.acquire(end, self.assemble_time(seg_per_block, bytes_per_block)));
         }
-        let link = self.chunked_link_time(report.bytes);
+        let link = self.chunked_link_time(report.bytes)?;
         let submit = self.cpu.submit_time(1);
         let io_latency = self.stl_latency(space)
             + submit

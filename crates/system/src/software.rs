@@ -44,10 +44,15 @@ pub struct SoftwareNds {
 impl SoftwareNds {
     /// Builds a software-NDS system from a configuration.
     pub fn new(config: SystemConfig) -> Self {
-        let backend = FlashBackend::new(config.flash.clone());
+        let mut backend = FlashBackend::new(config.flash.clone());
+        let mut link = Link::new(config.link);
+        if let Some(faults) = config.faults {
+            backend.install_faults(faults);
+            link.install_faults(faults);
+        }
         SoftwareNds {
             stl: Stl::new(backend, config.stl),
-            link: Link::new(config.link),
+            link,
             cpu: config.cpu,
             stl_path: config.sw_stl_path,
             datasets: HashMap::new(),
@@ -128,9 +133,10 @@ impl StorageFrontEnd for SoftwareNds {
             }
             link_end = self
                 .link
-                .transfer(block.units.len() as u64 * page, SimTime::ZERO);
+                .try_transfer(block.units.len() as u64 * page, SimTime::ZERO)?;
             let backend = self.stl.backend_mut();
-            program_end = program_end.max(backend.schedule_unit_programs(&block.units, link_end));
+            program_end =
+                program_end.max(backend.try_schedule_unit_programs(&block.units, link_end)?);
         }
         let submit = self.cpu.submit_time(unit_commands);
         let io = link_end.saturating_since(SimTime::ZERO).max(submit);
@@ -191,12 +197,12 @@ impl StorageFrontEnd for SoftwareNds {
             }
             total_units += block.units.len() as u64;
             let backend = self.stl.backend_mut();
-            let dev_end = backend.schedule_unit_reads(&block.units, SimTime::ZERO);
+            let dev_end = backend.try_schedule_unit_reads(&block.units, SimTime::ZERO)?;
             pending_ready = pending_ready.max(dev_end);
             pending_bytes += block.sector_bytes.min(block.units.len() as u64 * page);
             pending_units += block.units.len();
             if pending_units >= VECTOR_PAGES {
-                let end = self.link.transfer(pending_bytes, pending_ready);
+                let end = self.link.try_transfer(pending_bytes, pending_ready)?;
                 if first_block.is_zero() {
                     first_block = end.saturating_since(SimTime::ZERO);
                 }
@@ -207,7 +213,7 @@ impl StorageFrontEnd for SoftwareNds {
             }
         }
         if pending_units > 0 {
-            let end = self.link.transfer(pending_bytes, pending_ready);
+            let end = self.link.try_transfer(pending_bytes, pending_ready)?;
             if first_block.is_zero() {
                 first_block = end.saturating_since(SimTime::ZERO);
             }

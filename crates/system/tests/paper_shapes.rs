@@ -4,6 +4,7 @@
 //! measured magnitudes.
 
 use nds_core::{ElementType, Shape};
+use nds_faults::FaultConfig;
 use nds_system::{BaselineSystem, HardwareNds, SoftwareNds, StorageFrontEnd, SystemConfig};
 
 const N: u64 = 4096;
@@ -127,6 +128,57 @@ fn fig9d_write_penalties_in_paper_bands() {
         hw_penalty < sw_penalty,
         "hardware must lose less than software on writes"
     );
+}
+
+/// Compiling the fault machinery in at rate 0 must not move a single
+/// number: every [`WriteOutcome`] and [`ReadOutcome`] — payload bytes,
+/// latencies, command counts — is equal (`PartialEq` over every field) to
+/// the fault-free build's, on all three paper architectures, for both the
+/// fig9-style row fetch and the tile fetch. This pins the "zero-rate plan
+/// is schedule-identical to no plan" invariant at full paper geometry.
+///
+/// [`WriteOutcome`]: nds_system::WriteOutcome
+/// [`ReadOutcome`]: nds_system::ReadOutcome
+#[test]
+fn fig9_shapes_unmoved_by_zero_rate_fault_plan() {
+    // Moderate N keeps this regression fast; the relation under test is
+    // exact equality, which does not need headline-scale volumes.
+    let n: u64 = 512;
+    let shape = Shape::new([n, n]);
+    let bytes: Vec<u8> = (0..n * n * 8).map(|i| (i % 251) as u8).collect();
+    let plain = SystemConfig::paper_scale();
+    let zeroed = SystemConfig::paper_scale().with_faults(FaultConfig::with_rate(1221, 0.0));
+
+    let run = |config: &SystemConfig| {
+        let mut outcomes = Vec::new();
+        let mut base = BaselineSystem::new(config.clone());
+        let mut sw = SoftwareNds::new(config.clone());
+        let mut hw = HardwareNds::new(config.clone());
+        for sys in [
+            &mut base as &mut dyn StorageFrontEnd,
+            &mut sw as &mut dyn StorageFrontEnd,
+            &mut hw as &mut dyn StorageFrontEnd,
+        ] {
+            let id = sys.create_dataset(shape.clone(), ElementType::F64).unwrap();
+            let w = sys.write(id, &shape, &[0, 0], &[n, n], &bytes).unwrap();
+            let rows = sys.read(id, &shape, &[0, 0], &[n, 64]).unwrap();
+            let tile = sys.read(id, &shape, &[1, 1], &[128, 128]).unwrap();
+            assert_eq!(
+                sys.stats().get("faults.injected"),
+                0,
+                "{}: a zero-rate plan must inject nothing",
+                sys.name()
+            );
+            outcomes.push((sys.name(), w, rows, tile));
+        }
+        outcomes
+    };
+
+    for ((name, w0, r0, t0), (_, w1, r1, t1)) in run(&plain).into_iter().zip(run(&zeroed)) {
+        assert_eq!(w0, w1, "{name}: write outcome moved by zero-rate plan");
+        assert_eq!(r0, r1, "{name}: row-fetch outcome moved by zero-rate plan");
+        assert_eq!(t0, t1, "{name}: tile-fetch outcome moved by zero-rate plan");
+    }
 }
 
 #[test]

@@ -60,6 +60,16 @@ pub struct WorkloadRun {
     pub bytes: u64,
     /// Checksum of the workload's functional output.
     pub checksum: u64,
+    /// Faults the architecture's fault plan injected during the run (zero
+    /// when running fault-free).
+    pub faults_injected: u64,
+    /// Injected faults the stack recovered from. Equal to
+    /// `faults_injected` on any run that completed — an unrecovered fault
+    /// surfaces as a typed error instead of a [`WorkloadRun`].
+    pub faults_recovered: u64,
+    /// Flash and link retry attempts spent on recovery
+    /// (`retries.flash` + `retries.link`).
+    pub fault_retries: u64,
 }
 
 impl WorkloadRun {
@@ -79,7 +89,20 @@ impl WorkloadRun {
             commands: phases.iter().map(|p| p.commands).sum(),
             bytes: phases.iter().map(|p| p.bytes).sum(),
             checksum,
+            faults_injected: 0,
+            faults_recovered: 0,
+            fault_retries: 0,
         }
+    }
+
+    /// Records the fault subsystem's activity from the architecture's
+    /// counters, so per-workload reports can show recovery effort next to
+    /// the timing it inflated.
+    pub fn with_fault_counters(mut self, stats: &nds_sim::Stats) -> Self {
+        self.faults_injected = stats.get("faults.injected");
+        self.faults_recovered = stats.get("faults.recovered");
+        self.fault_retries = stats.sum_prefix("retries.");
+        self
     }
 }
 
@@ -222,5 +245,16 @@ mod tests {
         assert_eq!(run.commands, 6);
         assert_eq!(run.bytes, 200);
         assert_eq!(run.checksum, 42);
+        assert_eq!(run.faults_injected, 0, "fault-free by default");
+
+        let mut stats = nds_sim::Stats::new();
+        stats.add("faults.injected", 4);
+        stats.add("faults.recovered", 4);
+        stats.add("retries.flash", 5);
+        stats.add("retries.link", 2);
+        let run = run.with_fault_counters(&stats);
+        assert_eq!(run.faults_injected, 4);
+        assert_eq!(run.faults_recovered, 4);
+        assert_eq!(run.fault_retries, 7);
     }
 }

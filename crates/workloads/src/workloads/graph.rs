@@ -107,12 +107,10 @@ impl Workload for Bfs {
             level += 1;
         }
         let checksum = kernels::checksum_u64(levels.iter().map(|&l| l as u64));
-        Ok(WorkloadRun::from_phases(
-            self.name(),
-            sys.name(),
-            &phases,
-            checksum,
-        ))
+        Ok(
+            WorkloadRun::from_phases(self.name(), sys.name(), &phases, checksum)
+                .with_fault_counters(&sys.stats()),
+        )
     }
 
     fn reference_checksum(&self) -> u64 {
@@ -224,12 +222,10 @@ impl Workload for Sssp {
             }
         }
         let checksum = kernels::checksum_u64(dist.iter().map(|&d| d as u64));
-        Ok(WorkloadRun::from_phases(
-            self.name(),
-            sys.name(),
-            &phases,
-            checksum,
-        ))
+        Ok(
+            WorkloadRun::from_phases(self.name(), sys.name(), &phases, checksum)
+                .with_fault_counters(&sys.stats()),
+        )
     }
 
     fn reference_checksum(&self) -> u64 {
@@ -348,12 +344,10 @@ impl Workload for PageRank {
             rank = Self::damp(&next, ns);
         }
         let checksum = kernels::checksum_f32(&rank);
-        Ok(WorkloadRun::from_phases(
-            self.name(),
-            sys.name(),
-            &phases,
-            checksum,
-        ))
+        Ok(
+            WorkloadRun::from_phases(self.name(), sys.name(), &phases, checksum)
+                .with_fault_counters(&sys.stats()),
+        )
     }
 
     fn reference_checksum(&self) -> u64 {

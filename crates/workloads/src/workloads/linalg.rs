@@ -133,12 +133,10 @@ impl Workload for Gemm {
             checksum_input.extend_from_slice(tile);
         }
         let checksum = kernels::checksum_f32(&checksum_input);
-        Ok(WorkloadRun::from_phases(
-            self.name(),
-            sys.name(),
-            &[phase],
-            checksum,
-        ))
+        Ok(
+            WorkloadRun::from_phases(self.name(), sys.name(), &[phase], checksum)
+                .with_fault_counters(&sys.stats()),
+        )
     }
 
     fn reference_checksum(&self) -> u64 {

@@ -194,12 +194,10 @@ impl Workload for KMeans {
             kernels::kmeans_update(&sums, &counts, d, &mut centroids);
         }
         let checksum = kernels::checksum_f32(&centroids);
-        Ok(WorkloadRun::from_phases(
-            self.name(),
-            sys.name(),
-            &phases,
-            checksum,
-        ))
+        Ok(
+            WorkloadRun::from_phases(self.name(), sys.name(), &phases, checksum)
+                .with_fault_counters(&sys.stats()),
+        )
     }
 
     fn reference_checksum(&self) -> u64 {
@@ -324,12 +322,10 @@ impl Workload for Knn {
             },
         )?;
         let checksum = kernels::checksum_u64(best.iter().map(|&(_, i)| i));
-        Ok(WorkloadRun::from_phases(
-            self.name(),
-            sys.name(),
-            &[phase],
-            checksum,
-        ))
+        Ok(
+            WorkloadRun::from_phases(self.name(), sys.name(), &[phase], checksum)
+                .with_fault_counters(&sys.stats()),
+        )
     }
 
     fn reference_checksum(&self) -> u64 {

@@ -205,12 +205,10 @@ impl Workload for Hotspot {
         let full = vec![n, n];
         let final_temp = sys.read(ping, &shape, &zeros, &full)?;
         let checksum = kernels::checksum_f32(&data::f32_from_bytes(&final_temp.data));
-        Ok(WorkloadRun::from_phases(
-            self.name(),
-            sys.name(),
-            &phases,
-            checksum,
-        ))
+        Ok(
+            WorkloadRun::from_phases(self.name(), sys.name(), &phases, checksum)
+                .with_fault_counters(&sys.stats()),
+        )
     }
 
     fn reference_checksum(&self) -> u64 {
@@ -315,12 +313,10 @@ impl Workload for Conv2d {
         }
         checksum_input.extend_from_slice(&out_full);
         let checksum = kernels::checksum_f32(&checksum_input);
-        Ok(WorkloadRun::from_phases(
-            self.name(),
-            sys.name(),
-            &[phase],
-            checksum,
-        ))
+        Ok(
+            WorkloadRun::from_phases(self.name(), sys.name(), &[phase], checksum)
+                .with_fault_counters(&sys.stats()),
+        )
     }
 
     fn reference_checksum(&self) -> u64 {

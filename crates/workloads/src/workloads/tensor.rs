@@ -180,12 +180,10 @@ impl Workload for Ttv {
             },
         )?;
         let checksum = kernels::checksum_f32(&out);
-        Ok(WorkloadRun::from_phases(
-            self.name(),
-            sys.name(),
-            &[phase],
-            checksum,
-        ))
+        Ok(
+            WorkloadRun::from_phases(self.name(), sys.name(), &[phase], checksum)
+                .with_fault_counters(&sys.stats()),
+        )
     }
 
     fn reference_checksum(&self) -> u64 {
@@ -311,12 +309,10 @@ impl Workload for Tc {
             },
         )?;
         let checksum = kernels::checksum_f32(&c_tiles.concat());
-        Ok(WorkloadRun::from_phases(
-            self.name(),
-            sys.name(),
-            &[phase],
-            checksum,
-        ))
+        Ok(
+            WorkloadRun::from_phases(self.name(), sys.name(), &[phase], checksum)
+                .with_fault_counters(&sys.stats()),
+        )
     }
 
     fn reference_checksum(&self) -> u64 {

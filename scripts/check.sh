@@ -16,6 +16,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ "${1:-}" != "--no-test" ]]; then
     echo "== cargo test --workspace"
     cargo test --workspace --quiet
+
+    # Cross-architecture fault differential under pinned seeds: byte-identical
+    # data vs the fault-free golden run, monotone modeled time, all faults
+    # recovered. Seeds are fixed here so CI failures reproduce locally.
+    echo "== fault differential (NDS_FAULT_SEEDS=17,424242,9000000001)"
+    NDS_FAULT_SEEDS=17,424242,9000000001 \
+        cargo test --quiet --release --test fault_differential
 fi
 
 echo "check.sh: all green"

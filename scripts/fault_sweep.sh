@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Fault-injection sweep: runs the deterministic fault harness across rising
+# rates on all four architectures and prints the recovery counters
+# (injected/recovered, retries, blocks retired, migrations) plus the modeled
+# time each rate adds over the fault-free run.
+#
+# Usage: scripts/fault_sweep.sh [seed ...]   (default seeds: 11 1221 987654321)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+seeds=("$@")
+if [[ ${#seeds[@]} -eq 0 ]]; then
+    seeds=(11 1221 987654321)
+fi
+
+for seed in "${seeds[@]}"; do
+    cargo run --release -q -p nds-bench --bin fault_sweep -- "$seed"
+    echo
+done

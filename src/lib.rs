@@ -15,6 +15,8 @@
 //!   hardware NDS, and the §7.2 oracle.
 //! * [`workloads`] — the ten Table 1 workloads with functional kernels.
 //! * [`sim`] — shared simulation primitives.
+//! * [`faults`] — seeded, deterministic media/link fault plans and the
+//!   recovery-policy knobs threaded through every architecture.
 //!
 //! # Quickstart
 //!
@@ -49,6 +51,7 @@
 
 pub use nds_accel as accel;
 pub use nds_core as core;
+pub use nds_faults as faults;
 pub use nds_flash as flash;
 pub use nds_host as host;
 pub use nds_interconnect as interconnect;

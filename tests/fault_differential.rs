@@ -1,0 +1,213 @@
+//! Cross-architecture differential fault harness — the proof obligation of
+//! the fault subsystem.
+//!
+//! For every tested seed, all four architectures (baseline SSD, software
+//! NDS, hardware NDS, oracle) run the same write/read script three ways:
+//!
+//! 1. **Golden**: fault-free (`faults: None`).
+//! 2. **Zero rate**: a fault plan installed but with every rate at 0 — must
+//!    be *schedule-identical* to golden (byte-identical data AND identical
+//!    modeled time).
+//! 3. **Rising rates**: the same seed at increasing fault rates — must stay
+//!    byte-identical to golden while modeled time is monotonically
+//!    non-decreasing in the rate (faults only ever *add* retries, remaps,
+//!    and backoff to the timeline; they never corrupt or panic).
+//!
+//! Seeds come from the `NDS_FAULT_SEEDS` env var (comma-separated u64s, set
+//! by `scripts/check.sh`) or a built-in default triple.
+
+use nds::core::{ElementType, Shape};
+use nds::faults::FaultConfig;
+use nds::sim::SimDuration;
+use nds::system::{
+    BaselineSystem, HardwareNds, OracleSystem, SoftwareNds, StorageFrontEnd, SystemConfig,
+};
+
+/// Fault rates swept per seed, ascending. `with_rate` derives the media
+/// program and link rates from this base read rate.
+const RATES: [f64; 4] = [0.0, 0.02, 0.05, 0.10];
+
+/// Dataset side (f32 elements) and tile side for the request script.
+const N: u64 = 128;
+const TILE: u64 = 32;
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("NDS_FAULT_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("NDS_FAULT_SEEDS entry {t:?} is not a u64"))
+            })
+            .collect(),
+        Err(_) => vec![11, 1221, 987_654_321],
+    }
+}
+
+fn architectures(config: &SystemConfig) -> Vec<Box<dyn StorageFrontEnd>> {
+    vec![
+        Box::new(BaselineSystem::new(config.clone())),
+        Box::new(SoftwareNds::new(config.clone())),
+        Box::new(HardwareNds::new(config.clone())),
+        Box::new(OracleSystem::with_tile(config.clone(), vec![TILE, TILE])),
+    ]
+}
+
+/// One architecture's observable outcome of the request script.
+struct ArchRun {
+    name: &'static str,
+    /// Bytes returned by each scripted read, in script order.
+    reads: Vec<Vec<u8>>,
+    /// Total modeled time across every scripted write and read.
+    modeled: SimDuration,
+    injected: u64,
+    recovered: u64,
+    flash_retries: u64,
+    link_retries: u64,
+}
+
+/// Runs the fixed request script — full write, one tile overwrite, four
+/// tile reads plus a full-dataset read — on all four architectures.
+fn run_script(config: &SystemConfig, pattern_seed: u64) -> Vec<ArchRun> {
+    let shape = Shape::new([N, N]);
+    let full: Vec<u8> = (0..N * N * 4)
+        .map(|i| (i.wrapping_mul(pattern_seed | 1) % 251) as u8)
+        .collect();
+    let patch = vec![0xABu8; (TILE * TILE * 4) as usize];
+    let tiles = [(0u64, 0u64), (1, 2), (3, 3), (2, 1)];
+
+    architectures(config)
+        .into_iter()
+        .map(|mut sys| {
+            let name = sys.name();
+            let id = sys
+                .create_dataset(shape.clone(), ElementType::F32)
+                .expect("create_dataset never faults");
+            let mut modeled = SimDuration::ZERO;
+            let w = sys
+                .write(id, &shape, &[0, 0], &[N, N], &full)
+                .unwrap_or_else(|e| panic!("{name}: full write must recover, got {e}"));
+            modeled += w.latency;
+            let w = sys
+                .write(id, &shape, &[1, 1], &[TILE, TILE], &patch)
+                .unwrap_or_else(|e| panic!("{name}: tile overwrite must recover, got {e}"));
+            modeled += w.latency;
+
+            let mut reads = Vec::new();
+            for &(tx, ty) in &tiles {
+                let r = sys
+                    .read(id, &shape, &[tx, ty], &[TILE, TILE])
+                    .unwrap_or_else(|e| panic!("{name}: tile ({tx},{ty}) must recover, got {e}"));
+                modeled += r.latency();
+                reads.push(r.data);
+            }
+            let r = sys
+                .read(id, &shape, &[0, 0], &[N, N])
+                .unwrap_or_else(|e| panic!("{name}: full read must recover, got {e}"));
+            modeled += r.latency();
+            reads.push(r.data);
+
+            let stats = sys.stats();
+            ArchRun {
+                name,
+                reads,
+                modeled,
+                injected: stats.get("faults.injected"),
+                recovered: stats.get("faults.recovered"),
+                flash_retries: stats.get("retries.flash"),
+                link_retries: stats.get("retries.link"),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn all_architectures_match_golden_under_faults_and_time_is_monotone() {
+    for seed in seeds() {
+        let golden = run_script(&SystemConfig::small_test(), seed);
+        for g in &golden {
+            assert_eq!(g.injected, 0, "{}: golden run must be fault-free", g.name);
+        }
+
+        let mut prev_modeled: Vec<SimDuration> = golden.iter().map(|g| g.modeled).collect();
+        for &rate in &RATES {
+            let config = SystemConfig::small_test().with_faults(FaultConfig::with_rate(seed, rate));
+            let faulty = run_script(&config, seed);
+
+            let mut injected_total = 0;
+            for (g, f) in golden.iter().zip(&faulty) {
+                assert_eq!(g.name, f.name);
+                for (i, (gd, fd)) in g.reads.iter().zip(&f.reads).enumerate() {
+                    assert_eq!(
+                        gd, fd,
+                        "{}: read #{i} diverged from golden at seed {seed} rate {rate}",
+                        f.name
+                    );
+                }
+                assert_eq!(
+                    f.injected, f.recovered,
+                    "{}: every injected fault must be recovered within budget \
+                     (seed {seed} rate {rate})",
+                    f.name
+                );
+                injected_total += f.injected;
+                if rate == 0.0 {
+                    assert_eq!(
+                        f.modeled, g.modeled,
+                        "{}: a zero-rate plan must be schedule-identical to golden \
+                         (seed {seed})",
+                        f.name
+                    );
+                    assert_eq!(f.injected, 0, "{}: zero rate injected faults", f.name);
+                    assert_eq!(f.flash_retries + f.link_retries, 0);
+                }
+            }
+            if rate > 0.0 {
+                assert!(
+                    injected_total > 0,
+                    "seed {seed} rate {rate}: the sweep must actually inject faults"
+                );
+            }
+
+            // Faults only add time: retries, remap programs, and backoff.
+            for (f, prev) in faulty.iter().zip(&prev_modeled) {
+                assert!(
+                    f.modeled >= *prev,
+                    "{}: modeled time {} regressed below {} when the fault rate rose \
+                     to {rate} (seed {seed})",
+                    f.name,
+                    f.modeled,
+                    prev
+                );
+            }
+            prev_modeled = faulty.iter().map(|f| f.modeled).collect();
+        }
+    }
+}
+
+#[test]
+fn retries_only_appear_with_faults_and_scale_with_rate() {
+    let seed = seeds()[0];
+    let low = run_script(
+        &SystemConfig::small_test().with_faults(FaultConfig::with_rate(seed, 0.02)),
+        seed,
+    );
+    let high = run_script(
+        &SystemConfig::small_test().with_faults(FaultConfig::with_rate(seed, 0.10)),
+        seed,
+    );
+    let sum = |runs: &[ArchRun]| {
+        runs.iter()
+            .map(|r| r.injected + r.flash_retries + r.link_retries)
+            .sum::<u64>()
+    };
+    // Fault sets nest across rates (same seed), so the higher rate strictly
+    // dominates the lower one in total fault work.
+    assert!(
+        sum(&high) > sum(&low),
+        "rate 0.10 ({}) must out-inject rate 0.02 ({})",
+        sum(&high),
+        sum(&low)
+    );
+}
