@@ -3,6 +3,10 @@
 //! timing engine itself. Wall-clock here measures the *simulator's* cost,
 //! complementing the `fig9` harness which reports *simulated* bandwidths.
 
+// Benches are operator tools, not simulation data path: panicking on a
+// malformed run is the right behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use nds_core::{ElementType, Shape};

@@ -5,6 +5,10 @@
 //! coordinate arithmetic per request); measuring them directly documents
 //! the constant factors behind the `overhead` harness.
 
+// Benches are operator tools, not simulation data path: panicking on a
+// malformed run is the right behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use nds_core::{

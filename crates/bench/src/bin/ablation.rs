@@ -12,6 +12,9 @@
 //!
 //! Usage: `cargo run --release -p nds-bench --bin ablation`
 
+// Figure-regeneration binaries are operator tools, not simulation
+// data path: panicking on a malformed run is the right behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use nds_bench::{header, row};
 use nds_core::{AllocationPolicy, ElementType, Shape};
 use nds_flash::FlashTiming;

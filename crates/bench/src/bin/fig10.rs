@@ -8,6 +8,9 @@
 //!
 //! Usage: `cargo run --release -p nds-bench --bin fig10 [-- --n <N> --tile <T>]`
 
+// Figure-regeneration binaries are operator tools, not simulation
+// data path: panicking on a malformed run is the right behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use nds_bench::{geomean, header, row};
 use nds_system::{BaselineSystem, HardwareNds, OracleSystem, SoftwareNds, SystemConfig};
 use nds_workloads::{all_workloads, Workload, WorkloadParams, WorkloadRun};

@@ -10,6 +10,9 @@
 //!
 //! Usage: `cargo run --release -p nds-bench --bin fig2`
 
+// Figure-regeneration binaries are operator tools, not simulation
+// data path: panicking on a malformed run is the right behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use nds_accel::ComputeEngine;
 use nds_bench::{header, row, setup_matrix_f64};
 use nds_core::Shape;

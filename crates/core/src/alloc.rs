@@ -147,6 +147,9 @@ impl BlockAllocator {
                 let cur_bank = last.bank;
                 let bank_full =
                     (0..channels).all(|c| lane_use[(c * banks + cur_bank) as usize] > 0);
+                // The geometry guarantees at least one bank and one channel,
+                // so both min_by_key calls below yield a value.
+                #[allow(clippy::expect_used)]
                 let target_bank = if bank_full {
                     // Rule 3/4: an unused bank, else the least-used bank.
                     // Ties break cyclically after the current bank so that
@@ -164,6 +167,7 @@ impl BlockAllocator {
                 };
                 // Rule 2: the channel this block uses least (ties: lowest
                 // channel without a unit in the target bank, then lowest id).
+                #[allow(clippy::expect_used)]
                 let target_channel = (0..channels)
                     .min_by_key(|&c| {
                         (

@@ -16,7 +16,7 @@
 
 use core::fmt;
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -168,7 +168,7 @@ pub struct MemBackend {
     units_per_lane: usize,
     free: Vec<usize>,
     next_id: Vec<u64>,
-    data: HashMap<UnitLocation, Vec<u8>>,
+    data: BTreeMap<UnitLocation, Vec<u8>>,
 }
 
 impl MemBackend {
@@ -186,7 +186,7 @@ impl MemBackend {
             units_per_lane,
             free: vec![units_per_lane; lanes],
             next_id: vec![0; lanes],
-            data: HashMap::new(),
+            data: BTreeMap::new(),
         }
     }
 
@@ -249,10 +249,10 @@ impl NvmBackend for MemBackend {
         );
         // Reuse the existing allocation on rewrite instead of reallocating.
         match self.data.entry(loc) {
-            std::collections::hash_map::Entry::Occupied(mut slot) => {
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
                 slot.get_mut().copy_from_slice(data);
             }
-            std::collections::hash_map::Entry::Vacant(slot) => {
+            std::collections::btree_map::Entry::Vacant(slot) => {
                 slot.insert(data.to_vec());
             }
         }

@@ -174,7 +174,10 @@ impl LocatorTree {
                         };
                         *slot = Some(Box::new(child));
                     }
-                    node = slot.as_deref_mut().expect("just inserted");
+                    #[allow(clippy::expect_used)] // slot was filled two lines up
+                    {
+                        node = slot.as_deref_mut().expect("just inserted");
+                    }
                 }
                 Node::Leaf(_) => unreachable!("leaf reached above level 1"),
             }
@@ -186,6 +189,7 @@ impl LocatorTree {
                     *slot = Some(BlockEntry::new(units));
                     self.allocated_blocks += 1;
                 }
+                #[allow(clippy::expect_used)] // slot was filled just above
                 slot.as_mut().expect("just inserted")
             }
             Node::Internal(_) => unreachable!("level 1 node must be a leaf"),

@@ -19,7 +19,7 @@
 //! double-digit-to-hundreds capacities; a linked-map would only pay off far
 //! beyond that.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::shape::Shape;
@@ -28,7 +28,7 @@ use crate::translator::Translation;
 
 /// Everything a translation depends on besides the space's own geometry
 /// (which is fixed at [`crate::Stl::create_space`] time and keyed by the id).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct PlanKey {
     space: SpaceId,
     view: Shape,
@@ -40,7 +40,7 @@ struct PlanKey {
 #[derive(Debug)]
 pub struct PlanCache {
     capacity: usize,
-    entries: HashMap<PlanKey, (Arc<Translation>, u64)>,
+    entries: BTreeMap<PlanKey, (Arc<Translation>, u64)>,
     stamp: u64,
     hits: u64,
     misses: u64,
@@ -52,7 +52,7 @@ impl PlanCache {
     pub fn new(capacity: usize) -> Self {
         PlanCache {
             capacity,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             stamp: 0,
             hits: 0,
             misses: 0,

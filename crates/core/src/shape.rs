@@ -35,7 +35,7 @@ use crate::error::NdsError;
 /// assert_eq!(s.linear_index(&[3, 2]), 3 + 2 * 16);
 /// assert_eq!(s.coord_at(35), vec![3, 2]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Shape {
     dims: Vec<u64>,
 }
@@ -48,6 +48,7 @@ impl Shape {
     /// Panics if `dims` is empty or any dimension is zero — use
     /// [`Shape::try_new`] for fallible construction.
     pub fn new(dims: impl Into<Vec<u64>>) -> Self {
+        #[allow(clippy::expect_used)] // documented panic contract; try_new is the fallible path
         Shape::try_new(dims).expect("shape dimensions must be non-empty and non-zero")
     }
 

@@ -383,6 +383,7 @@ impl<B: NvmBackend> Stl<B> {
         buf: &mut Vec<u8>,
     ) -> Result<AccessReport, NdsError> {
         let translation = self.plan_cached(id, view, coord, sub_dims)?;
+        #[allow(clippy::expect_used)] // plan_cached errored above if the space is absent
         let space = self.spaces.get(&id).expect("checked by plan_cached");
         let unit_bytes = space.block_shape().unit_bytes() as u64;
 
@@ -478,6 +479,7 @@ impl<B: NvmBackend> Stl<B> {
                 expected: translation.total_bytes as usize,
             });
         }
+        #[allow(clippy::expect_used)] // plan_cached errored above if the space is absent
         let space = self.spaces.get_mut(&id).expect("checked by plan_cached");
         let unit_bytes = space.block_shape().unit_bytes() as usize;
 

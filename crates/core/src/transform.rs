@@ -236,7 +236,7 @@ pub struct CompressedBackend<B> {
     /// Raw images of incompressible units (a real controller stores those
     /// pages uncompressed; our fixed-size medium keeps them here so the
     /// functional content stays exact).
-    incompressible: std::collections::HashMap<UnitLocation, Vec<u8>>,
+    incompressible: std::collections::BTreeMap<UnitLocation, Vec<u8>>,
     saved: u64,
     raw: u64,
 }
@@ -246,7 +246,7 @@ impl<B: NvmBackend> CompressedBackend<B> {
     pub fn new(inner: B) -> Self {
         CompressedBackend {
             inner,
-            incompressible: std::collections::HashMap::new(),
+            incompressible: std::collections::BTreeMap::new(),
             saved: 0,
             raw: 0,
         }
@@ -291,8 +291,12 @@ impl<B: NvmBackend> NvmBackend for CompressedBackend<B> {
         let unit = self.spec().unit_bytes as usize;
         // Stored format: 4-byte compressed length, payload, zero padding.
         // A length of `u32::MAX` marks an incompressible unit stored raw.
+        #[allow(clippy::expect_used)] // slice is exactly 4 bytes, try_into cannot fail
         let len = u32::from_le_bytes(stored[..4].try_into().expect("length header"));
         if len == u32::MAX {
+            // The u32::MAX marker is only ever written together with an
+            // incompressible-map entry, so the lookup always succeeds.
+            #[allow(clippy::expect_used)]
             let raw = self
                 .incompressible
                 .get(&loc)

@@ -11,6 +11,9 @@
 //! [`AccessReport`]: nds_core::AccessReport
 //! [`WriteReport`]: nds_core::WriteReport
 
+// Test helpers outside #[test] fns aren't covered by allow-unwrap-in-tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use nds_core::testing::FlakyBackend;

@@ -10,6 +10,9 @@
 //! 3. A completed building block of at least `channels` units spans every
 //!    channel (the premise of the full-internal-bandwidth claim).
 
+// Test helpers outside #[test] fns aren't covered by allow-unwrap-in-tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use nds_core::{

@@ -3,6 +3,9 @@
 //! walks coordinates one at a time through the canonical linearization and
 //! the block decomposition independently.
 
+// Test helpers outside #[test] fns aren't covered by allow-unwrap-in-tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use nds_core::{translator, BlockShape, ElementType, Region, Shape};

@@ -78,6 +78,8 @@ impl FlashDevice {
     ///
     /// Panics if the geometry fails [`FlashGeometry::validate`].
     pub fn new(config: FlashConfig) -> Self {
+        #[allow(clippy::expect_used)]
+        // nds-lint: allow(D4, constructor contract — an invalid geometry is a programming error, documented under # Panics)
         config.geometry.validate().expect("invalid flash geometry");
         let g = config.geometry;
         let total_pages = g.total_pages();
@@ -166,7 +168,10 @@ impl FlashDevice {
             return Err(FlashError::PageNotValid(addr));
         }
         self.stats.add("flash.pages_read", 1);
-        Ok(self.data[idx].as_deref().expect("valid page has data"))
+        self.data[idx].as_deref().ok_or(FlashError::Inconsistent {
+            addr,
+            what: "page marked valid holds no data",
+        })
     }
 
     /// Reads the valid page at `addr` without touching timing or counters —

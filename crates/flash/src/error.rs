@@ -40,6 +40,17 @@ pub enum FlashError {
     ProgramFailed(PageAddr),
     /// A page read kept failing ECC after exhausting the read-retry budget.
     ReadUnrecoverable(PageAddr),
+    /// The device or FTL detected an internal bookkeeping inconsistency
+    /// (e.g. a page marked valid with no backing data, or a valid page
+    /// missing from the reverse map). Surfaced as a typed error instead of
+    /// panicking so a simulation can fail a single request, not the whole
+    /// run (determinism contract rule D4).
+    Inconsistent {
+        /// The physical page where the inconsistency was observed.
+        addr: PageAddr,
+        /// What invariant was violated.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for FlashError {
@@ -63,6 +74,9 @@ impl fmt::Display for FlashError {
             }
             FlashError::ReadUnrecoverable(a) => {
                 write!(f, "read of page {a} failed ecc beyond the retry budget")
+            }
+            FlashError::Inconsistent { addr, what } => {
+                write!(f, "internal inconsistency at page {addr}: {what}")
             }
         }
     }
@@ -100,6 +114,11 @@ mod tests {
             FlashError::LbaNotWritten(7).to_string(),
             FlashError::ProgramFailed(a).to_string(),
             FlashError::ReadUnrecoverable(a).to_string(),
+            FlashError::Inconsistent {
+                addr: a,
+                what: "page marked valid holds no data",
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

@@ -8,7 +8,7 @@
 //! updates, and garbage-collects invalidated pages. Its logical→physical
 //! shuffling is exactly the opacity challenge \[C1\] that NDS's STL replaces.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use nds_faults::FaultConfig;
 use nds_sim::{SimTime, Stats, Trace};
@@ -63,7 +63,7 @@ pub struct Ftl {
     device: FlashDevice,
     config: FtlConfig,
     map: Vec<Option<PageAddr>>,
-    reverse: HashMap<usize, u64>,
+    reverse: BTreeMap<usize, u64>,
     stats: Stats,
     trace: Trace,
 }
@@ -74,7 +74,7 @@ impl Ftl {
         let exported = Ftl::exported_pages(&device, &config);
         Ftl {
             map: vec![None; exported as usize],
-            reverse: HashMap::new(),
+            reverse: BTreeMap::new(),
             stats: Stats::new(),
             trace: Trace::disabled(256),
             device,
@@ -359,7 +359,10 @@ impl Ftl {
             self.device.program(dest, data)?;
             now = self.device.schedule_programs(&[dest], now);
             let idx = g.page_index(addr);
-            let lba = self.reverse.remove(&idx).expect("valid page has an lba");
+            let lba = self.reverse.remove(&idx).ok_or(FlashError::Inconsistent {
+                addr,
+                what: "valid page missing from the reverse map",
+            })?;
             self.device.invalidate(addr)?;
             self.map[lba as usize] = Some(dest);
             self.reverse.insert(g.page_index(dest), lba);
@@ -437,7 +440,10 @@ impl Ftl {
                     self.device.program(dest, data)?;
                     now = self.device.schedule_programs(&[dest], now);
                     let idx = g.page_index(addr);
-                    let lba = self.reverse.remove(&idx).expect("valid page has an lba");
+                    let lba = self.reverse.remove(&idx).ok_or(FlashError::Inconsistent {
+                        addr,
+                        what: "valid page missing from the reverse map",
+                    })?;
                     self.device.invalidate(addr)?;
                     let dest_idx = g.page_index(dest);
                     self.map[lba as usize] = Some(dest);

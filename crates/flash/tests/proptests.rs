@@ -2,6 +2,9 @@
 //! under arbitrary overwrite sequences (with GC firing), and timing-model
 //! sanity (completion times are consistent and monotone).
 
+// Test helpers outside #[test] fns aren't covered by allow-unwrap-in-tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use nds_faults::FaultConfig;

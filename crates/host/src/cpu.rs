@@ -57,7 +57,7 @@ impl CpuModel {
 
     /// Cost of submitting `requests` I/O commands.
     pub fn submit_time(&self, requests: u64) -> SimDuration {
-        SimDuration::from_nanos(self.io_submit.as_nanos() * requests)
+        self.io_submit * requests
     }
 
     /// Cost of one large streaming copy of `bytes`.
@@ -73,8 +73,7 @@ impl CpuModel {
         if bytes == 0 || chunks == 0 {
             return SimDuration::ZERO;
         }
-        SimDuration::from_nanos(self.scatter_chunk_overhead.as_nanos() * chunks)
-            + self.scatter_copy.time_for_bytes(bytes)
+        self.scatter_chunk_overhead * chunks + self.scatter_copy.time_for_bytes(bytes)
     }
 
     /// The effective bandwidth of scattered copying at a given chunk size —

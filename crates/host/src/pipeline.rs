@@ -53,6 +53,7 @@ impl PipelineResult {
     /// Idle time of the final stage — Fig. 10(b)'s "idle time before
     /// pipelined compute kernels" when the last stage is the kernel.
     pub fn kernel_idle(&self) -> SimDuration {
+        #[allow(clippy::expect_used)] // run_pipeline rejects empty stage lists
         *self.stage_idle.last().expect("pipelines have stages")
     }
 }

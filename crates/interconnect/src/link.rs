@@ -182,6 +182,8 @@ impl Link {
         self.stats.add("faults.injected", 1);
         self.stats.add(mode, 1);
         let (budget, mut backoff) = {
+            // A non-None LinkFault can only come from an installed plan.
+            #[allow(clippy::expect_used)]
             let cfg = self
                 .faults
                 .as_ref()

@@ -100,6 +100,7 @@ fn put_u64(buf: &mut [u8], offset: usize, value: u64) {
 }
 
 fn get_u64(buf: &[u8], offset: usize) -> u64 {
+    #[allow(clippy::expect_used)] // slice is exactly 8 bytes, try_into cannot fail
     u64::from_le_bytes(buf[offset..offset + 8].try_into().expect("8 bytes"))
 }
 

@@ -1,0 +1,764 @@
+//! `nds-lint`: a source-level determinism/invariant linter for the NDS
+//! workspace, with a ratcheting baseline.
+//!
+//! Every correctness claim this reproduction makes — byte-identity of the
+//! fig9/fig10 sweeps with the plan cache on or off, rate-0 fault-schedule
+//! identity, monotone modeled time under faults — rests on the simulator
+//! being *deterministic by construction*. This crate turns that contract
+//! from tribal knowledge into a machine-checked gate. It is deliberately
+//! std-only (offline-safe, like the `crates/compat/*` stubs) and lexical:
+//! it masks comments and string literals, tracks `#[cfg(test)]` / `#[test]`
+//! regions, and then pattern-matches the named rules below.
+//!
+//! # Rules
+//!
+//! * **D1 — no ambient nondeterminism in simulation crates.** Wall-clock
+//!   reads (`std::time::Instant`, `SystemTime`), OS randomness
+//!   (`thread_rng`, `rand::random`) and environment reads (`std::env::*`)
+//!   are banned outside test/bench code. Modeled time comes from
+//!   `nds_sim::SimTime` alone.
+//! * **D2 — no `HashMap`/`HashSet` in data-path code.** Hash iteration
+//!   order is randomized per process; if it reaches a schedule or an output
+//!   buffer the differential harnesses silently stop proving anything. Use
+//!   `BTreeMap`/`BTreeSet` or sort explicitly.
+//! * **D3 — no raw modeled-time arithmetic outside the clock API.**
+//!   `as_nanos()` fed into arithmetic, or `from_nanos(...)` with a
+//!   non-literal argument, bypasses the typed `SimTime`/`SimDuration`
+//!   operators that keep instants and spans from being confused. Only
+//!   `crates/sim` (the clock/stats API home) may do raw nanosecond math.
+//! * **D4 — no panic paths in data-path crates.** `unwrap()`, `expect()`,
+//!   `panic!`, `unreachable!`, `todo!`, `unimplemented!` and direct
+//!   slice/array indexing can abort a simulation mid-schedule; data-path
+//!   code must surface typed errors instead.
+//!
+//! # Suppressions
+//!
+//! A violation can be acknowledged in place with
+//!
+//! ```text
+//! // nds-lint: allow(D2, keyed access only, never iterated)
+//! let map: HashMap<K, V> = HashMap::new();
+//! ```
+//!
+//! The directive needs a rule name *and* a non-empty reason; it applies to
+//! its own line and, when it stands alone on a line, to the next line.
+//! Malformed directives are themselves hard errors.
+//!
+//! # Ratcheting baseline
+//!
+//! Pre-existing violations are grandfathered in `lint-baseline.json`,
+//! counted per `(rule, file)`. New violations fail; reductions fail too
+//! until the baseline is tightened with `--update-baseline`, so the counts
+//! can only go down. A baseline entry for a file that no longer exists is
+//! reported as stale rather than silently kept.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod baseline;
+
+/// A named invariant the linter enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Ambient nondeterminism (wall clock, OS rng, environment) in
+    /// simulation crates.
+    D1,
+    /// `HashMap`/`HashSet` in data-path code.
+    D2,
+    /// Raw modeled-time arithmetic outside the `nds-sim` clock API.
+    D3,
+    /// Panic paths (`unwrap`/`expect`/`panic!`/slice index) in data-path
+    /// crates.
+    D4,
+    /// A malformed `nds-lint:` directive — never baselined, always an error.
+    BadDirective,
+}
+
+impl Rule {
+    /// The four baselinable rules, in report order.
+    pub const ALL: [Rule; 4] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4];
+
+    /// Canonical name, as used in directives and the baseline file.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::BadDirective => "directive",
+        }
+    }
+
+    /// Parses a rule name as written in a suppression or the baseline.
+    pub fn parse(name: &str) -> Option<Rule> {
+        match name.trim() {
+            "D1" | "d1" => Some(Rule::D1),
+            "D2" | "d2" => Some(Rule::D2),
+            "D3" | "d3" => Some(Rule::D3),
+            "D4" | "d4" => Some(Rule::D4),
+            _ => None,
+        }
+    }
+
+    /// One-line description used in reports.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::D1 => "ambient nondeterminism in a simulation crate",
+            Rule::D2 => "HashMap/HashSet in data-path code",
+            Rule::D3 => "raw modeled-time arithmetic outside the clock API",
+            Rule::D4 => "panic path in a data-path crate",
+            Rule::BadDirective => "malformed nds-lint directive",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which rules apply to a given file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    bits: u8,
+}
+
+impl RuleSet {
+    /// No rules.
+    pub const EMPTY: RuleSet = RuleSet { bits: 0 };
+
+    fn bit(rule: Rule) -> u8 {
+        match rule {
+            Rule::D1 => 1,
+            Rule::D2 => 2,
+            Rule::D3 => 4,
+            Rule::D4 => 8,
+            Rule::BadDirective => 16,
+        }
+    }
+
+    /// A set from the given rules.
+    pub fn of(rules: &[Rule]) -> RuleSet {
+        let mut s = RuleSet::EMPTY;
+        for &r in rules {
+            s.bits |= RuleSet::bit(r);
+        }
+        s
+    }
+
+    /// Whether `rule` is in the set.
+    pub fn contains(self, rule: Rule) -> bool {
+        self.bits & RuleSet::bit(rule) != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was matched and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Crates whose lib code models simulated behaviour: rules D1/D3 apply.
+const SIM_CRATES: &[&str] = &[
+    "sim",
+    "faults",
+    "flash",
+    "interconnect",
+    "core",
+    "host",
+    "accel",
+    "system",
+    "workloads",
+];
+
+/// Crates on the modeled data/timing path: rules D2/D4 apply on top.
+const DATA_PATH_CRATES: &[&str] = &["core", "flash", "interconnect", "system"];
+
+/// Classifies a workspace-relative path into the rules that apply to it.
+///
+/// Only library sources (`crates/<name>/src/**`) are linted: integration
+/// tests, benches, examples, the reporting-only `bench` crate, the vendored
+/// `compat` stubs, and the linter itself are exempt by construction.
+/// `crates/sim` is the clock/stats API home, so D3 does not apply there.
+pub fn rules_for(rel_path: &str) -> RuleSet {
+    let Some(rest) = rel_path.strip_prefix("crates/") else {
+        return RuleSet::EMPTY;
+    };
+    let Some((krate, tail)) = rest.split_once('/') else {
+        return RuleSet::EMPTY;
+    };
+    if !tail.starts_with("src/") {
+        return RuleSet::EMPTY;
+    }
+    let mut rules = Vec::new();
+    if SIM_CRATES.contains(&krate) {
+        rules.push(Rule::D1);
+        if krate != "sim" {
+            rules.push(Rule::D3);
+        }
+    }
+    if DATA_PATH_CRATES.contains(&krate) {
+        rules.push(Rule::D2);
+        rules.push(Rule::D4);
+    }
+    RuleSet::of(&rules)
+}
+
+/// Source text with comments and string/char literals blanked out (same
+/// length and line structure as the original), plus the extracted comments.
+struct MaskedSource {
+    text: String,
+    /// `(1-based start line, comment text, standalone)` — `standalone` is
+    /// true when nothing but whitespace precedes the comment on its line.
+    comments: Vec<(usize, String, bool)>,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Masks comments, strings and char literals. The masked text keeps every
+/// newline so line numbers survive; everything else inside a masked span
+/// becomes a space.
+fn mask_source(src: &str) -> MaskedSource {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut line_start = 0usize;
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for b in &mut out[from..to] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            line_start = i;
+            continue;
+        }
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            let standalone = src[line_start..i].trim().is_empty();
+            let end = src[i..].find('\n').map_or(bytes.len(), |n| i + n);
+            comments.push((line, src[i..end].to_string(), standalone));
+            blank(&mut out, i, end);
+            i = end;
+            continue;
+        }
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let standalone = src[line_start..i].trim().is_empty();
+            let start_line = line;
+            let start = i;
+            let mut depth = 1;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                    line_start = i + 1;
+                    i += 1;
+                } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            comments.push((start_line, src[start..i].to_string(), standalone));
+            blank(&mut out, start, i);
+            continue;
+        }
+        // Raw (and byte-raw) strings: r"..."  r#"..."#  br"..."
+        if (b == b'r' || b == b'b') && (i == 0 || !is_ident(bytes[i - 1])) {
+            let mut j = i + 1;
+            if b == b'b' && j < bytes.len() && bytes[j] == b'r' {
+                j += 1;
+            }
+            if b == b'b' && j == i + 1 && j < bytes.len() && bytes[j] == b'"' {
+                // b"..." — plain byte string, handled by the '"' arm below
+                // after we advance past the prefix.
+                i += 1;
+                continue;
+            }
+            let hash_start = j;
+            while j < bytes.len() && bytes[j] == b'#' {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'"' && (j > i + 1 || b == b'r' || j > hash_start) {
+                let hashes = j - hash_start;
+                let close: Vec<u8> = {
+                    let mut c = vec![b'"'];
+                    c.extend(std::iter::repeat_n(b'#', hashes));
+                    c
+                };
+                let start = i;
+                i = j + 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        line_start = i + 1;
+                    }
+                    if bytes[i..].starts_with(&close) {
+                        i += close.len();
+                        break;
+                    }
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if b == b'"' {
+            let start = i;
+            i += 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'\n' => {
+                        line += 1;
+                        line_start = i + 1;
+                        i += 1;
+                    }
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            blank(&mut out, start, i);
+            continue;
+        }
+        if b == b'\'' {
+            // Char literal vs lifetime: 'x' / '\n' are literals, 'a in
+            // `&'a str` is not.
+            if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                let start = i;
+                i += 2;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                i = (i + 1).min(bytes.len());
+                blank(&mut out, start, i);
+                continue;
+            }
+            if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                blank(&mut out, i, i + 3);
+                i += 3;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+    MaskedSource {
+        text: String::from_utf8(out).unwrap_or_default(),
+        comments,
+    }
+}
+
+/// True if `needle` occurs in `line` with non-identifier characters (or the
+/// text boundary) on both sides.
+fn has_token(line: &str, needle: &str) -> bool {
+    let lb = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident(lb[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= lb.len() || !is_ident(lb[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// Marks the lines covered by `#[cfg(test)]` / `#[test]` / `#[bench]` items
+/// (attribute line through the item's closing brace) as exempt.
+fn test_exempt_lines(masked: &str) -> Vec<bool> {
+    let line_count = masked.lines().count() + 1;
+    let mut exempt = vec![false; line_count + 1];
+    let bytes = masked.as_bytes();
+    // Byte offset -> line lookup.
+    let mut line_of = Vec::with_capacity(bytes.len() + 1);
+    let mut ln = 1usize;
+    for &b in bytes {
+        line_of.push(ln);
+        if b == b'\n' {
+            ln += 1;
+        }
+    }
+    line_of.push(ln);
+    let mut i = 0;
+    while let Some(pos) = masked[i..].find("#[") {
+        let attr_start = i + pos;
+        // Read the attribute to its matching `]`.
+        let mut depth = 0usize;
+        let mut j = attr_start + 1;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= bytes.len() {
+            break;
+        }
+        let attr = &masked[attr_start + 2..j];
+        let is_test_attr = has_token(attr, "test") && !attr.contains("not(test")
+            || has_token(attr, "bench") && !attr.contains("not(bench");
+        i = j + 1;
+        if !is_test_attr {
+            continue;
+        }
+        // Find the item body: the first `{` before any top-level `;`.
+        let mut k = j + 1;
+        let mut body_start = None;
+        let mut paren = 0isize;
+        while k < bytes.len() {
+            match bytes[k] {
+                b'(' | b'<' => paren += 1,
+                b')' | b'>' => paren -= 1,
+                b';' if paren <= 0 => break,
+                b'{' => {
+                    body_start = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = body_start else {
+            // Item without a body (e.g. an attributed `use`): exempt just
+            // its own lines.
+            for l in line_of[attr_start]..=line_of[k.min(bytes.len())] {
+                if l < exempt.len() {
+                    exempt[l] = true;
+                }
+            }
+            continue;
+        };
+        let mut braces = 0usize;
+        let mut end = open;
+        while end < bytes.len() {
+            match bytes[end] {
+                b'{' => braces += 1,
+                b'}' => {
+                    braces -= 1;
+                    if braces == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        for l in line_of[attr_start]..=line_of[end.min(bytes.len())] {
+            if l < exempt.len() {
+                exempt[l] = true;
+            }
+        }
+        i = j + 1;
+    }
+    exempt
+}
+
+/// A parsed `// nds-lint: allow(<rule>, <reason>)` directive.
+struct Suppression {
+    line: usize,
+    rule: Rule,
+    standalone: bool,
+}
+
+/// Extracts suppressions from comments; malformed directives become
+/// [`Rule::BadDirective`] violations.
+fn parse_directives(
+    comments: &[(usize, String, bool)],
+    file: &str,
+) -> (Vec<Suppression>, Vec<Violation>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for (line, text, standalone) in comments {
+        let Some(at) = text.find("nds-lint:") else {
+            continue;
+        };
+        let directive = text[at + "nds-lint:".len()..].trim();
+        let parsed = directive
+            .strip_prefix("allow(")
+            .and_then(|rest| rest.rfind(')').map(|close| &rest[..close]))
+            .and_then(|inner| {
+                let (rule_name, reason) = inner.split_once(',')?;
+                let rule = Rule::parse(rule_name)?;
+                if reason.trim().is_empty() {
+                    None
+                } else {
+                    Some(rule)
+                }
+            });
+        match parsed {
+            Some(rule) => sups.push(Suppression {
+                line: *line,
+                rule,
+                standalone: *standalone,
+            }),
+            None => bad.push(Violation {
+                rule: Rule::BadDirective,
+                file: file.to_string(),
+                line: *line,
+                message: format!(
+                    "unparseable directive {directive:?}; use \
+                     `nds-lint: allow(<D1|D2|D3|D4>, <reason>)` with a non-empty reason"
+                ),
+            }),
+        }
+    }
+    (sups, bad)
+}
+
+/// Ambient-nondeterminism sources banned by D1.
+const D1_NEEDLES: &[&str] = &[
+    "std::time::Instant",
+    "std::time::SystemTime",
+    "Instant::now",
+    "SystemTime::now",
+    "thread_rng",
+    "rand::random",
+    "std::env::",
+    "env::var(",
+    "env::vars(",
+    "env::args(",
+];
+
+/// Panic-path calls banned by D4 (slice indexing is matched structurally).
+const D4_NEEDLES: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// True if the masked line contains a direct index/slice expression:
+/// a `[` immediately following an identifier, `)`, or `]`.
+fn has_slice_index(line: &str) -> bool {
+    let b = line.as_bytes();
+    for i in 1..b.len() {
+        if b[i] == b'[' {
+            let prev = b[i - 1];
+            if is_ident(prev) || prev == b')' || prev == b']' {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// True if the masked line does raw modeled-time arithmetic (rule D3).
+fn is_raw_time_arith(line: &str) -> bool {
+    if line.contains("as_nanos()") {
+        let arith = line.contains('*')
+            || line.contains('/')
+            || line.contains(" + ")
+            || line.contains(" - ")
+            || line.contains("+=")
+            || line.contains("-=");
+        if arith {
+            return true;
+        }
+    }
+    if let Some(at) = line.find("from_nanos(") {
+        let rest = &line[at + "from_nanos(".len()..];
+        let arg = rest.split(')').next().unwrap_or(rest).trim();
+        let literal = !arg.is_empty() && arg.bytes().all(|c| c.is_ascii_digit() || c == b'_');
+        if !literal {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lints one file's source under the given rule set. `rel_path` is used for
+/// reporting only.
+pub fn scan_source(src: &str, rel_path: &str, rules: RuleSet) -> Vec<Violation> {
+    let masked = mask_source(src);
+    let (sups, mut violations) = parse_directives(&masked.comments, rel_path);
+    let exempt = test_exempt_lines(&masked.text);
+    let suppressed = |rule: Rule, line: usize| {
+        sups.iter()
+            .any(|s| s.rule == rule && (s.line == line || (s.standalone && s.line + 1 == line)))
+    };
+    for (idx, line) in masked.text.lines().enumerate() {
+        let lineno = idx + 1;
+        if *exempt.get(lineno).unwrap_or(&false) {
+            continue;
+        }
+        let mut push = |rule: Rule, message: String| {
+            if !suppressed(rule, lineno) {
+                violations.push(Violation {
+                    rule,
+                    file: rel_path.to_string(),
+                    line: lineno,
+                    message,
+                });
+            }
+        };
+        if rules.contains(Rule::D1) {
+            if let Some(needle) = D1_NEEDLES.iter().find(|n| line.contains(*n)) {
+                push(
+                    Rule::D1,
+                    format!(
+                        "`{needle}` — simulation code must be free of wall-clock, \
+                             OS randomness, and environment reads"
+                    ),
+                );
+            }
+        }
+        if rules.contains(Rule::D2) && (has_token(line, "HashMap") || has_token(line, "HashSet")) {
+            push(
+                Rule::D2,
+                "hash collections have randomized iteration order; use \
+                 BTreeMap/BTreeSet or sort explicitly"
+                    .to_string(),
+            );
+        }
+        if rules.contains(Rule::D3) && is_raw_time_arith(line) {
+            push(
+                Rule::D3,
+                "raw modeled-time arithmetic; use the SimTime/SimDuration \
+                 operators (Add/Sub/Mul/Div) instead of nanosecond math"
+                    .to_string(),
+            );
+        }
+        if rules.contains(Rule::D4) {
+            if let Some(needle) = D4_NEEDLES.iter().find(|n| line.contains(*n)) {
+                push(
+                    Rule::D4,
+                    format!("`{needle}` — data-path code must return typed errors, not panic"),
+                );
+            } else if has_slice_index(line) {
+                push(
+                    Rule::D4,
+                    "direct index/slice can panic; prefer get()/get_mut() or a \
+                     checked pattern"
+                        .to_string(),
+                );
+            }
+        }
+    }
+    violations.sort();
+    violations
+}
+
+/// Recursively lists the workspace's `.rs` files as
+/// `(workspace-relative path, absolute path)`, sorted for determinism.
+///
+/// Skips `target/`, VCS metadata, the vendored `crates/compat` stubs, the
+/// linter itself (its fixtures are violations on purpose), and any
+/// directory named `fixtures`.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                let rel = path.strip_prefix(root).unwrap_or(&path);
+                let rel = rel.to_string_lossy().replace('\\', "/");
+                if rel == "crates/compat" || rel == "crates/lint" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = path.strip_prefix(root).unwrap_or(&path);
+                files.push((rel.to_string_lossy().replace('\\', "/"), path));
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every classified file under `root` and returns all violations.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    for (rel, abs) in workspace_files(root)? {
+        let rules = rules_for(&rel);
+        if rules.is_empty() {
+            continue;
+        }
+        let src = std::fs::read_to_string(&abs)?;
+        violations.extend(scan_source(&src, &rel, rules));
+    }
+    Ok(violations)
+}
+
+/// Per-`(rule, file)` violation counts (the baseline unit). Bad directives
+/// are never counted — they are unconditional errors.
+pub fn counts_of(violations: &[Violation]) -> BTreeMap<(Rule, String), usize> {
+    let mut counts = BTreeMap::new();
+    for v in violations {
+        if v.rule == Rule::BadDirective {
+            continue;
+        }
+        *counts.entry((v.rule, v.file.clone())).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// The set of files that currently exist (for stale-baseline detection).
+pub fn existing_files(root: &Path) -> std::io::Result<BTreeSet<String>> {
+    Ok(workspace_files(root)?
+        .into_iter()
+        .map(|(rel, _)| rel)
+        .collect())
+}

@@ -1,0 +1,172 @@
+//! CLI for the workspace determinism/invariant linter.
+//!
+//! ```text
+//! cargo run -p nds-lint                       # gate: compare tree vs baseline
+//! cargo run -p nds-lint -- --update-baseline  # ratchet the baseline down
+//! cargo run -p nds-lint -- --list             # dump every current violation
+//! cargo run -p nds-lint -- --summary          # per-rule totals only
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations/drift, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nds_lint::baseline::{compare, Baseline};
+use nds_lint::{counts_of, existing_files, lint_workspace, Rule, Violation};
+
+struct Options {
+    root: PathBuf,
+    baseline_path: PathBuf,
+    update_baseline: bool,
+    list: bool,
+    summary: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: nds-lint [--root PATH] [--baseline PATH] [--update-baseline] [--list] [--summary]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    // The linter lives at <root>/crates/lint, so the workspace root is two
+    // levels up from the manifest; --root overrides (e.g. for an installed
+    // binary run elsewhere).
+    let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut opts = Options {
+        root: default_root,
+        baseline_path: PathBuf::new(),
+        update_baseline: false,
+        list: false,
+        summary: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut baseline_override = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let value = args.next().ok_or("--root needs a path")?;
+                opts.root = PathBuf::from(value);
+            }
+            "--baseline" => {
+                let value = args.next().ok_or("--baseline needs a path")?;
+                baseline_override = Some(PathBuf::from(value));
+            }
+            "--update-baseline" => opts.update_baseline = true,
+            "--list" => opts.list = true,
+            "--summary" => opts.summary = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    if !opts.root.is_dir() {
+        return Err(format!(
+            "workspace root {} is not a directory",
+            opts.root.display()
+        ));
+    }
+    opts.baseline_path = baseline_override.unwrap_or_else(|| opts.root.join("lint-baseline.json"));
+    Ok(opts)
+}
+
+fn print_summary(violations: &[Violation]) {
+    let counts = counts_of(violations);
+    for rule in Rule::ALL {
+        let total: usize = counts
+            .iter()
+            .filter(|((r, _), _)| *r == rule)
+            .map(|(_, c)| c)
+            .sum();
+        let files = counts.iter().filter(|((r, _), _)| *r == rule).count();
+        println!(
+            "{rule}: {total} violation(s) in {files} file(s) — {}",
+            rule.summary()
+        );
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    let violations = lint_workspace(&opts.root).map_err(|e| format!("walking workspace: {e}"))?;
+    let bad_directives: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::BadDirective)
+        .collect();
+    let counts = counts_of(&violations);
+
+    if opts.list {
+        for v in &violations {
+            println!("{v}");
+        }
+        print_summary(&violations);
+        return Ok(ExitCode::SUCCESS);
+    }
+    if opts.summary {
+        print_summary(&violations);
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    for v in &bad_directives {
+        eprintln!("error: {v}");
+    }
+
+    if opts.update_baseline {
+        let baseline = Baseline::from_counts(&counts);
+        std::fs::write(&opts.baseline_path, baseline.to_json())
+            .map_err(|e| format!("writing {}: {e}", opts.baseline_path.display()))?;
+        println!("wrote {}", opts.baseline_path.display());
+        print_summary(&violations);
+        return Ok(if bad_directives.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+
+    let baseline = Baseline::load(&opts.baseline_path)?.unwrap_or_default();
+    let existing = existing_files(&opts.root).map_err(|e| format!("walking workspace: {e}"))?;
+    let drifts = compare(&counts, &baseline, &existing);
+    let mut failed = !bad_directives.is_empty();
+    for drift in &drifts {
+        failed = true;
+        eprintln!("error: {drift}");
+        if drift.is_regression() {
+            // Show the individual violations so the developer can see the
+            // lines without re-running with --list.
+            if let nds_lint::baseline::Drift::Regression { rule, file, .. } = drift {
+                for v in violations
+                    .iter()
+                    .filter(|v| v.rule == *rule && &v.file == file)
+                {
+                    eprintln!("  {v}");
+                }
+            }
+        }
+    }
+    if failed {
+        eprintln!(
+            "nds-lint: FAILED — fix or suppress with `// nds-lint: allow(<rule>, <reason>)`, \
+             or ratchet improvements with `cargo run -p nds-lint -- --update-baseline`"
+        );
+        Ok(ExitCode::FAILURE)
+    } else {
+        println!(
+            "nds-lint: clean (baseline {})",
+            opts.baseline_path.display()
+        );
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("nds-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

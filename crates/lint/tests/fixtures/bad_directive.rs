@@ -1,0 +1,4 @@
+pub fn nope(v: Option<u8>) -> u8 {
+    // nds-lint: allow(D4)
+    v.unwrap()
+}

@@ -1,0 +1,13 @@
+//! Instant::now in a doc comment must not fire.
+
+pub fn calibrated() -> &'static str {
+    "Instant::now inside a string must not fire"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

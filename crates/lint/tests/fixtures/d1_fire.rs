@@ -1,0 +1,10 @@
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    let t = Instant::now();
+    t.elapsed().as_nanos()
+}
+
+pub fn seed() -> String {
+    std::env::var("NDS_SEED").unwrap_or_default()
+}

@@ -1,0 +1,7 @@
+use std::collections::BTreeMap;
+
+pub struct HashMapLike;
+
+pub struct Cache {
+    entries: BTreeMap<u64, Vec<u8>>,
+}

@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub struct Cache {
+    entries: HashMap<u64, Vec<u8>>,
+}

@@ -1,0 +1,5 @@
+pub fn scratch() -> usize {
+    // nds-lint: allow(D2, iteration order never observed; drained into a sorted Vec)
+    let m: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    m.len()
+}

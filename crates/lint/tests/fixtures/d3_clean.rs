@@ -1,0 +1,9 @@
+pub const STEP: SimDuration = SimDuration::from_nanos(1_000);
+
+pub fn total(t: SimTime, n: u64) -> SimTime {
+    t + STEP * n
+}
+
+pub fn report(t: SimTime) -> u64 {
+    t.as_nanos()
+}

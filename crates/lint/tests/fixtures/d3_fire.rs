@@ -1,0 +1,7 @@
+pub fn hurry(t: SimTime, scale: u64) -> u64 {
+    t.as_nanos() * scale
+}
+
+pub fn pad(extra: u64) -> SimDuration {
+    SimDuration::from_nanos(extra * 3)
+}

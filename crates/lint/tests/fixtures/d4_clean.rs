@@ -1,0 +1,7 @@
+pub fn first(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}
+
+pub fn lookup(v: &[u8], i: usize) -> Result<u8, &'static str> {
+    v.get(i).copied().ok_or("out of range")
+}

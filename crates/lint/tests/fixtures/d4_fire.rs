@@ -1,0 +1,15 @@
+pub fn first(v: &[u8]) -> u8 {
+    v[0]
+}
+
+pub fn must(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub fn named(v: Option<u8>) -> u8 {
+    v.expect("present")
+}
+
+pub fn never() -> u8 {
+    panic!("boom")
+}

@@ -1,0 +1,245 @@
+//! Fixture-based self-tests for the nds-lint rules, suppression directives,
+//! and the ratcheting baseline, plus a gate test that holds the committed
+//! tree to the committed `lint-baseline.json`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use nds_lint::baseline::{compare, Baseline, Drift};
+use nds_lint::{
+    counts_of, existing_files, lint_workspace, rules_for, scan_source, Rule, RuleSet, Violation,
+};
+
+fn scan(fixture: &str, rules: &[Rule]) -> Vec<Violation> {
+    scan_source(fixture, "crates/fixture/src/lib.rs", RuleSet::of(rules))
+}
+
+fn lines_of(violations: &[Violation], rule: Rule) -> Vec<usize> {
+    violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
+// ---------------------------------------------------------------- rule D1
+
+#[test]
+fn d1_fires_on_ambient_nondeterminism() {
+    let v = scan(include_str!("fixtures/d1_fire.rs"), &[Rule::D1]);
+    assert_eq!(lines_of(&v, Rule::D1), vec![1, 4, 9]);
+}
+
+#[test]
+fn d1_ignores_comments_strings_and_test_code() {
+    let v = scan(include_str!("fixtures/d1_clean.rs"), &[Rule::D1]);
+    assert!(v.is_empty(), "unexpected: {v:?}");
+}
+
+#[test]
+fn d1_suppressed_by_directive() {
+    let v = scan(include_str!("fixtures/d1_suppressed.rs"), &[Rule::D1]);
+    assert!(v.is_empty(), "unexpected: {v:?}");
+}
+
+// ---------------------------------------------------------------- rule D2
+
+#[test]
+fn d2_fires_on_hash_collections() {
+    let v = scan(include_str!("fixtures/d2_fire.rs"), &[Rule::D2]);
+    assert_eq!(lines_of(&v, Rule::D2), vec![1, 4]);
+}
+
+#[test]
+fn d2_requires_token_boundaries() {
+    // `HashMapLike` and BTreeMap must not fire.
+    let v = scan(include_str!("fixtures/d2_clean.rs"), &[Rule::D2]);
+    assert!(v.is_empty(), "unexpected: {v:?}");
+}
+
+#[test]
+fn d2_suppressed_by_directive() {
+    let v = scan(include_str!("fixtures/d2_suppressed.rs"), &[Rule::D2]);
+    assert!(v.is_empty(), "unexpected: {v:?}");
+}
+
+// ---------------------------------------------------------------- rule D3
+
+#[test]
+fn d3_fires_on_raw_time_arithmetic() {
+    let v = scan(include_str!("fixtures/d3_fire.rs"), &[Rule::D3]);
+    assert_eq!(lines_of(&v, Rule::D3), vec![2, 6]);
+}
+
+#[test]
+fn d3_allows_literals_and_typed_operators() {
+    let v = scan(include_str!("fixtures/d3_clean.rs"), &[Rule::D3]);
+    assert!(v.is_empty(), "unexpected: {v:?}");
+}
+
+#[test]
+fn d3_suppressed_by_same_line_directive() {
+    let v = scan(include_str!("fixtures/d3_suppressed.rs"), &[Rule::D3]);
+    assert!(v.is_empty(), "unexpected: {v:?}");
+}
+
+// ---------------------------------------------------------------- rule D4
+
+#[test]
+fn d4_fires_on_panic_paths() {
+    let v = scan(include_str!("fixtures/d4_fire.rs"), &[Rule::D4]);
+    assert_eq!(lines_of(&v, Rule::D4), vec![2, 6, 10, 14]);
+}
+
+#[test]
+fn d4_allows_checked_access() {
+    let v = scan(include_str!("fixtures/d4_clean.rs"), &[Rule::D4]);
+    assert!(v.is_empty(), "unexpected: {v:?}");
+}
+
+#[test]
+fn d4_suppressed_by_directive() {
+    let v = scan(include_str!("fixtures/d4_suppressed.rs"), &[Rule::D4]);
+    assert!(v.is_empty(), "unexpected: {v:?}");
+}
+
+// ---------------------------------------------------------- bad directives
+
+#[test]
+fn malformed_directive_is_an_error_and_does_not_suppress() {
+    let v = scan(include_str!("fixtures/bad_directive.rs"), &[Rule::D4]);
+    assert_eq!(lines_of(&v, Rule::BadDirective), vec![2]);
+    assert_eq!(lines_of(&v, Rule::D4), vec![3]);
+}
+
+// ------------------------------------------------------------ rule scoping
+
+#[test]
+fn rules_apply_only_to_lib_sources_of_the_right_crates() {
+    // Data-path crate lib code: everything applies.
+    let flash = rules_for("crates/flash/src/ftl.rs");
+    for r in [Rule::D1, Rule::D2, Rule::D3, Rule::D4] {
+        assert!(flash.contains(r), "flash lib code should get {r:?}");
+    }
+    // The clock API home is exempt from D3 but not D1.
+    let sim = rules_for("crates/sim/src/time.rs");
+    assert!(sim.contains(Rule::D1));
+    assert!(!sim.contains(Rule::D3));
+    // Modeled-behaviour but not data-path: no D2/D4.
+    let host = rules_for("crates/host/src/cpu.rs");
+    assert!(host.contains(Rule::D1));
+    assert!(!host.contains(Rule::D2));
+    assert!(!host.contains(Rule::D4));
+    // Tests, benches, the linter, and the compat stubs are exempt.
+    assert!(rules_for("crates/flash/tests/proptests.rs").is_empty());
+    assert!(rules_for("crates/bench/src/bin/fig9.rs").is_empty());
+    assert!(rules_for("crates/lint/src/lib.rs").is_empty());
+    assert!(rules_for("crates/compat/serde/src/lib.rs").is_empty());
+}
+
+// ---------------------------------------------------------------- baseline
+
+fn counts(entries: &[(Rule, &str, usize)]) -> BTreeMap<(Rule, String), usize> {
+    entries
+        .iter()
+        .map(|(r, f, n)| ((*r, (*f).to_string()), *n))
+        .collect()
+}
+
+#[test]
+fn baseline_round_trips_through_json() {
+    let c = counts(&[
+        (Rule::D2, "crates/a/src/lib.rs", 3),
+        (Rule::D4, "crates/b/src/lib.rs", 7),
+    ]);
+    let b = Baseline::from_counts(&c);
+    let parsed = Baseline::parse(&b.to_json()).expect("round trip");
+    assert_eq!(parsed.entries, b.entries);
+    assert_eq!(parsed.total(Rule::D2), 3);
+    assert_eq!(parsed.total(Rule::D4), 7);
+}
+
+#[test]
+fn compare_flags_regressions_improvements_and_stale_entries() {
+    let baseline = Baseline::from_counts(&counts(&[
+        (Rule::D4, "crates/a/src/lib.rs", 2),
+        (Rule::D4, "crates/gone/src/lib.rs", 1),
+        (Rule::D2, "crates/a/src/lib.rs", 5),
+    ]));
+    let current = counts(&[
+        (Rule::D4, "crates/a/src/lib.rs", 4), // regression: 4 > 2
+        (Rule::D2, "crates/a/src/lib.rs", 1), // improvement: 1 < 5
+        (Rule::D1, "crates/b/src/lib.rs", 1), // new violation, unbaselined
+    ]);
+    let existing: BTreeSet<String> = ["crates/a/src/lib.rs", "crates/b/src/lib.rs"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let drifts = compare(&current, &baseline, &existing);
+    assert!(drifts.contains(&Drift::Regression {
+        rule: Rule::D4,
+        file: "crates/a/src/lib.rs".to_string(),
+        current: 4,
+        allowed: 2,
+    }));
+    assert!(drifts.contains(&Drift::Regression {
+        rule: Rule::D1,
+        file: "crates/b/src/lib.rs".to_string(),
+        current: 1,
+        allowed: 0,
+    }));
+    assert!(drifts.contains(&Drift::Improvement {
+        rule: Rule::D2,
+        file: "crates/a/src/lib.rs".to_string(),
+        current: 1,
+        allowed: 5,
+    }));
+    assert!(drifts.contains(&Drift::StaleFile {
+        rule: Rule::D4,
+        file: "crates/gone/src/lib.rs".to_string(),
+    }));
+    assert_eq!(drifts.len(), 4);
+}
+
+#[test]
+fn identical_tree_and_baseline_produce_no_drift() {
+    let c = counts(&[(Rule::D4, "crates/a/src/lib.rs", 2)]);
+    let baseline = Baseline::from_counts(&c);
+    let existing: BTreeSet<String> = std::iter::once("crates/a/src/lib.rs".to_string()).collect();
+    assert!(compare(&c, &baseline, &existing).is_empty());
+}
+
+// ------------------------------------------------------- workspace gate
+
+/// The committed tree must match the committed baseline exactly: any new
+/// violation fails, and any improvement must be ratcheted in.
+#[test]
+fn committed_tree_matches_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let violations = lint_workspace(root).expect("walk workspace");
+    let hard: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::BadDirective)
+        .collect();
+    assert!(hard.is_empty(), "malformed directives: {hard:?}");
+    let baseline = Baseline::load(&root.join("lint-baseline.json"))
+        .expect("readable baseline")
+        .expect("lint-baseline.json is committed");
+    let drifts = compare(
+        &counts_of(&violations),
+        &baseline,
+        &existing_files(root).expect("walk workspace"),
+    );
+    assert!(
+        drifts.is_empty(),
+        "tree and baseline diverged:\n{}",
+        drifts
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

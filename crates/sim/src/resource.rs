@@ -162,6 +162,9 @@ impl ResourceSet {
     /// `(member index, completion time)`. Ties go to the lowest index, which
     /// keeps scheduling deterministic.
     pub fn acquire_earliest(&mut self, ready: SimTime, hold: SimDuration) -> (usize, SimTime) {
+        // Constructors reject empty resource sets, so min_by_key always
+        // yields a member.
+        #[allow(clippy::expect_used)]
         let idx = self
             .members
             .iter()

@@ -10,7 +10,7 @@
 //! the paper's \[P1\]/\[P2\]/\[P3\] cost structure for Fig. 1's blocked matrix
 //! multiplication.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use nds_core::{ElementType, NdsError, Region, Shape};
 use nds_flash::{Ftl, FtlConfig};
@@ -46,7 +46,7 @@ pub struct BaselineSystem {
     ftl: Ftl,
     link: Link,
     cpu: CpuModel,
-    datasets: HashMap<DatasetId, Dataset>,
+    datasets: BTreeMap<DatasetId, Dataset>,
     next_id: u64,
     next_lba: u64,
     stats: Stats,
@@ -66,7 +66,7 @@ impl BaselineSystem {
             ftl,
             link,
             cpu: config.cpu,
-            datasets: HashMap::new(),
+            datasets: BTreeMap::new(),
             next_id: 1,
             next_lba: 0,
             stats: Stats::new(),
@@ -255,7 +255,7 @@ impl StorageFrontEnd for BaselineSystem {
         // through the FTL.
         let ps = self.page_size();
         let commands = self.commands_for(&ds, &extents);
-        let mut pages: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut pages: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
         for e in &extents {
             let mut off = e.dataset_off;
             let mut src = e.buffer_off;
@@ -278,9 +278,8 @@ impl StorageFrontEnd for BaselineSystem {
             }
         }
         let mut program_end = SimTime::ZERO;
-        let mut sorted: Vec<_> = pages.into_iter().collect();
-        sorted.sort_unstable_by_key(|(lba, _)| *lba);
-        for (lba, image) in sorted {
+        // BTreeMap iteration is already in ascending LBA order.
+        for (lba, image) in pages {
             let end = self.ftl.write(lba, image, SimTime::ZERO)?;
             program_end = program_end.max(end);
         }

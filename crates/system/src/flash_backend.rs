@@ -14,7 +14,7 @@
 //! which the NDS system architectures use to charge channels and banks.
 
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use nds_core::{DeviceSpec, NvmBackend, UnitLocation};
 use nds_faults::FaultConfig;
@@ -44,9 +44,9 @@ const GC_THRESHOLD: f64 = 0.10;
 pub struct FlashBackend {
     device: FlashDevice,
     /// Handle → current physical page.
-    forward: HashMap<UnitLocation, PageAddr>,
+    forward: BTreeMap<UnitLocation, PageAddr>,
     /// Physical page → handle (for GC relocation).
-    reverse: HashMap<PageAddr, UnitLocation>,
+    reverse: BTreeMap<PageAddr, UnitLocation>,
     next_id: Vec<u64>,
     stats: Stats,
 }
@@ -58,8 +58,8 @@ impl FlashBackend {
         let lanes = device.geometry().total_banks();
         FlashBackend {
             device,
-            forward: HashMap::new(),
-            reverse: HashMap::new(),
+            forward: BTreeMap::new(),
+            reverse: BTreeMap::new(),
             next_id: vec![0; lanes],
             stats: Stats::new(),
         }
@@ -229,6 +229,9 @@ impl FlashBackend {
 
     /// Moves every valid page of `block` to a fresh page in the same lane,
     /// updating the handle maps and charging the moves to the timeline.
+    // Valid pages always carry data and a reverse-map entry; both expects
+    // below assert that device/backend bookkeeping invariant.
+    #[allow(clippy::expect_used)]
     fn relocate_block(
         &mut self,
         block: BlockAddr,
@@ -283,6 +286,9 @@ impl FlashBackend {
     // Garbage collection
     // ------------------------------------------------------------------
 
+    // GC relocations rely on bookkeeping invariants (valid pages have data
+    // and reverse entries; over-provisioning guarantees a free destination).
+    #[allow(clippy::expect_used)]
     fn maybe_gc(&mut self, channel: u32, bank: u32) {
         let g = *self.device.geometry();
         let threshold = ((g.pages_per_bank() as f64) * GC_THRESHOLD).ceil() as usize;
@@ -412,6 +418,9 @@ impl NvmBackend for FlashBackend {
         self.device.peek(*page).map(Cow::Borrowed)
     }
 
+    // The Backend trait makes writes infallible; alloc_unit reserved lane
+    // space, so the free-page lookup and program cannot fail here.
+    #[allow(clippy::expect_used)]
     fn write_unit(&mut self, loc: UnitLocation, data: &[u8]) {
         // Out-of-place: supersede any existing page for this handle.
         if let Some(old) = self.forward.remove(&loc) {

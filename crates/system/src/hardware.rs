@@ -11,7 +11,7 @@
 //! latency (§7.3 measures 17 µs worst-case) and the ARM-class cores'
 //! slower data handling, which shows up as the ~17% write penalty of §7.1.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use nds_core::{ElementType, Shape, SpaceId, Stl};
 use nds_host::CpuModel;
@@ -31,13 +31,16 @@ pub struct HardwareNds {
     cpu: CpuModel,
     controller: ControllerConfig,
     transfer_chunk: u64,
-    datasets: HashMap<DatasetId, SpaceId>,
+    datasets: BTreeMap<DatasetId, SpaceId>,
     queue: QueuePair,
     next_id: u64,
     stats: Stats,
 }
 
 impl HardwareNds {
+    /// Fixed cost of issuing one DMA descriptor in the on-device assembler.
+    const DMA_DESCRIPTOR_COST: SimDuration = SimDuration::from_nanos(100);
+
     /// Builds a hardware-NDS system from a configuration.
     pub fn new(config: SystemConfig) -> Self {
         let mut backend = FlashBackend::new(config.flash.clone());
@@ -52,7 +55,7 @@ impl HardwareNds {
             cpu: config.cpu,
             controller: config.controller,
             transfer_chunk: config.nds_transfer_chunk,
-            datasets: HashMap::new(),
+            datasets: BTreeMap::new(),
             queue: QueuePair::new(64),
             next_id: 1,
             stats: Stats::new(),
@@ -62,6 +65,9 @@ impl HardwareNds {
     /// Marshals `cmd` through the real §5.3.1 wire codec and the submission
     /// queue, exactly as the host driver would: encode, submit, device pops
     /// and decodes. Returns the decoded command the controller executes.
+    // The queue is drained synchronously and the codec round-trips every
+    // validated command, so the submit/pop/decode expects cannot fire.
+    #[allow(clippy::expect_used)]
     fn submit_command(&mut self, cmd: NvmeCommand) -> Result<NvmeCommand, SystemError> {
         let wired = wire::encode(&cmd)
             .map_err(|_| SystemError::Command(nds_interconnect::CommandError::ZeroExtent))?;
@@ -104,7 +110,7 @@ impl HardwareNds {
         if bytes == 0 {
             return SimDuration::ZERO;
         }
-        SimDuration::from_nanos(100 * segments)
+        Self::DMA_DESCRIPTOR_COST * segments
             + self.controller.assemble_bandwidth.time_for_bytes(bytes)
     }
 
@@ -114,7 +120,7 @@ impl HardwareNds {
         if bytes == 0 {
             return SimDuration::ZERO;
         }
-        SimDuration::from_nanos(self.controller.scatter_chunk_overhead.as_nanos() * segments)
+        self.controller.scatter_chunk_overhead * segments
             + self.controller.assemble_bandwidth.time_for_bytes(bytes)
     }
 

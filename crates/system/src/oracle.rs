@@ -14,7 +14,7 @@
 //! I/O) and are reshaped free of charge, per §7.2's "assume these software
 //! libraries have zero overhead".
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use nds_core::{translator, BlockShape, ElementType, NdsError, Region, Shape};
 use nds_sim::{SimDuration, Stats};
@@ -39,7 +39,7 @@ struct OracleDataset {
 pub struct OracleSystem {
     inner: BaselineSystem,
     tile_dims: Vec<u64>,
-    datasets: HashMap<DatasetId, OracleDataset>,
+    datasets: BTreeMap<DatasetId, OracleDataset>,
     next_id: u64,
     page_size: u32,
 }
@@ -62,7 +62,7 @@ impl OracleSystem {
         OracleSystem {
             inner: BaselineSystem::new(config),
             tile_dims,
-            datasets: HashMap::new(),
+            datasets: BTreeMap::new(),
             next_id: 1,
             page_size,
         }

@@ -16,7 +16,7 @@
 //!   images and submits page-granular program commands; §7.1 measures the
 //!   combination as a ~30% write-bandwidth loss.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use nds_core::{ElementType, NvmBackend, Shape, SpaceId, Stl};
 use nds_host::CpuModel;
@@ -36,7 +36,7 @@ pub struct SoftwareNds {
     link: Link,
     cpu: CpuModel,
     stl_path: HostStlPath,
-    datasets: HashMap<DatasetId, SpaceId>,
+    datasets: BTreeMap<DatasetId, SpaceId>,
     next_id: u64,
     stats: Stats,
 }
@@ -55,7 +55,7 @@ impl SoftwareNds {
             link,
             cpu: config.cpu,
             stl_path: config.sw_stl_path,
-            datasets: HashMap::new(),
+            datasets: BTreeMap::new(),
             next_id: 1,
             stats: Stats::new(),
         }

@@ -8,6 +8,9 @@
 //! compare whole [`ReadOutcome`]s/[`WriteOutcome`]s across the two
 //! configurations.
 
+// Test helpers outside #[test] fns aren't covered by allow-unwrap-in-tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nds_core::{ElementType, Shape};
 use nds_system::{
     BaselineSystem, HardwareNds, OracleSystem, ReadOutcome, SoftwareNds, StorageFrontEnd,

@@ -4,6 +4,9 @@
 //! read-disturb pressure triggers preventive migration that the application
 //! never observes.
 
+// Test helpers outside #[test] fns aren't covered by allow-unwrap-in-tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nds_core::testing::FlakyBackend;
 use nds_core::{DeviceSpec, ElementType, NdsError, Shape, Stl, StlConfig};
 use nds_faults::FaultConfig;

@@ -3,6 +3,9 @@
 //! These are the relations §7.1 reports; `EXPERIMENTS.md` records the
 //! measured magnitudes.
 
+// Test helpers outside #[test] fns aren't covered by allow-unwrap-in-tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nds_core::{ElementType, Shape};
 use nds_faults::FaultConfig;
 use nds_system::{BaselineSystem, HardwareNds, SoftwareNds, StorageFrontEnd, SystemConfig};

@@ -93,6 +93,7 @@ pub fn f32_bytes(values: &[f32]) -> Vec<u8> {
 }
 
 /// Parses little-endian bytes back to f32.
+#[allow(clippy::expect_used)] // chunks_exact(4) yields 4-byte slices, try_into cannot fail
 pub fn f32_from_bytes(bytes: &[u8]) -> Vec<f32> {
     bytes
         .chunks_exact(4)
@@ -106,6 +107,7 @@ pub fn i32_bytes(values: &[i32]) -> Vec<u8> {
 }
 
 /// Parses little-endian bytes back to i32.
+#[allow(clippy::expect_used)] // chunks_exact(4) yields 4-byte slices, try_into cannot fail
 pub fn i32_from_bytes(bytes: &[u8]) -> Vec<i32> {
     bytes
         .chunks_exact(4)

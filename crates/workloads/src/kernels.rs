@@ -274,7 +274,10 @@ pub fn knn_scan(
         if best.len() < k {
             best.push((dist, idx));
             best.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        } else if dist < best.last().expect("non-empty").0 {
+        } else if dist < {
+            #[allow(clippy::expect_used)] // the branch above guarantees best is non-empty
+            best.last().expect("non-empty").0
+        } {
             best.pop();
             best.push((dist, idx));
             best.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));

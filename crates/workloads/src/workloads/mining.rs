@@ -255,7 +255,10 @@ fn merge_knn(dist: &[f32], base: u64, best: &mut Vec<(f32, u64)>) {
         if best.len() < K_NEIGHBORS {
             best.push((d, idx));
             best.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        } else if d < best.last().expect("non-empty").0 {
+        } else if d < {
+            #[allow(clippy::expect_used)] // the branch above guarantees best is non-empty
+            best.last().expect("non-empty").0
+        } {
             best.pop();
             best.push((d, idx));
             best.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));

@@ -10,6 +10,12 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
+# Determinism/invariant rules (DESIGN.md "Determinism contract") with the
+# ratcheting lint-baseline.json: fails on any new violation or unratcheted
+# improvement.
+echo "== nds-lint (determinism contract)"
+cargo run --quiet -p nds-lint
+
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Runs the workspace determinism/invariant linter (DESIGN.md "Determinism
+# contract") against the ratcheting lint-baseline.json.
+#
+# Usage: scripts/lint.sh [--update-baseline | --list | --summary]
+#
+#   (no args)          check the tree against the baseline (what CI runs)
+#   --update-baseline  rewrite lint-baseline.json to match the current tree
+#                      (ratchets improvements in, removes stale entries)
+#   --list             print every violation, baselined or not
+#   --summary          print per-rule totals
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+exec cargo run --quiet -p nds-lint -- "$@"
