@@ -10,14 +10,18 @@
 //!    the internal-to-external bandwidth ratio, the advantage of hardware
 //!    NDS will become more significant."
 //!
-//! Usage: `cargo run --release -p nds-bench --bin ablation`
+//! Usage: `cargo run --release -p nds-bench --bin ablation [-- --report <path>]`
+//!
+//! With `--report <path>` each ablation point runs fully instrumented and
+//! the merged run-report JSON is written to `path`.
 
 // Figure-regeneration binaries are operator tools, not simulation
 // data path: panicking on a malformed run is the right behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-use nds_bench::{header, row};
+use nds_bench::{header, obs_for, row, take_report_path, write_report};
 use nds_core::{AllocationPolicy, ElementType, Shape};
 use nds_flash::FlashTiming;
+use nds_sim::{ObsConfig, RunReport};
 use nds_system::{HardwareNds, SoftwareNds, StorageFrontEnd, SystemConfig};
 
 const N: u64 = 4096;
@@ -39,7 +43,7 @@ fn tile_bandwidth(sys: &mut dyn StorageFrontEnd, side: u64) -> f64 {
         .as_mib_per_sec()
 }
 
-fn allocation_policy_ablation() {
+fn allocation_policy_ablation(obs: ObsConfig, report: &mut RunReport) {
     println!("## 1. Allocation policy (§4.2) — 1024² f64 tile fetch\n");
     header(&["policy", "hardware NDS MiB/s", "notes"]);
     for (policy, note) in [
@@ -49,23 +53,25 @@ fn allocation_policy_ablation() {
             "blocks confined to few lanes",
         ),
     ] {
-        let mut config = SystemConfig::paper_scale();
+        let mut config = SystemConfig::paper_scale().with_observability(obs);
         config.stl.allocation_policy = policy;
         let mut sys = HardwareNds::new(config);
         let bw = tile_bandwidth(&mut sys, 1024);
+        report.merge_prefixed(&format!("alloc.{policy:?}."), &sys.run_report());
         row(&[format!("{policy:?}"), format!("{bw:8.0}"), note.to_owned()]);
     }
     println!();
 }
 
-fn multiplier_ablation() {
+fn multiplier_ablation(obs: ObsConfig, report: &mut RunReport) {
     println!("## 2. Building-block multiplier (§4.1) — 1024² f64 tile fetch\n");
     header(&["multiplier", "block", "hardware NDS MiB/s"]);
     for multiplier in [1u64, 2, 4, 8] {
-        let mut config = SystemConfig::paper_scale();
+        let mut config = SystemConfig::paper_scale().with_observability(obs);
         config.stl.block_multiplier = multiplier;
         let mut sys = HardwareNds::new(config);
         let bw = tile_bandwidth(&mut sys, 1024);
+        report.merge_prefixed(&format!("multiplier.{multiplier}x."), &sys.run_report());
         // Block side for f64 at this multiplier: √(128 KiB·m / 8), pow2-ceil.
         let elems = 32u64 * 4096 * multiplier / 8;
         let side = 1u64 << (64 - (elems - 1).leading_zeros()).div_ceil(2);
@@ -91,7 +97,7 @@ fn write_bandwidth(sys: &mut dyn StorageFrontEnd) -> f64 {
         .as_mib_per_sec()
 }
 
-fn fast_nvm_ablation() {
+fn fast_nvm_ablation(obs: ObsConfig, report: &mut RunReport) {
     println!("## 3. Faster NVM (§7.2) — hardware-over-software advantage on writes\n");
     println!("(the paper: \"with faster NVM technologies that raise the internal-to-external");
     println!(" bandwidth ratio, the advantage of hardware NDS will become more significant\")\n");
@@ -101,16 +107,18 @@ fn fast_nvm_ablation() {
         "hardware NDS MiB/s",
         "hw / sw",
     ]);
-    for (name, timing) in [
-        ("TLC NAND", FlashTiming::tlc_nand()),
-        ("fast NVM (PCM-class)", FlashTiming::fast_nvm()),
+    for (name, key, timing) in [
+        ("TLC NAND", "tlc", FlashTiming::tlc_nand()),
+        ("fast NVM (PCM-class)", "fast", FlashTiming::fast_nvm()),
     ] {
-        let mut config = SystemConfig::paper_scale();
+        let mut config = SystemConfig::paper_scale().with_observability(obs);
         config.flash.timing = timing;
         let mut sw = SoftwareNds::new(config.clone());
         let sw_bw = write_bandwidth(&mut sw);
         let mut hw = HardwareNds::new(config);
         let hw_bw = write_bandwidth(&mut hw);
+        report.merge_prefixed(&format!("nvm.{key}.software-nds."), &sw.run_report());
+        report.merge_prefixed(&format!("nvm.{key}.hardware-nds."), &hw.run_report());
         row(&[
             name.to_owned(),
             format!("{sw_bw:8.0}"),
@@ -120,7 +128,7 @@ fn fast_nvm_ablation() {
     }
 }
 
-fn transfer_chunk_ablation() {
+fn transfer_chunk_ablation(obs: ObsConfig, report: &mut RunReport) {
     println!("\n## 4. NDS transfer chunk (§4.4) — when assembled data ships to the host\n");
     println!("(NDS starts moving assembled data once a segment reaches the optimal");
     println!(" data-exchange volume; §2.1 puts NVMe saturation at ~2 MB)\n");
@@ -132,7 +140,7 @@ fn transfer_chunk_ablation() {
         2 * 1024 * 1024,
         8 * 1024 * 1024,
     ] {
-        let mut config = SystemConfig::paper_scale();
+        let mut config = SystemConfig::paper_scale().with_observability(obs);
         config.nds_transfer_chunk = chunk;
         let mut sys = HardwareNds::new(config);
         let shape = Shape::new([N, N]);
@@ -145,6 +153,7 @@ fn transfer_chunk_ablation() {
         let out = sys
             .read(id, &shape, &[0, 1], &[N, 2048])
             .expect("panel fetch");
+        report.merge_prefixed(&format!("chunk.{}kib.", chunk / 1024), &sys.run_report());
         row(&[
             format!("{} KiB", chunk / 1024),
             format!("{:8.0}", out.effective_bandwidth().as_mib_per_sec()),
@@ -153,9 +162,17 @@ fn transfer_chunk_ablation() {
 }
 
 fn main() {
+    let (report_path, _rest) = take_report_path(std::env::args().skip(1).collect());
+    let obs = obs_for(report_path.as_ref());
+    let mut report = RunReport::new();
+    report.set_meta("bench", "ablation");
     println!("# Ablations of NDS design choices\n");
-    allocation_policy_ablation();
-    multiplier_ablation();
-    fast_nvm_ablation();
-    transfer_chunk_ablation();
+    allocation_policy_ablation(obs, &mut report);
+    multiplier_ablation(obs, &mut report);
+    fast_nvm_ablation(obs, &mut report);
+    transfer_chunk_ablation(obs, &mut report);
+    if let Some(path) = report_path {
+        write_report(&path, &report).expect("write report");
+        eprintln!("run report written to {}", path.display());
+    }
 }

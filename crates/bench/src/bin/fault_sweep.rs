@@ -10,15 +10,20 @@
 //! `injected == recovered` — an unrecovered fault would have surfaced as a
 //! typed error and aborted the run.
 //!
-//! Usage: `cargo run --release -p nds-bench --bin fault_sweep [seed]`
+//! Usage: `cargo run --release -p nds-bench --bin fault_sweep [seed] [--report <path>]`
+//!
+//! With `--report <path>` every rate×architecture run is fully instrumented
+//! (fault and retry events land in the journal next to the latency
+//! histograms they inflate) and the merged run-report JSON is written to
+//! `path`.
 
 // Figure-regeneration binaries are operator tools, not simulation
 // data path: panicking on a malformed run is the right behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-use nds_bench::{header, row};
+use nds_bench::{header, obs_for, row, take_report_path, write_report};
 use nds_core::{ElementType, Shape};
 use nds_faults::FaultConfig;
-use nds_sim::SimDuration;
+use nds_sim::{RunReport, SimDuration};
 use nds_system::{
     BaselineSystem, HardwareNds, OracleSystem, SoftwareNds, StorageFrontEnd, SystemConfig,
 };
@@ -67,10 +72,15 @@ fn run_script(sys: &mut dyn StorageFrontEnd) -> SimDuration {
 }
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
+    let (report_path, rest) = take_report_path(std::env::args().skip(1).collect());
+    let obs = obs_for(report_path.as_ref());
+    let seed: u64 = rest
+        .first()
         .map(|s| s.parse().expect("seed must be a u64"))
         .unwrap_or(1221);
+    let mut report = RunReport::new();
+    report.set_meta("bench", "fault_sweep");
+    report.set_meta("seed", seed.to_string());
     println!("# Fault sweep (seed {seed}, {N}x{N} f32, tile {TILE})\n");
     header(&[
         "rate",
@@ -95,13 +105,19 @@ fn main() {
         .collect();
 
     for rate in RATES {
-        let config = SystemConfig::small_test().with_faults(FaultConfig::with_rate(seed, rate));
+        let config = SystemConfig::small_test()
+            .with_faults(FaultConfig::with_rate(seed, rate))
+            .with_observability(obs);
         for (i, mut sys) in architectures(&config).into_iter().enumerate() {
             let modeled = run_script(sys.as_mut());
             let stats = sys.stats();
             let (injected, recovered) =
                 (stats.get("faults.injected"), stats.get("faults.recovered"));
             assert_eq!(injected, recovered, "{}: unrecovered fault", sys.name());
+            report.merge_prefixed(
+                &format!("rate{:03}.{}.", (rate * 100.0) as u64, sys.name()),
+                &sys.run_report(),
+            );
             row(&[
                 format!("{rate:.2}"),
                 sys.name().to_owned(),
@@ -120,4 +136,8 @@ fn main() {
         }
     }
     println!("\nAll rows recovered every injected fault (injected == recovered).");
+    if let Some(path) = report_path {
+        write_report(&path, &report).expect("write report");
+        eprintln!("run report written to {}", path.display());
+    }
 }

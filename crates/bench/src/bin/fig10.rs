@@ -6,20 +6,25 @@
 //! speedup; idle-time reduction 74% (software) / 76% (hardware); BFS gains
 //! almost nothing from software NDS.
 //!
-//! Usage: `cargo run --release -p nds-bench --bin fig10 [-- --n <N> --tile <T>]`
+//! Usage: `cargo run --release -p nds-bench --bin fig10 [-- --n <N> --tile <T>] [--report <path>]`
+//!
+//! With `--report <path>` every workload×architecture run is fully
+//! instrumented and the merged run-report JSON is written to `path`.
 
 // Figure-regeneration binaries are operator tools, not simulation
 // data path: panicking on a malformed run is the right behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-use nds_bench::{geomean, header, row};
-use nds_system::{BaselineSystem, HardwareNds, OracleSystem, SoftwareNds, SystemConfig};
+use nds_bench::{geomean, header, obs_for, row, take_report_path, write_report};
+use nds_sim::{ObsConfig, RunReport};
+use nds_system::{
+    BaselineSystem, HardwareNds, OracleSystem, SoftwareNds, StorageFrontEnd, SystemConfig,
+};
 use nds_workloads::{all_workloads, Workload, WorkloadParams, WorkloadRun};
 
-fn parse_args() -> (WorkloadParams, u64) {
+fn parse_args(args: &[String]) -> (WorkloadParams, u64) {
     let mut params = WorkloadParams::bench(0x4E44_5321);
     let mut cost_scale = 2;
-    let args: Vec<String> = std::env::args().collect();
-    let mut i = 1;
+    let mut i = 0;
     while i + 1 < args.len() {
         match args[i].as_str() {
             "--n" => params.n = args[i + 1].parse().expect("--n takes an integer"),
@@ -36,8 +41,8 @@ fn parse_args() -> (WorkloadParams, u64) {
     (params, cost_scale)
 }
 
-fn config(cost_scale: u64) -> SystemConfig {
-    let mut config = SystemConfig::paper_scale();
+fn config(cost_scale: u64, obs: ObsConfig) -> SystemConfig {
+    let mut config = SystemConfig::paper_scale().with_observability(obs);
     // Workload matrices are f32; the minimum building block (256×256 f32,
     // 256 KB) matches the kernel tile at bench scale.
     config.stl.block_multiplier = 1;
@@ -47,22 +52,39 @@ fn config(cost_scale: u64) -> SystemConfig {
     config.with_scaled_command_costs(cost_scale)
 }
 
-fn run_all(workload: &dyn Workload, config: &SystemConfig) -> [WorkloadRun; 4] {
+fn run_all(
+    workload: &dyn Workload,
+    config: &SystemConfig,
+    report: &mut RunReport,
+) -> [WorkloadRun; 4] {
     let mut baseline = BaselineSystem::new(config.clone());
     let mut oracle = OracleSystem::with_tile(config.clone(), workload.kernel_tile());
     let mut software = SoftwareNds::new(config.clone());
     let mut hardware = HardwareNds::new(config.clone());
-    [
+    let runs = [
         workload.run(&mut baseline).expect("baseline"),
         workload.run(&mut oracle).expect("oracle"),
         workload.run(&mut software).expect("software"),
         workload.run(&mut hardware).expect("hardware"),
-    ]
+    ];
+    for (sys, run) in [
+        (&baseline as &dyn StorageFrontEnd, &runs[0]),
+        (&oracle as &dyn StorageFrontEnd, &runs[1]),
+        (&software as &dyn StorageFrontEnd, &runs[2]),
+        (&hardware as &dyn StorageFrontEnd, &runs[3]),
+    ] {
+        let mut sub = sys.run_report();
+        run.attach_to_report(&mut sub);
+        report.merge_prefixed(&format!("{}.{}.", workload.name(), sys.name()), &sub);
+    }
+    runs
 }
 
 fn main() {
-    let (params, cost_scale) = parse_args();
-    let config = config(cost_scale);
+    let (report_path, rest) = take_report_path(std::env::args().skip(1).collect());
+    let obs = obs_for(report_path.as_ref());
+    let (params, cost_scale) = parse_args(&rest);
+    let config = config(cost_scale, obs);
     println!(
         "# Fig. 10 — end-to-end workloads (n = {}, tile = {}, iterations = {}, cost scale = {})",
         params.n, params.tile, params.iterations, cost_scale
@@ -92,8 +114,11 @@ fn main() {
     let mut oracle_speedups = Vec::new();
     let mut hw_speedups = Vec::new();
     let mut idle_rows = Vec::new();
+    let mut report = RunReport::new();
+    report.set_meta("bench", "fig10");
     for workload in all_workloads(params) {
-        let [baseline, oracle, software, hardware] = run_all(workload.as_ref(), &config);
+        let [baseline, oracle, software, hardware] =
+            run_all(workload.as_ref(), &config, &mut report);
         assert_eq!(baseline.checksum, workload.reference_checksum());
         assert_eq!(software.checksum, baseline.checksum);
         assert_eq!(hardware.checksum, baseline.checksum);
@@ -148,4 +173,8 @@ fn main() {
         format!("{:.0}%", avg(&sw_red) * 100.0),
         format!("{:.0}%", avg(&hw_red) * 100.0),
     ]);
+    if let Some(path) = report_path {
+        write_report(&path, &report).expect("write report");
+        eprintln!("run report written to {}", path.display());
+    }
 }

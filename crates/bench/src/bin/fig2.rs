@@ -8,18 +8,21 @@
 //!   underutilizes the interconnect and the device's channels; the paper
 //!   measures 1.92× more fetch time than an optimal (sub-block) layout.
 //!
-//! Usage: `cargo run --release -p nds-bench --bin fig2`
+//! Usage: `cargo run --release -p nds-bench --bin fig2 [-- --report <path>]`
+//!
+//! With `--report <path>` the SSD-backed configuration of panel (b) runs
+//! fully instrumented and the merged run-report JSON is written to `path`.
 
 // Figure-regeneration binaries are operator tools, not simulation
 // data path: panicking on a malformed run is the right behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use nds_accel::ComputeEngine;
-use nds_bench::{header, row, setup_matrix_f64};
+use nds_bench::{header, obs_for, row, setup_matrix_f64, take_report_path, write_report};
 use nds_core::Shape;
 use nds_host::pipeline::{self, StageTimes};
 use nds_host::{CpuModel, MemoryBus};
 use nds_interconnect::LinkConfig;
-use nds_sim::SimDuration;
+use nds_sim::{ObsConfig, RunReport, SimDuration};
 use nds_system::{BaselineSystem, OracleSystem, StorageFrontEnd, SystemConfig};
 
 /// Matrix side (scaled from the paper's 32,768) and kernel tile (scaled
@@ -95,11 +98,11 @@ fn fig_a() {
     );
 }
 
-fn fig_b() {
+fn fig_b(obs: ObsConfig, report: &mut RunReport) {
     println!(
         "## (b) data fetched from the SSD — paper: +1.92× fetch time for the row-store layout\n"
     );
-    let config = SystemConfig::paper_scale();
+    let config = SystemConfig::paper_scale().with_observability(obs);
     let shape = Shape::new([N, N]);
 
     // Row-store layout on the baseline SSD.
@@ -132,10 +135,20 @@ fn fig_b() {
         format!("{}", o.restructure),
         "1.00x".into(),
     ]);
+    report.merge_prefixed("b.baseline.", &base.run_report());
+    report.merge_prefixed("b.oracle.", &oracle.run_report());
 }
 
 fn main() {
+    let (report_path, _rest) = take_report_path(std::env::args().skip(1).collect());
+    let obs = obs_for(report_path.as_ref());
+    let mut report = RunReport::new();
+    report.set_meta("bench", "fig2");
     println!("# Fig. 2 — blocked matrix multiplication, row-store vs sub-block\n");
     fig_a();
-    fig_b();
+    fig_b(obs, &mut report);
+    if let Some(path) = report_path {
+        write_report(&path, &report).expect("write report");
+        eprintln!("run report written to {}", path.display());
+    }
 }

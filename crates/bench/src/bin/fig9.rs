@@ -10,13 +10,19 @@
 //! * **(d)** whole-matrix writes: baseline ~281 MB/s; software NDS −30%;
 //!   hardware NDS −17%.
 //!
-//! Usage: `cargo run --release -p nds-bench --bin fig9 [-- a|b|c|d]`
+//! Usage: `cargo run --release -p nds-bench --bin fig9 [-- a|b|c|d] [--report <path>]`
+//!
+//! With `--report <path>` the systems run fully instrumented (event
+//! journals, latency histograms, busy timelines) and the merged
+//! [`RunReport`](nds_sim::RunReport) JSON is written to `path` —
+//! byte-identical across repeated runs.
 
 // Figure-regeneration binaries are operator tools, not simulation
 // data path: panicking on a malformed run is the right behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-use nds_bench::{header, row, setup_matrix_f64};
+use nds_bench::{header, obs_for, row, setup_matrix_f64, take_report_path, write_report};
 use nds_core::{ElementType, Shape};
+use nds_sim::{ObsConfig, RunReport};
 use nds_system::{BaselineSystem, HardwareNds, SoftwareNds, StorageFrontEnd, SystemConfig};
 
 const N: u64 = 8192;
@@ -25,8 +31,8 @@ fn mib(v: f64) -> String {
     format!("{v:8.0}")
 }
 
-fn fresh_systems() -> (BaselineSystem, SoftwareNds, HardwareNds) {
-    let config = SystemConfig::paper_scale(); // 4× blocks ⇒ 256×256 f64
+fn fresh_systems(obs: ObsConfig) -> (BaselineSystem, SoftwareNds, HardwareNds) {
+    let config = SystemConfig::paper_scale().with_observability(obs); // 4× blocks ⇒ 256×256 f64
     (
         BaselineSystem::new(config.clone()),
         SoftwareNds::new(config.clone()),
@@ -34,11 +40,30 @@ fn fresh_systems() -> (BaselineSystem, SoftwareNds, HardwareNds) {
     )
 }
 
+/// Folds the three systems' run artifacts into `report` under
+/// `<panel>.<arch>.`-prefixed names.
+fn absorb_systems(
+    report: &mut RunReport,
+    panel: &str,
+    systems: (&BaselineSystem, &SoftwareNds, &HardwareNds),
+) {
+    let (base, sw, hw) = systems;
+    report.merge_prefixed(&format!("{panel}.baseline."), &base.run_report());
+    report.merge_prefixed(&format!("{panel}.software-nds."), &sw.run_report());
+    report.merge_prefixed(&format!("{panel}.hardware-nds."), &hw.run_report());
+}
+
 /// Runs one read sweep over all three systems and prints MiB/s per point.
-fn read_sweep(label: &str, requests: &[(String, Vec<u64>, Vec<u64>)]) {
+fn read_sweep(
+    label: &str,
+    panel: &str,
+    obs: ObsConfig,
+    report: &mut RunReport,
+    requests: &[(String, Vec<u64>, Vec<u64>)],
+) {
     println!("\n## ({label})\n");
     let shape = Shape::new([N, N]);
-    let (mut base, mut sw, mut hw) = fresh_systems();
+    let (mut base, mut sw, mut hw) = fresh_systems(obs);
     let base_id = setup_matrix_f64(&mut base, N).expect("baseline setup");
     let sw_id = setup_matrix_f64(&mut sw, N).expect("software setup");
     let hw_id = setup_matrix_f64(&mut hw, N).expect("hardware setup");
@@ -61,9 +86,10 @@ fn read_sweep(label: &str, requests: &[(String, Vec<u64>, Vec<u64>)]) {
             mib(h.effective_bandwidth().as_mib_per_sec()),
         ]);
     }
+    absorb_systems(report, panel, (&base, &sw, &hw));
 }
 
-fn fig_a() {
+fn fig_a(obs: ObsConfig, report: &mut RunReport) {
     // Row panels of 512..4096 rows (full width), as in Fig. 9(a).
     let requests = [512u64, 1024, 2048, 4096]
         .iter()
@@ -71,21 +97,24 @@ fn fig_a() {
         .collect::<Vec<_>>();
     read_sweep(
         "a — row fetches; paper: baseline ≈ hardware, software ~12% lower",
+        "a",
+        obs,
+        report,
         &requests,
     );
 }
 
-fn fig_b() {
+fn fig_b(obs: ObsConfig, report: &mut RunReport) {
     // Column panels of 512..4096 columns (full height).
     println!("\n## (b — column fetches; paper: row-store baseline ≤600 MB/s-class, NDS ≈ col-store baseline)\n");
     let shape = Shape::new([N, N]);
-    let (mut base, mut sw, mut hw) = fresh_systems();
+    let (mut base, mut sw, mut hw) = fresh_systems(obs);
     let base_id = setup_matrix_f64(&mut base, N).expect("baseline setup");
     let sw_id = setup_matrix_f64(&mut sw, N).expect("software setup");
     let hw_id = setup_matrix_f64(&mut hw, N).expect("hardware setup");
     // The col-store baseline stores the transpose, so a column fetch is a
     // contiguous row fetch of the transposed dataset.
-    let mut col_store = BaselineSystem::new(SystemConfig::paper_scale());
+    let mut col_store = BaselineSystem::new(SystemConfig::paper_scale().with_observability(obs));
     let col_id = setup_matrix_f64(&mut col_store, N).expect("col-store setup");
     header(&[
         "request",
@@ -115,9 +144,11 @@ fn fig_b() {
             mib(h.effective_bandwidth().as_mib_per_sec()),
         ]);
     }
+    absorb_systems(report, "b", (&base, &sw, &hw));
+    report.merge_prefixed("b.baseline-col-store.", &col_store.run_report());
 }
 
-fn fig_c() {
+fn fig_c(obs: ObsConfig, report: &mut RunReport) {
     // Square submatrices 512²..4096² at an unaligned-ish tile position.
     let requests = [512u64, 1024, 2048, 4096]
         .iter()
@@ -125,11 +156,14 @@ fn fig_c() {
         .collect::<Vec<_>>();
     read_sweep(
         "c — submatrix fetches; paper: NDS far above baseline",
+        "c",
+        obs,
+        report,
         &requests,
     );
 }
 
-fn fig_d() {
+fn fig_d(obs: ObsConfig, report: &mut RunReport) {
     println!(
         "\n## (d — whole-matrix write; paper: baseline ~281 MB/s, software −30%, hardware −17%)\n"
     );
@@ -138,7 +172,7 @@ fn fig_d() {
     let bytes: Vec<u8> = (0..WN * WN * 8).map(|i| (i % 251) as u8).collect();
     header(&["system", "write MiB/s", "vs baseline"]);
     let mut results = Vec::new();
-    let (mut base, mut sw, mut hw) = fresh_systems();
+    let (mut base, mut sw, mut hw) = fresh_systems(obs);
     for sys in [
         &mut base as &mut dyn StorageFrontEnd,
         &mut sw as &mut dyn StorageFrontEnd,
@@ -160,21 +194,30 @@ fn fig_d() {
             format!("{:+.0}%", (bw / baseline_bw - 1.0) * 100.0),
         ]);
     }
+    absorb_systems(report, "d", (&base, &sw, &hw));
 }
 
 fn main() {
-    let which = std::env::args().nth(1);
+    let (report_path, rest) = take_report_path(std::env::args().skip(1).collect());
+    let obs = obs_for(report_path.as_ref());
+    let which = rest.first().map(String::as_str);
+    let mut report = RunReport::new();
+    report.set_meta("bench", "fig9");
     println!("# Fig. 9 — §7.1 microbenchmarks ({N}×{N} f64, 256×256 f64 building blocks)");
-    match which.as_deref() {
-        Some("a") => fig_a(),
-        Some("b") => fig_b(),
-        Some("c") => fig_c(),
-        Some("d") => fig_d(),
+    match which {
+        Some("a") => fig_a(obs, &mut report),
+        Some("b") => fig_b(obs, &mut report),
+        Some("c") => fig_c(obs, &mut report),
+        Some("d") => fig_d(obs, &mut report),
         _ => {
-            fig_a();
-            fig_b();
-            fig_c();
-            fig_d();
+            fig_a(obs, &mut report);
+            fig_b(obs, &mut report);
+            fig_c(obs, &mut report);
+            fig_d(obs, &mut report);
         }
+    }
+    if let Some(path) = report_path {
+        write_report(&path, &report).expect("write report");
+        eprintln!("run report written to {}", path.display());
     }
 }

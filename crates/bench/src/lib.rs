@@ -15,8 +15,54 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::path::{Path, PathBuf};
+
 use nds_core::{ElementType, Shape};
+use nds_sim::{ObsConfig, RunReport};
 use nds_system::{DatasetId, StorageFrontEnd, SystemError};
+
+/// Splits `--report <path>` (or `--report=<path>`) out of a raw argument
+/// list (as from `std::env::args().skip(1)`), returning the path if present
+/// plus the remaining arguments with the flag removed — so each binary's
+/// positional parsing is unaffected.
+pub fn take_report_path(args: Vec<String>) -> (Option<PathBuf>, Vec<String>) {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut path = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--report" {
+            path = it.next().map(PathBuf::from);
+        } else if let Some(p) = a.strip_prefix("--report=") {
+            path = Some(PathBuf::from(p));
+        } else {
+            rest.push(a);
+        }
+    }
+    (path, rest)
+}
+
+/// The observability configuration a bench run should build its systems
+/// with: full instrumentation when a report was requested, disabled (one
+/// dead branch per hook) otherwise.
+pub fn obs_for(report: Option<&PathBuf>) -> ObsConfig {
+    if report.is_some() {
+        ObsConfig::full()
+    } else {
+        ObsConfig::disabled()
+    }
+}
+
+/// Writes a run report's deterministic JSON to `path` (trailing newline
+/// included, so repeated runs diff clean against each other).
+///
+/// # Errors
+///
+/// I/O errors from creating or writing the file.
+pub fn write_report(path: &Path, report: &RunReport) -> std::io::Result<()> {
+    let mut json = report.to_json();
+    json.push('\n');
+    std::fs::write(path, json)
+}
 
 /// Prints a markdown-ish table row.
 pub fn row(cells: &[String]) {
@@ -84,6 +130,26 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn geomean_rejects_zero() {
         let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn report_flag_is_stripped_wherever_it_sits() {
+        let (path, rest) = take_report_path(
+            ["a", "--report", "out.json", "b"]
+                .map(String::from)
+                .to_vec(),
+        );
+        assert_eq!(path.as_deref(), Some(std::path::Path::new("out.json")));
+        assert_eq!(rest, ["a", "b"]);
+
+        let (path, rest) = take_report_path(["--report=r.json"].map(String::from).to_vec());
+        assert_eq!(path.as_deref(), Some(std::path::Path::new("r.json")));
+        assert!(rest.is_empty());
+
+        let (path, rest) = take_report_path(["c"].map(String::from).to_vec());
+        assert!(path.is_none());
+        assert_eq!(rest, ["c"]);
+        assert!(!obs_for(path.as_ref()).any_enabled());
     }
 
     #[test]

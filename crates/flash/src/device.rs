@@ -1,8 +1,13 @@
 //! The functional + timing flash device.
 
 use nds_faults::{FaultConfig, FaultPlan, MediaReadFault};
-use nds_sim::{ResourceSet, SimTime, Stats};
+use nds_sim::{
+    ComponentId, EventKind, ObsConfig, Observability, ResourceSet, SimTime, Stats, TimelineSnapshot,
+};
 use serde::{Deserialize, Serialize};
+
+/// Journal identity of the flash device singleton.
+const FLASH_COMPONENT: ComponentId = ComponentId::singleton("flash");
 
 use crate::error::FlashError;
 use crate::geometry::{BlockAddr, FlashGeometry, PageAddr};
@@ -54,6 +59,7 @@ pub struct FlashDevice {
     banks: ResourceSet,
     stats: Stats,
     faults: Option<MediaFaults>,
+    obs: Observability,
 }
 
 /// Media-fault bookkeeping installed by
@@ -94,8 +100,41 @@ impl FlashDevice {
             free_count: vec![g.pages_per_bank(); total_banks],
             stats: Stats::new(),
             faults: None,
+            obs: Observability::disabled(),
             config,
         }
+    }
+
+    /// Applies an observability configuration: journal + histograms on the
+    /// device, and (when `timelines` is set) busy-time sampling on every
+    /// channel and bank resource. Hooks stay one-branch no-ops while
+    /// everything is disabled.
+    pub fn configure_observability(&mut self, config: &ObsConfig) {
+        self.obs.configure(config);
+        if config.timelines {
+            self.channels
+                .enable_timelines(config.timeline_window, config.timeline_buckets);
+            self.banks
+                .enable_timelines(config.timeline_window, config.timeline_buckets);
+        }
+    }
+
+    /// The device's journal and histograms.
+    pub fn observability(&self) -> &Observability {
+        &self.obs
+    }
+
+    /// Mutable access to the device's journal and histograms.
+    pub fn observability_mut(&mut self) -> &mut Observability {
+        &mut self.obs
+    }
+
+    /// Busy-time timeline snapshots for every channel and bank resource
+    /// that has sampling enabled, named after the resource.
+    pub fn timeline_snapshots(&self) -> Vec<(String, TimelineSnapshot)> {
+        let mut out = self.channels.timeline_snapshots();
+        out.extend(self.banks.timeline_snapshots());
+        out
     }
 
     /// The device geometry.
@@ -409,7 +448,15 @@ impl FlashDevice {
             .iter()
             .map(|&p| {
                 let bank_end = self.banks.acquire(self.bank_id(p), ready, read_lat);
-                self.channels.acquire(p.channel, bank_end, transfer)
+                let end = self.channels.acquire(p.channel, bank_end, transfer);
+                self.obs
+                    .event(end, FLASH_COMPONENT, || EventKind::PageRead {
+                        channel: p.channel as u32,
+                        bank: p.bank as u32,
+                    });
+                self.obs
+                    .latency("flash.read_page", end.saturating_since(ready));
+                end
             })
             .collect()
     }
@@ -427,7 +474,15 @@ impl FlashDevice {
             .iter()
             .map(|&p| {
                 let chan_end = self.channels.acquire(p.channel, ready, transfer);
-                self.banks.acquire(self.bank_id(p), chan_end, prog_lat)
+                let end = self.banks.acquire(self.bank_id(p), chan_end, prog_lat);
+                self.obs
+                    .event(end, FLASH_COMPONENT, || EventKind::PageProgrammed {
+                        channel: p.channel as u32,
+                        bank: p.bank as u32,
+                    });
+                self.obs
+                    .latency("flash.program_page", end.saturating_since(ready));
+                end
             })
             .fold(ready, SimTime::max)
     }
@@ -435,8 +490,16 @@ impl FlashDevice {
     /// Schedules a block erase and returns its completion instant.
     pub fn schedule_erase(&mut self, block: BlockAddr, ready: SimTime) -> SimTime {
         let bank_id = block.channel * self.config.geometry.banks_per_channel + block.bank;
-        self.banks
-            .acquire(bank_id, ready, self.config.timing.erase_latency)
+        let end = self
+            .banks
+            .acquire(bank_id, ready, self.config.timing.erase_latency);
+        self.obs
+            .event(end, FLASH_COMPONENT, || EventKind::BlockErased {
+                channel: block.channel as u32,
+                bank: block.bank as u32,
+                block: block.block as u32,
+            });
+        end
     }
 
     /// The instant at which every channel and bank has drained its committed
@@ -550,11 +613,19 @@ impl FlashDevice {
             let mut senses = 1u64;
             if let MediaReadFault::Transient { retries } = decision {
                 self.stats.add("faults.injected", 1);
-                for _ in 0..retries.min(budget) {
+                self.obs
+                    .event(end, FLASH_COMPONENT, || EventKind::FaultInjected {
+                        kind: "flash.read_transient",
+                    });
+                for attempt in 0..retries.min(budget) {
                     self.stats.add("retries.flash", 1);
                     let again = self.banks.acquire(bank_id, end, read_lat);
                     end = self.channels.acquire(p.channel, again, transfer);
                     senses += 1;
+                    self.obs
+                        .event(end, FLASH_COMPONENT, || EventKind::RetryScheduled {
+                            attempt: attempt + 1,
+                        });
                 }
                 if retries > budget {
                     self.note_disturb(p, senses);
@@ -562,6 +633,13 @@ impl FlashDevice {
                 }
                 self.stats.add("faults.recovered", 1);
             }
+            self.obs
+                .event(end, FLASH_COMPONENT, || EventKind::PageRead {
+                    channel: p.channel as u32,
+                    bank: p.bank as u32,
+                });
+            self.obs
+                .latency("flash.read_page", end.saturating_since(ready));
             self.note_disturb(p, senses);
             done = done.max(end);
         }
@@ -604,6 +682,13 @@ impl FlashDevice {
         }
         self.stats.add("faults.injected", 1);
         self.stats.add("blocks.retired", 1);
+        // Program faults are drawn before timing is scheduled, so the event
+        // carries the epoch anchor rather than a completion instant.
+        self.obs.event(SimTime::ZERO, FLASH_COMPONENT, || {
+            EventKind::FaultInjected {
+                kind: "flash.program_fail",
+            }
+        });
         self.retire_block(addr.block_addr());
         true
     }
@@ -831,6 +916,75 @@ mod tests {
         d.reset_timing();
         assert_eq!(d.drained_at(), SimTime::ZERO);
         assert_eq!(d.read(page(0, 0, 0, 0)).unwrap()[0], 5);
+    }
+
+    #[test]
+    fn observability_hooks_are_schedule_neutral() {
+        let pages: Vec<_> = (0..16).map(|i| page(i % 4, i % 2, 0, i % 8)).collect();
+        let mut plain = dev();
+        let mut observed = dev();
+        observed.configure_observability(&ObsConfig::full());
+        let a = plain.schedule_reads(&pages, SimTime::ZERO);
+        let b = observed.schedule_reads(&pages, SimTime::ZERO);
+        assert_eq!(a, b, "read schedule must not move under observability");
+        let a = plain.schedule_programs(&pages, SimTime::ZERO);
+        let b = observed.schedule_programs(&pages, SimTime::ZERO);
+        assert_eq!(a, b, "program schedule must not move under observability");
+        assert_eq!(plain.drained_at(), observed.drained_at());
+    }
+
+    #[test]
+    fn journal_and_histograms_capture_flash_operations() {
+        let mut d = dev();
+        d.configure_observability(&ObsConfig::full());
+        d.schedule_reads(&[page(0, 0, 0, 0), page(1, 0, 0, 0)], SimTime::ZERO);
+        d.schedule_programs(&[page(0, 0, 0, 1)], SimTime::ZERO);
+        d.schedule_erase(
+            BlockAddr {
+                channel: 0,
+                bank: 0,
+                block: 1,
+            },
+            SimTime::ZERO,
+        );
+        let summary = d.observability().journal().summary();
+        assert_eq!(summary.by_kind.get("PageRead"), Some(&2));
+        assert_eq!(summary.by_kind.get("PageProgrammed"), Some(&1));
+        assert_eq!(summary.by_kind.get("BlockErased"), Some(&1));
+        let reads = d
+            .observability()
+            .histograms()
+            .get("flash.read_page")
+            .expect("flash.read_page histogram");
+        assert_eq!(reads.count(), 2);
+        assert!(!d.timeline_snapshots().is_empty());
+    }
+
+    #[test]
+    fn faulted_reads_journal_injection_and_retries() {
+        let mut plain = dev();
+        let mut observed = dev();
+        let cfg = FaultConfig {
+            seed: 17,
+            media_read_rate: 1.0,
+            ..FaultConfig::disabled()
+        };
+        plain.install_faults(cfg);
+        observed.install_faults(cfg);
+        observed.configure_observability(&ObsConfig::full());
+        let batch = [page(0, 0, 0, 0), page(1, 1, 1, 0)];
+        let a = plain.fault_read_batch(&batch, SimTime::ZERO);
+        let b = observed.fault_read_batch(&batch, SimTime::ZERO);
+        assert_eq!(
+            a, b,
+            "fault path schedule must not move under observability"
+        );
+        let summary = observed.observability().journal().summary();
+        assert_eq!(summary.by_kind.get("FaultInjected"), Some(&2));
+        assert_eq!(
+            summary.by_kind.get("RetryScheduled").copied().unwrap_or(0),
+            observed.stats().get("retries.flash")
+        );
     }
 
     #[test]

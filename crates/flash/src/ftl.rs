@@ -411,7 +411,7 @@ impl Ftl {
                     });
                     (invalid, std::cmp::Reverse(wear))
                 });
-            let Some((block, valid, _)) = victim else {
+            let Some((block, valid, invalid)) = victim else {
                 break; // no reclaimable block
             };
             let block_addr = crate::BlockAddr {
@@ -419,6 +419,17 @@ impl Ftl {
                 bank,
                 block,
             };
+            self.device.observability_mut().event(
+                now,
+                nds_sim::ComponentId::singleton("ftl"),
+                || nds_sim::EventKind::GcVictimPicked {
+                    channel: channel as u32,
+                    bank: bank as u32,
+                    block: block as u32,
+                    valid: valid as u32,
+                    invalid: invalid as u32,
+                },
+            );
             // Relocate live pages out of the victim.
             if valid > 0 {
                 for p in 0..g.pages_per_block {

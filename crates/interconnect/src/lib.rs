@@ -42,4 +42,4 @@ pub mod wire;
 
 pub use command::{CommandError, NvmeCommand, SpaceId, MAX_DIMENSIONS, MAX_ELEMENTS_PER_DIM};
 pub use link::{Link, LinkConfig, LinkError};
-pub use queue::{QueueError, QueuePair};
+pub use queue::{QueueError, QueuePair, DEFAULT_QUEUE_DEPTH};

@@ -3,8 +3,14 @@
 use core::fmt;
 
 use nds_faults::{FaultConfig, FaultPlan, LinkFault};
-use nds_sim::{Resource, SimDuration, SimTime, Stats, Throughput};
+use nds_sim::{
+    ComponentId, EventKind, ObsConfig, Observability, Resource, SimDuration, SimTime, Stats,
+    Throughput, TimelineSnapshot,
+};
 use serde::{Deserialize, Serialize};
+
+/// Journal identity of the link singleton.
+const LINK_COMPONENT: ComponentId = ComponentId::singleton("link");
 
 /// Errors raised by the fault-aware link path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +102,7 @@ pub struct Link {
     wire: Resource,
     stats: Stats,
     faults: Option<FaultPlan>,
+    obs: Observability,
 }
 
 impl Link {
@@ -106,7 +113,34 @@ impl Link {
             wire: Resource::new("link"),
             stats: Stats::new(),
             faults: None,
+            obs: Observability::disabled(),
         }
+    }
+
+    /// Applies an observability configuration: journal + histograms on the
+    /// link, and (when `timelines` is set) busy-time sampling on the wire.
+    /// Hooks stay one-branch no-ops while everything is disabled.
+    pub fn configure_observability(&mut self, config: &ObsConfig) {
+        self.obs.configure(config);
+        if config.timelines {
+            self.wire
+                .enable_timeline(config.timeline_window, config.timeline_buckets);
+        }
+    }
+
+    /// The link's journal and histograms.
+    pub fn observability(&self) -> &Observability {
+        &self.obs
+    }
+
+    /// Mutable access to the link's journal and histograms.
+    pub fn observability_mut(&mut self) -> &mut Observability {
+        &mut self.obs
+    }
+
+    /// Snapshot of the wire's busy-time timeline, if sampling was enabled.
+    pub fn wire_timeline(&self) -> Option<TimelineSnapshot> {
+        self.wire.timeline_snapshot()
     }
 
     /// The link configuration.
@@ -149,7 +183,16 @@ impl Link {
     pub fn transfer(&mut self, bytes: u64, ready: SimTime) -> SimTime {
         self.stats.add("link.commands", 1);
         self.stats.add("link.bytes", bytes);
-        self.wire.acquire(ready, self.occupancy(bytes))
+        let done = self.wire.acquire(ready, self.occupancy(bytes));
+        self.obs
+            .event(ready, LINK_COMPONENT, || EventKind::CommandIssued { bytes });
+        self.obs
+            .event(done, LINK_COMPONENT, || EventKind::CommandCompleted {
+                bytes,
+            });
+        self.obs
+            .latency("link.command", done.saturating_since(ready));
+        done
     }
 
     /// Schedules one command under the installed fault plan.
@@ -169,18 +212,35 @@ impl Link {
     pub fn try_transfer(&mut self, bytes: u64, ready: SimTime) -> Result<SimTime, LinkError> {
         self.stats.add("link.commands", 1);
         self.stats.add("link.bytes", bytes);
+        self.obs
+            .event(ready, LINK_COMPONENT, || EventKind::CommandIssued { bytes });
         let occupancy = self.occupancy(bytes);
         let decision = match self.faults.as_mut() {
             Some(plan) => plan.next_link_fault(),
             None => LinkFault::None,
         };
-        let (failures, mode) = match decision {
-            LinkFault::None => return Ok(self.wire.acquire(ready, occupancy)),
-            LinkFault::Timeout { failures } => (failures, "faults.link_timeouts"),
-            LinkFault::DroppedCompletion { failures } => (failures, "faults.link_drops"),
+        let (failures, mode, fault_kind) = match decision {
+            LinkFault::None => {
+                let done = self.wire.acquire(ready, occupancy);
+                self.obs
+                    .event(done, LINK_COMPONENT, || EventKind::CommandCompleted {
+                        bytes,
+                    });
+                self.obs
+                    .latency("link.command", done.saturating_since(ready));
+                return Ok(done);
+            }
+            LinkFault::Timeout { failures } => (failures, "faults.link_timeouts", "link.timeout"),
+            LinkFault::DroppedCompletion { failures } => {
+                (failures, "faults.link_drops", "link.drop")
+            }
         };
         self.stats.add("faults.injected", 1);
         self.stats.add(mode, 1);
+        self.obs
+            .event(ready, LINK_COMPONENT, || EventKind::FaultInjected {
+                kind: fault_kind,
+            });
         let (budget, mut backoff) = {
             // A non-None LinkFault can only come from an installed plan.
             #[allow(clippy::expect_used)]
@@ -192,13 +252,17 @@ impl Link {
             (cfg.link_retry_budget, cfg.link_backoff)
         };
         let mut at = ready;
-        for _ in 0..failures.min(budget) {
+        for attempt in 0..failures.min(budget) {
             // The failed attempt holds the wire for its full occupancy —
             // the host only learns of the loss by timing out.
             let failed_at = self.wire.acquire(at, occupancy);
             self.stats.add("retries.link", 1);
             at = failed_at + backoff;
             backoff = backoff * 2;
+            self.obs
+                .event(at, LINK_COMPONENT, || EventKind::RetryScheduled {
+                    attempt: attempt + 1,
+                });
         }
         if failures > budget {
             return Err(LinkError::RetriesExhausted {
@@ -207,14 +271,32 @@ impl Link {
             });
         }
         self.stats.add("faults.recovered", 1);
-        Ok(self.wire.acquire(at, occupancy))
+        let done = self.wire.acquire(at, occupancy);
+        self.obs
+            .event(done, LINK_COMPONENT, || EventKind::CommandCompleted {
+                bytes,
+            });
+        self.obs
+            .latency("link.command", done.saturating_since(ready));
+        Ok(done)
     }
 
     /// Schedules a zero-payload command (e.g. `open_space`), charging only
     /// the per-command overhead.
     pub fn control_command(&mut self, ready: SimTime) -> SimTime {
         self.stats.add("link.commands", 1);
-        self.wire.acquire(ready, self.config.per_command)
+        let done = self.wire.acquire(ready, self.config.per_command);
+        self.obs
+            .event(ready, LINK_COMPONENT, || EventKind::CommandIssued {
+                bytes: 0,
+            });
+        self.obs
+            .event(done, LINK_COMPONENT, || EventKind::CommandCompleted {
+                bytes: 0,
+            });
+        self.obs
+            .latency("link.command", done.saturating_since(ready));
+        done
     }
 
     /// The instant the wire drains all committed transfers.
@@ -387,6 +469,70 @@ mod tests {
         ));
         assert!(!err.to_string().is_empty());
         assert_eq!(link.stats().get("faults.recovered"), 0);
+    }
+
+    #[test]
+    fn observability_hooks_are_schedule_neutral() {
+        let cfg = FaultConfig {
+            seed: 7,
+            link_fault_rate: 0.5,
+            ..FaultConfig::disabled()
+        };
+        let mut plain = Link::new(LinkConfig::nvmeof_40g());
+        plain.install_faults(cfg);
+        let mut observed = Link::new(LinkConfig::nvmeof_40g());
+        observed.install_faults(cfg);
+        observed.configure_observability(&nds_sim::ObsConfig::full());
+        for i in 1..64u64 {
+            let a = plain.try_transfer(i * 512, SimTime::ZERO);
+            let b = observed.try_transfer(i * 512, SimTime::ZERO);
+            assert_eq!(a, b, "enabling observability must not move the schedule");
+        }
+        assert_eq!(plain.stats(), observed.stats());
+        assert_eq!(plain.drained_at(), observed.drained_at());
+    }
+
+    #[test]
+    fn journal_and_histogram_capture_the_command_lifecycle() {
+        let mut link = Link::new(LinkConfig::nvmeof_40g());
+        link.configure_observability(&nds_sim::ObsConfig::full());
+        let done = link.transfer(32 * 1024, SimTime::ZERO);
+        link.control_command(done);
+        let summary = link.observability().journal().summary();
+        assert_eq!(summary.by_kind.get("CommandIssued"), Some(&2));
+        assert_eq!(summary.by_kind.get("CommandCompleted"), Some(&2));
+        let h = link
+            .observability()
+            .histograms()
+            .get("link.command")
+            .expect("link.command histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), done.saturating_since(SimTime::ZERO));
+        let timeline = link.wire_timeline().expect("wire timeline enabled");
+        assert_eq!(
+            timeline.buckets.iter().copied().sum::<SimDuration>() + timeline.overflow,
+            link.busy_time()
+        );
+    }
+
+    #[test]
+    fn faulted_command_journals_injection_and_retries() {
+        let mut link = Link::new(LinkConfig::nvmeof_40g());
+        link.install_faults(FaultConfig {
+            seed: 7,
+            link_fault_rate: 1.0,
+            ..FaultConfig::disabled()
+        });
+        link.configure_observability(&nds_sim::ObsConfig::full());
+        for _ in 0..8 {
+            link.try_transfer(4096, SimTime::ZERO).unwrap();
+        }
+        let summary = link.observability().journal().summary();
+        assert_eq!(summary.by_kind.get("FaultInjected"), Some(&8));
+        assert_eq!(
+            summary.by_kind.get("RetryScheduled").copied().unwrap_or(0),
+            link.stats().get("retries.link")
+        );
     }
 
     #[test]

@@ -24,13 +24,26 @@ use crate::command::NvmeCommand;
 /// q.complete(cmd.clone());
 /// assert_eq!(q.reap(), Some(cmd));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct QueuePair {
     depth: usize,
     submission: VecDeque<NvmeCommand>,
     completion: VecDeque<NvmeCommand>,
     submitted_total: u64,
     completed_total: u64,
+    reaped_total: u64,
+}
+
+/// NVMe's customary default I/O queue depth, used by [`QueuePair::default`].
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+impl Default for QueuePair {
+    /// A usable pair at [`DEFAULT_QUEUE_DEPTH`]. (A derived `Default` once
+    /// produced a depth-0 pair that bypassed the `new()` assertion and
+    /// rejected every submit with `QueueFull`.)
+    fn default() -> Self {
+        QueuePair::new(DEFAULT_QUEUE_DEPTH)
+    }
 }
 
 /// Errors from queue operations.
@@ -65,6 +78,7 @@ impl QueuePair {
             completion: VecDeque::new(),
             submitted_total: 0,
             completed_total: 0,
+            reaped_total: 0,
         }
     }
 
@@ -95,12 +109,21 @@ impl QueuePair {
 
     /// Host side: reaps the oldest completion, if any.
     pub fn reap(&mut self) -> Option<NvmeCommand> {
-        self.completion.pop_front()
+        let cmd = self.completion.pop_front();
+        if cmd.is_some() {
+            self.reaped_total += 1;
+        }
+        cmd
     }
 
-    /// Commands currently in flight (submitted, not yet completed and reaped).
+    /// Commands currently in flight (submitted, not yet completed and
+    /// reaped): `submitted_total − reaped_total`. This counts commands in
+    /// every lifecycle stage — waiting in the submission ring, popped by the
+    /// device but not completed, and completed but not yet reaped. (It
+    /// previously returned only `submission.len()`, silently dropping the
+    /// latter two stages.)
     pub fn in_flight(&self) -> usize {
-        self.submission.len()
+        (self.submitted_total - self.reaped_total) as usize
     }
 
     /// Total commands ever submitted.
@@ -111,6 +134,11 @@ impl QueuePair {
     /// Total commands ever completed.
     pub fn completed_total(&self) -> u64 {
         self.completed_total
+    }
+
+    /// Total completions the host has reaped.
+    pub fn reaped_total(&self) -> u64 {
+        self.reaped_total
     }
 
     /// The configured ring depth.
@@ -166,5 +194,49 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_depth_rejected() {
         let _ = QueuePair::new(0);
+    }
+
+    #[test]
+    fn in_flight_spans_the_whole_lifecycle() {
+        // Regression (ISSUE 4): in_flight() used to return submission.len(),
+        // so commands the device had popped but not completed — and
+        // completions not yet reaped — vanished from the count.
+        let mut q = QueuePair::new(8);
+        q.submit(read(0)).unwrap();
+        q.submit(read(1)).unwrap();
+        assert_eq!(q.in_flight(), 2, "both waiting in the submission ring");
+        let cmd = q.device_pop().unwrap();
+        assert_eq!(q.in_flight(), 2, "popped-but-not-completed still in flight");
+        q.complete(cmd);
+        assert_eq!(q.in_flight(), 2, "completed-but-not-reaped still in flight");
+        assert_eq!(q.reap().as_ref(), Some(&read(0)));
+        assert_eq!(q.in_flight(), 1, "reaping retires the command");
+        let cmd = q.device_pop().unwrap();
+        q.complete(cmd);
+        q.reap().unwrap();
+        assert_eq!(q.in_flight(), 0);
+        assert_eq!(q.reaped_total(), 2);
+    }
+
+    #[test]
+    fn reap_on_empty_queue_counts_nothing() {
+        let mut q = QueuePair::new(2);
+        assert_eq!(q.reap(), None);
+        assert_eq!(q.reaped_total(), 0);
+        assert_eq!(q.in_flight(), 0);
+    }
+
+    #[test]
+    fn default_queue_pair_is_usable() {
+        // Regression (ISSUE 4): the derived Default built a depth-0 pair
+        // that bypassed new()'s assertion, so every submit returned
+        // QueueFull. Default now delegates to a sane NVMe depth.
+        let mut q = QueuePair::default();
+        assert_eq!(q.depth(), DEFAULT_QUEUE_DEPTH);
+        for lba in 0..DEFAULT_QUEUE_DEPTH as u64 {
+            q.submit(read(lba))
+                .expect("default pair accepts submissions");
+        }
+        assert_eq!(q.submit(read(99)), Err(QueueError::QueueFull));
     }
 }

@@ -130,6 +130,13 @@ fn rules_apply_only_to_lib_sources_of_the_right_crates() {
     assert!(host.contains(Rule::D1));
     assert!(!host.contains(Rule::D2));
     assert!(!host.contains(Rule::D4));
+    // The observability module serializes reports, so it gets D2 on top of
+    // the sim crate's D1 — but its siblings do not.
+    let obs = rules_for("crates/sim/src/obs.rs");
+    assert!(obs.contains(Rule::D1));
+    assert!(obs.contains(Rule::D2), "obs.rs must reject hash containers");
+    assert!(!obs.contains(Rule::D4));
+    assert!(!rules_for("crates/sim/src/stats.rs").contains(Rule::D2));
     // Tests, benches, the linter, and the compat stubs are exempt.
     assert!(rules_for("crates/flash/tests/proptests.rs").is_empty());
     assert!(rules_for("crates/bench/src/bin/fig9.rs").is_empty());

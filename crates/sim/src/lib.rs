@@ -19,6 +19,10 @@
 //!   explain.
 //! * [`Throughput`] — helpers to convert between byte volumes, durations, and
 //!   effective bandwidths without sprinkling unit arithmetic through the code.
+//! * [`obs`] — the deterministic observability layer: a typed event
+//!   [`Journal`], fixed-log2-bucket [`LatencyHistogram`]s, windowed
+//!   [`BusyTimeline`]s, and the serializable [`RunReport`] artifact. All
+//!   hooks are zero-cost when disabled and schedule-neutral always.
 //!
 //! # Example
 //!
@@ -35,11 +39,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod obs;
 mod resource;
 mod stats;
 mod time;
 mod trace;
 
+pub use obs::{
+    BusyTimeline, ComponentId, Event, EventKind, Histograms, Journal, JournalSummary,
+    LatencyHistogram, ObsConfig, Observability, RunReport, TimelineSnapshot,
+};
 pub use resource::{Resource, ResourceSet};
 pub use stats::Stats;
 pub use time::{SimDuration, SimTime, Throughput};

@@ -1,0 +1,1202 @@
+//! Deterministic observability: typed event journal, latency histograms,
+//! utilization timelines, and the serializable [`RunReport`].
+//!
+//! The paper's evaluation (§7) argues from *where modeled time goes* —
+//! which channels and banks a layout occupies, how request-size
+//! amortization shapes link time \[P2\]. This module gives every timing
+//! component a way to expose that: a structured [`Journal`] of typed
+//! events (superseding the free-form [`Trace`](crate::Trace) ring for
+//! machine consumption), fixed-log2-bucket [`LatencyHistogram`]s
+//! registered next to [`Stats`], windowed busy-time [`BusyTimeline`]s fed
+//! by [`Resource`](crate::Resource), and a [`RunReport`] that serializes
+//! all of it as deterministic JSON.
+//!
+//! # Contract: zero-cost when disabled, schedule-neutral always
+//!
+//! Every hook follows the [`Trace::record`](crate::Trace::record)
+//! discipline: the disabled fast path is **one branch**, and event
+//! payloads are built by an `FnOnce` closure that never runs while
+//! disabled. Hooks only *observe* completion instants that the schedule
+//! already computed — they never acquire resources or alter state the
+//! scheduler reads — so enabling observability cannot change modeled
+//! time. `crates/system/tests/obs_invariance.rs` proves this per
+//! architecture.
+//!
+//! Determinism extends to the artifact: [`RunReport::to_json`] is a
+//! hand-rolled emitter (the workspace's serde is a vendored marker-trait
+//! stub with no wire format) over `BTreeMap`s and integer nanoseconds
+//! only — no floats, no pointer-keyed maps — so two identical runs emit
+//! byte-identical JSON.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use crate::{SimDuration, SimTime, Stats};
+
+/// Stable identity of a simulated component inside the journal: a static
+/// group name plus an instance index (e.g. `flash.ch[3]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ComponentId {
+    /// Component group, e.g. `"flash.ch"` or `"link"`.
+    pub group: &'static str,
+    /// Instance within the group (0 for singletons).
+    pub index: u32,
+}
+
+impl ComponentId {
+    /// A component instance within a group.
+    pub const fn new(group: &'static str, index: u32) -> Self {
+        ComponentId { group, index }
+    }
+
+    /// A singleton component (index 0).
+    pub const fn singleton(group: &'static str) -> Self {
+        ComponentId::new(group, 0)
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.group, self.index)
+    }
+}
+
+/// The typed event taxonomy (DESIGN.md "Observability").
+///
+/// Variants carry only small `Copy` payloads so deferred construction is
+/// cheap even when enabled; free-form text stays in the legacy
+/// [`Trace`](crate::Trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A command crossed a host↔device interface (link or NVMe queue).
+    CommandIssued {
+        /// Payload bytes the command moves (0 for control commands).
+        bytes: u64,
+    },
+    /// The matching completion of a [`CommandIssued`](Self::CommandIssued).
+    CommandCompleted {
+        /// Payload bytes the command moved.
+        bytes: u64,
+    },
+    /// A flash page array-read was scheduled.
+    PageRead {
+        /// Channel of the page.
+        channel: u32,
+        /// Bank within the channel.
+        bank: u32,
+    },
+    /// A flash page program was scheduled.
+    PageProgrammed {
+        /// Channel of the page.
+        channel: u32,
+        /// Bank within the channel.
+        bank: u32,
+    },
+    /// A flash block erase was scheduled.
+    BlockErased {
+        /// Channel of the block.
+        channel: u32,
+        /// Bank within the channel.
+        bank: u32,
+        /// Block index within the bank.
+        block: u32,
+    },
+    /// Garbage collection selected a victim block.
+    GcVictimPicked {
+        /// Channel of the victim.
+        channel: u32,
+        /// Bank within the channel.
+        bank: u32,
+        /// Block index within the bank.
+        block: u32,
+        /// Live pages that must be relocated.
+        valid: u32,
+        /// Invalid pages the erase reclaims.
+        invalid: u32,
+    },
+    /// A deterministic fault plan injected a fault.
+    FaultInjected {
+        /// Which fault: `"flash.read_transient"`, `"flash.program_fail"`,
+        /// `"link.timeout"`, `"link.drop"`.
+        kind: &'static str,
+    },
+    /// Recovery scheduled a retry attempt after a fault.
+    RetryScheduled {
+        /// 1-based attempt number within the current recovery.
+        attempt: u32,
+    },
+    /// Start of a modeled-time interval (paired with
+    /// [`SpanEnd`](Self::SpanEnd) by `label` and component).
+    SpanBegin {
+        /// Span label, e.g. `"read"`.
+        label: &'static str,
+    },
+    /// End of a modeled-time interval.
+    SpanEnd {
+        /// Span label matching the begin event.
+        label: &'static str,
+    },
+}
+
+impl EventKind {
+    /// The variant's stable name, used as the journal-summary key.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::CommandIssued { .. } => "CommandIssued",
+            EventKind::CommandCompleted { .. } => "CommandCompleted",
+            EventKind::PageRead { .. } => "PageRead",
+            EventKind::PageProgrammed { .. } => "PageProgrammed",
+            EventKind::BlockErased { .. } => "BlockErased",
+            EventKind::GcVictimPicked { .. } => "GcVictimPicked",
+            EventKind::FaultInjected { .. } => "FaultInjected",
+            EventKind::RetryScheduled { .. } => "RetryScheduled",
+            EventKind::SpanBegin { .. } => "SpanBegin",
+            EventKind::SpanEnd { .. } => "SpanEnd",
+        }
+    }
+}
+
+/// One journal entry: a typed event at a modeled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Modeled instant of the event.
+    pub at: SimTime,
+    /// Component that emitted it.
+    pub component: ComponentId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// A bounded ring of typed events with per-kind counters.
+///
+/// Unlike the ring itself, the per-kind counts and `recorded` total are
+/// *not* bounded: even after old events are evicted, the summary still
+/// reflects the whole run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Journal {
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<Event>,
+    recorded: u64,
+    dropped: u64,
+    by_kind: BTreeMap<&'static str, u64>,
+}
+
+/// Default ring capacity for [`Journal::default`].
+const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::disabled(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl Journal {
+    /// A disabled journal (records nothing until enabled).
+    pub fn disabled(capacity: usize) -> Self {
+        Journal {
+            enabled: false,
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            recorded: 0,
+            dropped: 0,
+            by_kind: BTreeMap::new(),
+        }
+    }
+
+    /// An enabled journal retaining at most `capacity` events.
+    pub fn enabled(capacity: usize) -> Self {
+        let mut j = Journal::disabled(capacity);
+        j.enabled = true;
+        j
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether events are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event. When disabled this is a single branch and the
+    /// `kind` closure never runs — the same zero-cost discipline as
+    /// [`Trace::record`](crate::Trace::record).
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        component: ComponentId,
+        kind: impl FnOnce() -> EventKind,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let kind = kind();
+        self.recorded += 1;
+        *self.by_kind.entry(kind.name()).or_insert(0) += 1;
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(Event {
+            at,
+            component,
+            kind,
+        });
+    }
+
+    /// Records a [`EventKind::SpanBegin`] for `label`.
+    pub fn begin_span(&mut self, at: SimTime, component: ComponentId, label: &'static str) {
+        self.record(at, component, || EventKind::SpanBegin { label });
+    }
+
+    /// Records a [`EventKind::SpanEnd`] for `label`.
+    pub fn end_span(&mut self, at: SimTime, component: ComponentId, label: &'static str) {
+        self.record(at, component, || EventKind::SpanEnd { label });
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted from the ring after it filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events recorded over the journal's lifetime (retained +
+    /// dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Clears retained events and counters (keeps enablement).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.recorded = 0;
+        self.dropped = 0;
+        self.by_kind.clear();
+    }
+
+    /// The journal's aggregate view for a [`RunReport`].
+    pub fn summary(&self) -> JournalSummary {
+        JournalSummary {
+            recorded: self.recorded,
+            retained: self.events.len() as u64,
+            dropped: self.dropped,
+            by_kind: self
+                .by_kind
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+        }
+    }
+}
+
+/// Aggregate journal statistics carried by a [`RunReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalSummary {
+    /// Events recorded over the run.
+    pub recorded: u64,
+    /// Events still retained in rings.
+    pub retained: u64,
+    /// Events evicted after rings filled.
+    pub dropped: u64,
+    /// Recorded events per [`EventKind::name`].
+    pub by_kind: BTreeMap<String, u64>,
+}
+
+impl JournalSummary {
+    /// Folds another summary into this one (multi-component merge).
+    pub fn merge(&mut self, other: &JournalSummary) {
+        self.recorded += other.recorded;
+        self.retained += other.retained;
+        self.dropped += other.dropped;
+        for (kind, count) in &other.by_kind {
+            *self.by_kind.entry(kind.clone()).or_insert(0) += count;
+        }
+    }
+}
+
+/// Number of log2 buckets: bucket 0 holds zero-duration samples, bucket
+/// `i ≥ 1` holds durations in `[2^(i−1), 2^i)` nanoseconds, up to bucket
+/// 64 for the top of the u64 range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-log2-bucket latency histogram over modeled durations.
+///
+/// Bucketing is exact integer arithmetic on nanoseconds, so identical
+/// runs produce identical histograms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    total: SimDuration,
+    min: SimDuration,
+    max: SimDuration,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            total: SimDuration::ZERO,
+            min: SimDuration::ZERO,
+            max: SimDuration::ZERO,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// The log2 bucket index for a duration.
+    pub fn bucket_index(sample: SimDuration) -> usize {
+        let nanos = sample.as_nanos();
+        if nanos == 0 {
+            0
+        } else {
+            (64 - nanos.leading_zeros()) as usize
+        }
+    }
+
+    /// The inclusive lower bound of bucket `index`, in nanoseconds.
+    pub fn bucket_floor_nanos(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            1u64 << (index - 1).min(63)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: SimDuration) {
+        self.buckets[Self::bucket_index(sample)] += 1;
+        if self.count == 0 || sample < self.min {
+            self.min = sample;
+        }
+        if sample > self.max {
+            self.max = sample;
+        }
+        self.count += 1;
+        self.total += sample;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> SimDuration {
+        self.total
+    }
+
+    /// Smallest sample (zero when empty).
+    pub fn min(&self) -> SimDuration {
+        self.min
+    }
+
+    /// Largest sample (zero when empty).
+    pub fn max(&self) -> SimDuration {
+        self.max
+    }
+
+    /// Sample count per bucket index.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// `(bucket index, count)` for the non-empty buckets, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+}
+
+/// A named registry of latency histograms, registered next to [`Stats`]
+/// in each timing component.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histograms {
+    enabled: bool,
+    histograms: BTreeMap<&'static str, LatencyHistogram>,
+}
+
+impl Histograms {
+    /// A disabled registry (records nothing until enabled).
+    pub fn disabled() -> Self {
+        Histograms::default()
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether samples are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `sample` into the histogram named `name`. One branch when
+    /// disabled.
+    pub fn record(&mut self, name: &'static str, sample: SimDuration) {
+        if !self.enabled {
+            return;
+        }
+        self.histograms.entry(name).or_default().record(sample);
+    }
+
+    /// The histogram named `name`, if any samples were recorded.
+    pub fn get(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &LatencyHistogram)> {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.histograms.is_empty()
+    }
+
+    /// Drops all recorded samples (keeps enablement).
+    pub fn clear(&mut self) {
+        self.histograms.clear();
+    }
+}
+
+/// Windowed busy-time sampling for a [`Resource`](crate::Resource):
+/// modeled busy time accumulated per fixed-width window of modeled time.
+///
+/// Components re-anchor their resources at `SimTime::ZERO` for every
+/// operation (`reset_timing`), so a run's modeled time is a sequence of
+/// per-operation epochs. The timeline concatenates them:
+/// [`Resource::reset`](crate::Resource::reset) folds the finished epoch's
+/// span into `epoch offset`, and intervals recorded afterwards land after
+/// it — producing one continuous occupancy timeline over the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusyTimeline {
+    window: SimDuration,
+    max_buckets: usize,
+    epoch_offset: SimDuration,
+    buckets: Vec<SimDuration>,
+    overflow: SimDuration,
+}
+
+impl BusyTimeline {
+    /// A timeline with `window`-wide buckets, keeping at most
+    /// `max_buckets` of them; busy time past the horizon accumulates into
+    /// a single overflow sum (never silently lost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `max_buckets` is zero.
+    pub fn new(window: SimDuration, max_buckets: usize) -> Self {
+        assert!(!window.is_zero(), "timeline window must be non-zero");
+        assert!(max_buckets > 0, "timeline needs at least one bucket");
+        BusyTimeline {
+            window,
+            max_buckets,
+            epoch_offset: SimDuration::ZERO,
+            buckets: Vec::new(),
+            overflow: SimDuration::ZERO,
+        }
+    }
+
+    /// Records a busy interval `[start, end)` relative to the current
+    /// epoch, distributing it across the windows it overlaps.
+    pub fn record(&mut self, start: SimDuration, end: SimDuration) {
+        let w = self.window.as_nanos();
+        let mut s = (self.epoch_offset + start).as_nanos();
+        let e = (self.epoch_offset + end).as_nanos();
+        while s < e {
+            let idx = (s / w) as usize;
+            if idx >= self.max_buckets {
+                self.overflow += SimDuration::from_nanos(e - s);
+                return;
+            }
+            if self.buckets.len() <= idx {
+                self.buckets.resize(idx + 1, SimDuration::ZERO);
+            }
+            let bucket_end = (idx as u64 + 1).saturating_mul(w);
+            let take = e.min(bucket_end) - s;
+            self.buckets[idx] += SimDuration::from_nanos(take);
+            s += take;
+        }
+    }
+
+    /// Advances the epoch offset by the span of a finished epoch, so the
+    /// next operation's intervals continue the timeline instead of
+    /// overwriting window 0.
+    pub fn fold_epoch(&mut self, span: SimDuration) {
+        self.epoch_offset += span;
+    }
+
+    /// The bucket width.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Busy time per window, from the start of the run.
+    pub fn buckets(&self) -> &[SimDuration] {
+        &self.buckets
+    }
+
+    /// Busy time beyond the retained horizon.
+    pub fn overflow(&self) -> SimDuration {
+        self.overflow
+    }
+
+    /// Total busy time recorded (buckets + overflow).
+    pub fn total_busy(&self) -> SimDuration {
+        self.buckets.iter().copied().sum::<SimDuration>() + self.overflow
+    }
+
+    /// A copy for a [`RunReport`].
+    pub fn snapshot(&self) -> TimelineSnapshot {
+        TimelineSnapshot {
+            window: self.window,
+            buckets: self.buckets.clone(),
+            overflow: self.overflow,
+        }
+    }
+}
+
+/// A serialized utilization timeline inside a [`RunReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimelineSnapshot {
+    /// Bucket width.
+    pub window: SimDuration,
+    /// Busy time per window, from the start of the run.
+    pub buckets: Vec<SimDuration>,
+    /// Busy time beyond the retained horizon.
+    pub overflow: SimDuration,
+}
+
+/// Configuration for the observability layer, threaded through
+/// `SystemConfig` into every timing component. Everything defaults to
+/// off; the disabled layer costs one branch per hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Record typed events into component journals.
+    pub journal: bool,
+    /// Ring capacity per component journal.
+    pub journal_capacity: usize,
+    /// Record latency histograms.
+    pub histograms: bool,
+    /// Sample per-resource busy-time timelines.
+    pub timelines: bool,
+    /// Timeline bucket width.
+    pub timeline_window: SimDuration,
+    /// Timeline bucket cap per resource (overflow is summed past it).
+    pub timeline_buckets: usize,
+}
+
+impl ObsConfig {
+    /// Everything off (the default): hooks cost one branch each.
+    pub const fn disabled() -> Self {
+        ObsConfig {
+            journal: false,
+            journal_capacity: DEFAULT_JOURNAL_CAPACITY,
+            histograms: false,
+            timelines: false,
+            timeline_window: SimDuration::from_micros(100),
+            timeline_buckets: 4096,
+        }
+    }
+
+    /// Journal, histograms, and timelines all on, at default capacities.
+    pub const fn full() -> Self {
+        ObsConfig {
+            journal: true,
+            histograms: true,
+            timelines: true,
+            ..ObsConfig::disabled()
+        }
+    }
+
+    /// True if any collector is enabled.
+    pub const fn any_enabled(&self) -> bool {
+        self.journal || self.histograms || self.timelines
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig::disabled()
+    }
+}
+
+/// The per-component observability bundle: one journal and one histogram
+/// registry, both disabled by default.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Observability {
+    journal: Journal,
+    histograms: Histograms,
+}
+
+impl Observability {
+    /// A fully disabled bundle (the default).
+    pub fn disabled() -> Self {
+        Observability::default()
+    }
+
+    /// Applies `config`: replaces the journal (sized to the configured
+    /// capacity) and flips histogram recording.
+    pub fn configure(&mut self, config: &ObsConfig) {
+        self.journal = if config.journal {
+            Journal::enabled(config.journal_capacity)
+        } else {
+            Journal::disabled(config.journal_capacity)
+        };
+        self.histograms.set_enabled(config.histograms);
+        if !config.histograms {
+            self.histograms.clear();
+        }
+    }
+
+    /// Records a typed event (one branch when the journal is disabled).
+    pub fn event(&mut self, at: SimTime, component: ComponentId, kind: impl FnOnce() -> EventKind) {
+        self.journal.record(at, component, kind);
+    }
+
+    /// Records a latency sample (one branch when histograms are
+    /// disabled).
+    pub fn latency(&mut self, name: &'static str, sample: SimDuration) {
+        self.histograms.record(name, sample);
+    }
+
+    /// The event journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Mutable access to the event journal.
+    pub fn journal_mut(&mut self) -> &mut Journal {
+        &mut self.journal
+    }
+
+    /// The histogram registry.
+    pub fn histograms(&self) -> &Histograms {
+        &self.histograms
+    }
+
+    /// Mutable access to the histogram registry.
+    pub fn histograms_mut(&mut self) -> &mut Histograms {
+        &mut self.histograms
+    }
+
+    /// True if any collector is recording.
+    pub fn is_enabled(&self) -> bool {
+        self.journal.is_enabled() || self.histograms.is_enabled()
+    }
+}
+
+/// The serializable run artifact: named counters, modeled durations,
+/// latency histograms, utilization timelines, and a journal summary.
+///
+/// All maps are `BTreeMap`s and all quantities are integers (nanoseconds
+/// for time), so [`to_json`](Self::to_json) is deterministic: two
+/// identical runs emit byte-identical text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Free-form run metadata (architecture, workload, parameters).
+    pub meta: BTreeMap<String, String>,
+    /// Named counters (merged [`Stats`]).
+    pub counters: BTreeMap<String, u64>,
+    /// Named modeled durations (run totals, stage busy times).
+    pub durations: BTreeMap<String, SimDuration>,
+    /// Latency histograms by name.
+    pub histograms: BTreeMap<String, LatencyHistogram>,
+    /// Utilization timelines by resource name.
+    pub timelines: BTreeMap<String, TimelineSnapshot>,
+    /// Aggregated journal statistics.
+    pub journal: JournalSummary,
+}
+
+impl RunReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        RunReport::default()
+    }
+
+    /// Sets one metadata entry.
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.meta.insert(key.into(), value.into());
+    }
+
+    /// Merges every counter of `stats` into the report (summing on name
+    /// collision).
+    pub fn add_counters(&mut self, stats: &Stats) {
+        for (name, value) in stats.iter() {
+            *self.counters.entry(name.to_owned()).or_insert(0) += value;
+        }
+    }
+
+    /// Adds a named modeled duration (summing on name collision).
+    pub fn add_duration(&mut self, name: impl Into<String>, value: SimDuration) {
+        let slot = self
+            .durations
+            .entry(name.into())
+            .or_insert(SimDuration::ZERO);
+        *slot += value;
+    }
+
+    /// Adds a utilization timeline under `name`.
+    pub fn add_timeline(&mut self, name: impl Into<String>, timeline: TimelineSnapshot) {
+        self.timelines.insert(name.into(), timeline);
+    }
+
+    /// Folds a component's journal and histograms into the report.
+    pub fn absorb(&mut self, obs: &Observability) {
+        self.journal.merge(&obs.journal().summary());
+        for (name, histogram) in obs.histograms().iter() {
+            self.histograms
+                .entry(name.to_owned())
+                .or_default()
+                .merge(histogram);
+        }
+    }
+
+    /// Merges `other` into this report with every key prefixed — how the
+    /// multi-architecture bench bins combine per-system reports into one
+    /// artifact.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &RunReport) {
+        for (k, v) in &other.meta {
+            self.meta.insert(format!("{prefix}{k}"), v.clone());
+        }
+        for (k, v) in &other.counters {
+            *self.counters.entry(format!("{prefix}{k}")).or_insert(0) += v;
+        }
+        for (k, v) in &other.durations {
+            let slot = self
+                .durations
+                .entry(format!("{prefix}{k}"))
+                .or_insert(SimDuration::ZERO);
+            *slot += *v;
+        }
+        for (k, v) in &other.histograms {
+            self.histograms
+                .entry(format!("{prefix}{k}"))
+                .or_default()
+                .merge(v);
+        }
+        for (k, v) in &other.timelines {
+            self.timelines.insert(format!("{prefix}{k}"), v.clone());
+        }
+        self.journal.merge(&other.journal);
+    }
+
+    /// Serializes the report as deterministic JSON (sorted keys, integer
+    /// nanoseconds, no floats). Hand-rolled because the workspace's serde
+    /// is a vendored marker-trait stub with no wire format — same
+    /// approach as `lint-baseline.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"version\": 1,\n  \"meta\": {");
+        write_string_map(&mut out, &self.meta);
+        out.push_str("},\n  \"counters\": {");
+        write_u64_map(
+            &mut out,
+            self.counters.iter().map(|(k, v)| (k.as_str(), *v)),
+        );
+        out.push_str("},\n  \"durations_ns\": {");
+        write_u64_map(
+            &mut out,
+            self.durations
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_nanos())),
+        );
+        out.push_str("},\n  \"histograms\": {");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            push_sep(&mut out, &mut first);
+            out.push_str("    ");
+            push_json_string(&mut out, name);
+            out.push_str(": { \"count\": ");
+            push_u64(&mut out, h.count());
+            out.push_str(", \"total_ns\": ");
+            push_u64(&mut out, h.total().as_nanos());
+            out.push_str(", \"min_ns\": ");
+            push_u64(&mut out, h.min().as_nanos());
+            out.push_str(", \"max_ns\": ");
+            push_u64(&mut out, h.max().as_nanos());
+            out.push_str(", \"log2_buckets\": [");
+            let mut first_bucket = true;
+            for (idx, count) in h.nonzero_buckets() {
+                if !first_bucket {
+                    out.push_str(", ");
+                }
+                first_bucket = false;
+                out.push('[');
+                push_u64(&mut out, idx as u64);
+                out.push_str(", ");
+                push_u64(&mut out, count);
+                out.push(']');
+            }
+            out.push_str("] }");
+        }
+        close_map(&mut out, first);
+        out.push_str(",\n  \"timelines\": {");
+        let mut first = true;
+        for (name, t) in &self.timelines {
+            push_sep(&mut out, &mut first);
+            out.push_str("    ");
+            push_json_string(&mut out, name);
+            out.push_str(": { \"window_ns\": ");
+            push_u64(&mut out, t.window.as_nanos());
+            out.push_str(", \"overflow_ns\": ");
+            push_u64(&mut out, t.overflow.as_nanos());
+            out.push_str(", \"busy_ns\": [");
+            let mut first_bucket = true;
+            for b in &t.buckets {
+                if !first_bucket {
+                    out.push_str(", ");
+                }
+                first_bucket = false;
+                push_u64(&mut out, b.as_nanos());
+            }
+            out.push_str("] }");
+        }
+        close_map(&mut out, first);
+        out.push_str(",\n  \"journal\": { \"recorded\": ");
+        push_u64(&mut out, self.journal.recorded);
+        out.push_str(", \"retained\": ");
+        push_u64(&mut out, self.journal.retained);
+        out.push_str(", \"dropped\": ");
+        push_u64(&mut out, self.journal.dropped);
+        out.push_str(", \"by_kind\": {");
+        write_u64_map(
+            &mut out,
+            self.journal.by_kind.iter().map(|(k, v)| (k.as_str(), *v)),
+        );
+        out.push_str("} }\n}\n");
+        out
+    }
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        out.push('\n');
+    } else {
+        out.push_str(",\n");
+    }
+    *first = false;
+}
+
+fn close_map(out: &mut String, still_first: bool) {
+    if !still_first {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+}
+
+fn push_u64(out: &mut String, value: u64) {
+    use fmt::Write as _;
+    let _ = write!(out, "{value}");
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_string_map(out: &mut String, map: &BTreeMap<String, String>) {
+    let mut first = true;
+    for (k, v) in map {
+        push_sep(out, &mut first);
+        out.push_str("    ");
+        push_json_string(out, k);
+        out.push_str(": ");
+        push_json_string(out, v);
+    }
+    close_map(out, first);
+    // `close_map` appended the brace; strip it so callers own structure.
+    out.pop();
+}
+
+fn write_u64_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a str, u64)>) {
+    let mut first = true;
+    for (k, v) in entries {
+        push_sep(out, &mut first);
+        out.push_str("    ");
+        push_json_string(out, k);
+        out.push_str(": ");
+        push_u64(out, v);
+    }
+    close_map(out, first);
+    out.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn disabled_journal_records_nothing_and_skips_closure() {
+        let mut j = Journal::disabled(8);
+        let mut ran = false;
+        j.record(SimTime::ZERO, ComponentId::singleton("x"), || {
+            ran = true;
+            EventKind::CommandIssued { bytes: 1 }
+        });
+        assert!(!ran, "payload closure must not run while disabled");
+        assert!(j.is_empty());
+        assert_eq!(j.recorded(), 0);
+    }
+
+    #[test]
+    fn journal_ring_evicts_but_summary_keeps_totals() {
+        let mut j = Journal::enabled(2);
+        for i in 0..5u64 {
+            j.record(SimTime::ZERO, ComponentId::singleton("x"), || {
+                EventKind::CommandIssued { bytes: i }
+            });
+        }
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 3);
+        let s = j.summary();
+        assert_eq!(s.recorded, 5);
+        assert_eq!(s.retained, 2);
+        assert_eq!(s.by_kind.get("CommandIssued"), Some(&5));
+    }
+
+    #[test]
+    fn span_pairs_record_begin_and_end() {
+        let mut j = Journal::enabled(8);
+        let c = ComponentId::singleton("system");
+        j.begin_span(SimTime::ZERO, c, "read");
+        j.end_span(SimTime::ZERO + us(3), c, "read");
+        let kinds: Vec<_> = j.events().map(|e| e.kind.name()).collect();
+        assert_eq!(kinds, ["SpanBegin", "SpanEnd"]);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(LatencyHistogram::bucket_index(SimDuration::ZERO), 0);
+        assert_eq!(
+            LatencyHistogram::bucket_index(SimDuration::from_nanos(1)),
+            1
+        );
+        assert_eq!(
+            LatencyHistogram::bucket_index(SimDuration::from_nanos(2)),
+            2
+        );
+        assert_eq!(
+            LatencyHistogram::bucket_index(SimDuration::from_nanos(3)),
+            2
+        );
+        assert_eq!(
+            LatencyHistogram::bucket_index(SimDuration::from_nanos(4)),
+            3
+        );
+        assert_eq!(
+            LatencyHistogram::bucket_index(SimDuration::from_nanos(u64::MAX)),
+            64
+        );
+        assert_eq!(LatencyHistogram::bucket_floor_nanos(0), 0);
+        assert_eq!(LatencyHistogram::bucket_floor_nanos(3), 4);
+    }
+
+    #[test]
+    fn histogram_tracks_count_total_min_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(us(10));
+        h.record(us(2));
+        h.record(us(40));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.total(), us(52));
+        assert_eq!(h.min(), us(2));
+        assert_eq!(h.max(), us(40));
+        assert_eq!(h.nonzero_buckets().count(), 3);
+    }
+
+    #[test]
+    fn histogram_merge_adds_and_extends_bounds() {
+        let mut a = LatencyHistogram::new();
+        a.record(us(10));
+        let mut b = LatencyHistogram::new();
+        b.record(us(1));
+        b.record(us(100));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), us(1));
+        assert_eq!(a.max(), us(100));
+        assert_eq!(a.total(), us(111));
+    }
+
+    #[test]
+    fn disabled_histograms_record_nothing() {
+        let mut h = Histograms::disabled();
+        h.record("x", us(5));
+        assert!(h.is_empty());
+        h.set_enabled(true);
+        h.record("x", us(5));
+        assert_eq!(h.get("x").map(LatencyHistogram::count), Some(1));
+    }
+
+    #[test]
+    fn timeline_distributes_across_windows() {
+        let mut t = BusyTimeline::new(us(10), 16);
+        // [5us, 25us) spans three 10us windows: 5 + 10 + 5.
+        t.record(us(5), us(25));
+        assert_eq!(t.buckets(), &[us(5), us(10), us(5)]);
+        assert_eq!(t.total_busy(), us(20));
+    }
+
+    #[test]
+    fn timeline_folds_epochs_into_continuous_time() {
+        let mut t = BusyTimeline::new(us(10), 16);
+        t.record(us(0), us(4)); // op 1: busy 4us of a 10us epoch
+        t.fold_epoch(us(10));
+        t.record(us(0), us(4)); // op 2 lands in the second window
+        assert_eq!(t.buckets(), &[us(4), us(4)]);
+    }
+
+    #[test]
+    fn timeline_overflow_catches_horizon_excess() {
+        let mut t = BusyTimeline::new(us(10), 2);
+        t.record(us(0), us(50));
+        assert_eq!(t.buckets(), &[us(10), us(10)]);
+        assert_eq!(t.overflow(), us(30));
+        assert_eq!(t.total_busy(), us(50));
+    }
+
+    #[test]
+    fn observability_configure_flips_collectors() {
+        let mut obs = Observability::disabled();
+        assert!(!obs.is_enabled());
+        obs.configure(&ObsConfig::full());
+        assert!(obs.journal().is_enabled());
+        assert!(obs.histograms().is_enabled());
+        obs.event(SimTime::ZERO, ComponentId::singleton("x"), || {
+            EventKind::PageRead {
+                channel: 0,
+                bank: 1,
+            }
+        });
+        obs.latency("x", us(1));
+        obs.configure(&ObsConfig::disabled());
+        assert!(!obs.is_enabled());
+        assert!(obs.journal().is_empty(), "configure resets the journal");
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_escaped() {
+        let build = || {
+            let mut r = RunReport::new();
+            r.set_meta("arch", "hardware-nds");
+            r.set_meta("quote\"key", "line\nbreak");
+            let mut stats = Stats::new();
+            stats.add("link.commands", 7);
+            r.add_counters(&stats);
+            r.add_duration("run.total", us(42));
+            let mut obs = Observability::disabled();
+            obs.configure(&ObsConfig::full());
+            obs.latency("flash.read_page", us(9));
+            obs.event(SimTime::ZERO, ComponentId::singleton("flash"), || {
+                EventKind::PageRead {
+                    channel: 0,
+                    bank: 0,
+                }
+            });
+            r.absorb(&obs);
+            let mut t = BusyTimeline::new(us(10), 4);
+            t.record(us(0), us(15));
+            r.add_timeline("flash.ch[0]", t.snapshot());
+            r
+        };
+        let a = build().to_json();
+        let b = build().to_json();
+        assert_eq!(a, b, "identical reports must serialize identically");
+        assert!(a.contains("\"link.commands\": 7"));
+        assert!(a.contains("\"run.total\": 42000"));
+        assert!(a.contains("\"quote\\\"key\": \"line\\nbreak\""));
+        assert!(a.contains("\"PageRead\": 1"));
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn report_merge_prefixed_namespaces_every_section() {
+        let mut inner = RunReport::new();
+        inner.set_meta("arch", "baseline");
+        let mut stats = Stats::new();
+        stats.add("c", 1);
+        inner.add_counters(&stats);
+        inner.add_duration("d", us(1));
+        let mut combined = RunReport::new();
+        combined.merge_prefixed("baseline.", &inner);
+        assert_eq!(combined.counters.get("baseline.c"), Some(&1));
+        assert_eq!(combined.durations.get("baseline.d"), Some(&us(1)));
+        assert_eq!(
+            combined.meta.get("baseline.arch").map(String::as_str),
+            Some("baseline")
+        );
+    }
+
+    #[test]
+    fn empty_report_serializes_cleanly() {
+        let json = RunReport::new().to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"journal\": { \"recorded\": 0"));
+    }
+}

@@ -8,12 +8,17 @@
 //! work behind whatever it is already committed to. Groups of identical
 //! components (the 32 channels of the prototype SSD) are a [`ResourceSet`].
 
+use crate::obs::{BusyTimeline, TimelineSnapshot};
 use crate::time::{SimDuration, SimTime};
 
 /// A serially-occupied simulated resource.
 ///
 /// A `Resource` remembers the instant it next becomes free and its cumulative
 /// busy time, which is enough to model FIFO occupancy and report utilization.
+/// With [`enable_timeline`](Self::enable_timeline) it additionally samples its
+/// busy intervals into a windowed [`BusyTimeline`] for the observability
+/// layer; sampling only *observes* the computed start/end instants, so it can
+/// never change the schedule.
 ///
 /// # Example
 ///
@@ -33,6 +38,13 @@ pub struct Resource {
     next_free: SimTime,
     busy: SimDuration,
     acquisitions: u64,
+    /// Start of the current accounting window: `utilization` divides busy
+    /// time by `now − window_start`, not by `now − t0`.
+    window_start: SimTime,
+    /// Times `utilization` observed busy > elapsed (the caller asked before
+    /// committed work drained). Surfaced instead of clamping the ratio.
+    overcommit_observations: u64,
+    timeline: Option<Box<BusyTimeline>>,
 }
 
 impl Resource {
@@ -44,6 +56,9 @@ impl Resource {
             next_free: SimTime::ZERO,
             busy: SimDuration::ZERO,
             acquisitions: 0,
+            window_start: SimTime::ZERO,
+            overcommit_observations: 0,
+            timeline: None,
         }
     }
 
@@ -58,6 +73,12 @@ impl Resource {
         self.next_free = end;
         self.busy += hold;
         self.acquisitions += 1;
+        if let Some(timeline) = &mut self.timeline {
+            timeline.record(
+                start.saturating_since(self.window_start),
+                end.saturating_since(self.window_start),
+            );
+        }
         end
     }
 
@@ -66,12 +87,12 @@ impl Resource {
         self.next_free
     }
 
-    /// Total time the resource has been held.
+    /// Total time the resource has been held in the current window.
     pub fn busy_time(&self) -> SimDuration {
         self.busy
     }
 
-    /// Number of acquisitions performed.
+    /// Number of acquisitions performed in the current window.
     pub fn acquisitions(&self) -> u64 {
         self.acquisitions
     }
@@ -81,22 +102,79 @@ impl Resource {
         &self.name
     }
 
-    /// Utilization over the window ending at `now` (busy / elapsed), in
-    /// `[0, 1]`. Returns 0 for an empty window.
-    pub fn utilization(&self, now: SimTime) -> f64 {
-        let elapsed = now.saturating_since(SimTime::ZERO);
-        if elapsed.is_zero() {
-            0.0
-        } else {
-            (self.busy.as_secs_f64() / elapsed.as_secs_f64()).min(1.0)
-        }
+    /// Start of the current accounting window.
+    pub fn window_start(&self) -> SimTime {
+        self.window_start
     }
 
-    /// Resets the resource to idle at t = 0, clearing accounting.
+    /// Utilization over the window `[window_start, now]`: busy / elapsed.
+    /// Returns 0 for an empty window.
+    ///
+    /// The ratio is **not** clamped: a value above 1.0 means the caller
+    /// asked before the resource's committed queue drained past `now`
+    /// (busy time exceeds elapsed window time). Each such observation is
+    /// counted in [`overcommit_observations`](Self::overcommit_observations)
+    /// so reports can surface the anomaly instead of hiding it.
+    pub fn utilization(&mut self, now: SimTime) -> f64 {
+        let elapsed = now.saturating_since(self.window_start);
+        if elapsed.is_zero() {
+            if !self.busy.is_zero() {
+                self.overcommit_observations += 1;
+            }
+            return 0.0;
+        }
+        let ratio = self.busy.as_secs_f64() / elapsed.as_secs_f64();
+        if ratio > 1.0 {
+            self.overcommit_observations += 1;
+        }
+        ratio
+    }
+
+    /// How many `utilization` queries found busy time exceeding the elapsed
+    /// window (over-commitment), instead of silently clamping to 1.0.
+    pub fn overcommit_observations(&self) -> u64 {
+        self.overcommit_observations
+    }
+
+    /// Resets the resource to idle at t = 0, clearing window accounting and
+    /// re-anchoring the window start. A timeline, if enabled, survives: the
+    /// finished window's span is folded into its epoch offset so the next
+    /// window's busy intervals continue the run-long timeline.
     pub fn reset(&mut self) {
+        if let Some(timeline) = &mut self.timeline {
+            timeline.fold_epoch(self.next_free.saturating_since(self.window_start));
+        }
         self.next_free = SimTime::ZERO;
         self.busy = SimDuration::ZERO;
         self.acquisitions = 0;
+        self.window_start = SimTime::ZERO;
+    }
+
+    /// Starts a fresh accounting window at `now` without re-anchoring the
+    /// schedule: committed work (and `next_free`) is untouched, but busy
+    /// time, acquisitions, and the utilization denominator restart here.
+    /// This is the mid-run variant of [`reset`](Self::reset) for callers
+    /// that keep absolute modeled time.
+    pub fn reset_window(&mut self, now: SimTime) {
+        self.busy = SimDuration::ZERO;
+        self.acquisitions = 0;
+        self.window_start = now;
+    }
+
+    /// Enables windowed busy-time sampling into a [`BusyTimeline`] with the
+    /// given bucket width and bucket cap. Replaces any existing timeline.
+    pub fn enable_timeline(&mut self, window: SimDuration, max_buckets: usize) {
+        self.timeline = Some(Box::new(BusyTimeline::new(window, max_buckets)));
+    }
+
+    /// The busy-time timeline, when sampling is enabled.
+    pub fn timeline(&self) -> Option<&BusyTimeline> {
+        self.timeline.as_deref()
+    }
+
+    /// A serializable copy of the timeline, when sampling is enabled.
+    pub fn timeline_snapshot(&self) -> Option<TimelineSnapshot> {
+        self.timeline.as_deref().map(BusyTimeline::snapshot)
     }
 }
 
@@ -203,11 +281,29 @@ impl ResourceSet {
         self.members.iter().map(Resource::busy_time).sum()
     }
 
-    /// Resets every member to idle at t = 0.
+    /// Resets every member to idle at t = 0 (timelines, if enabled, fold
+    /// their finished window and keep accumulating — see
+    /// [`Resource::reset`]).
     pub fn reset(&mut self) {
         for m in &mut self.members {
             m.reset();
         }
+    }
+
+    /// Enables windowed busy-time sampling on every member.
+    pub fn enable_timelines(&mut self, window: SimDuration, max_buckets: usize) {
+        for m in &mut self.members {
+            m.enable_timeline(window, max_buckets);
+        }
+    }
+
+    /// `(member name, timeline snapshot)` for every member with sampling
+    /// enabled, in index order.
+    pub fn timeline_snapshots(&self) -> Vec<(String, TimelineSnapshot)> {
+        self.members
+            .iter()
+            .filter_map(|m| m.timeline_snapshot().map(|t| (m.name().to_owned(), t)))
+            .collect()
     }
 }
 
@@ -246,6 +342,36 @@ mod tests {
     }
 
     #[test]
+    fn utilization_window_follows_reset_window() {
+        let mut r = Resource::new("r");
+        let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
+        r.acquire(SimTime::ZERO, SimDuration::from_micros(100));
+        // Regression (ISSUE 4): a mid-run window reset at t=100us must move
+        // the utilization denominator; the old code divided by `now − t0`
+        // and understated the second window's 50us/100us as 50us/200us.
+        r.reset_window(t(100));
+        r.acquire(t(100), SimDuration::from_micros(50));
+        let u = r.utilization(t(200));
+        assert!((u - 0.5).abs() < 1e-9, "expected 0.5, got {u}");
+        assert_eq!(r.window_start(), t(100));
+    }
+
+    #[test]
+    fn utilization_overcommit_is_counted_not_clamped() {
+        let mut r = Resource::new("r");
+        r.acquire(SimTime::ZERO, SimDuration::from_micros(100));
+        // Querying before the committed work drains: busy (100us) exceeds
+        // the elapsed window (50us). The old code clamped this to 1.0.
+        let u = r.utilization(SimTime::ZERO + SimDuration::from_micros(50));
+        assert!((u - 2.0).abs() < 1e-9, "ratio must not be clamped, got {u}");
+        assert_eq!(r.overcommit_observations(), 1);
+        // A post-drain query is in range and does not count.
+        let u = r.utilization(SimTime::ZERO + SimDuration::from_micros(200));
+        assert!((u - 0.5).abs() < 1e-9);
+        assert_eq!(r.overcommit_observations(), 1);
+    }
+
+    #[test]
     fn reset_clears_state() {
         let mut r = Resource::new("r");
         r.acquire(SimTime::ZERO, SimDuration::from_micros(5));
@@ -253,6 +379,38 @@ mod tests {
         assert_eq!(r.next_free(), SimTime::ZERO);
         assert_eq!(r.busy_time(), SimDuration::ZERO);
         assert_eq!(r.acquisitions(), 0);
+        assert_eq!(r.window_start(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn timeline_survives_reset_and_concatenates_windows() {
+        let mut r = Resource::new("r");
+        let w = SimDuration::from_micros(10);
+        r.enable_timeline(w, 64);
+        r.acquire(SimTime::ZERO, SimDuration::from_micros(10));
+        r.reset(); // folds a 10us epoch
+        r.acquire(SimTime::ZERO, SimDuration::from_micros(4));
+        let timeline = r.timeline().expect("enabled");
+        assert_eq!(
+            timeline.buckets(),
+            &[SimDuration::from_micros(10), SimDuration::from_micros(4)],
+            "second window's work lands after the folded epoch"
+        );
+        assert_eq!(timeline.total_busy(), SimDuration::from_micros(14));
+    }
+
+    #[test]
+    fn timeline_sampling_does_not_change_schedule() {
+        let mut plain = Resource::new("r");
+        let mut sampled = Resource::new("r");
+        sampled.enable_timeline(SimDuration::from_micros(10), 8);
+        for i in 0..20u64 {
+            let ready = SimTime::ZERO + SimDuration::from_micros(i * 3);
+            let hold = SimDuration::from_micros(5);
+            assert_eq!(plain.acquire(ready, hold), sampled.acquire(ready, hold));
+        }
+        assert_eq!(plain.next_free(), sampled.next_free());
+        assert_eq!(plain.busy_time(), sampled.busy_time());
     }
 
     #[test]
@@ -287,6 +445,18 @@ mod tests {
         assert_eq!(i1, 1);
         assert_eq!(i2, 0, "third task queues on the earliest-free member");
         assert_eq!(e2, SimTime::ZERO + d * 2);
+    }
+
+    #[test]
+    fn set_timeline_snapshots_name_members() {
+        let mut set = ResourceSet::new("ch", 2);
+        set.enable_timelines(SimDuration::from_micros(10), 8);
+        set.acquire(1, SimTime::ZERO, SimDuration::from_micros(5));
+        let snaps = set.timeline_snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].0, "ch[0]");
+        assert_eq!(snaps[1].0, "ch[1]");
+        assert_eq!(snaps[1].1.buckets, vec![SimDuration::from_micros(5)]);
     }
 
     #[test]

@@ -85,6 +85,23 @@ impl Stats {
         }
     }
 
+    /// Seeds a [`RunReport`](crate::RunReport) with these counters — the
+    /// bridge every front-end report producer starts from.
+    ///
+    /// ```
+    /// use nds_sim::Stats;
+    ///
+    /// let mut stats = Stats::new();
+    /// stats.add("link.commands", 2);
+    /// let report = stats.to_report();
+    /// assert_eq!(report.counters.get("link.commands"), Some(&2));
+    /// ```
+    pub fn to_report(&self) -> crate::RunReport {
+        let mut report = crate::RunReport::new();
+        report.add_counters(self);
+        report
+    }
+
     /// Removes all counters.
     pub fn clear(&mut self) {
         self.counters.clear();

@@ -5,6 +5,13 @@
 //! can assert on *when and why* things happened, not just final counters.
 //! The trace is disabled by default and costs one branch per record call;
 //! when enabled it keeps a bounded ring of the most recent events.
+//!
+//! For *machine* consumption this free-form trace is superseded by the
+//! typed event [`Journal`](crate::Journal) in [`obs`](crate::obs): the
+//! journal carries structured payloads, stable component ids, and
+//! span-style begin/end pairs, and feeds the serializable
+//! [`RunReport`](crate::RunReport). `Trace` remains the right tool for
+//! human-readable debugging detail that doesn't need a schema.
 
 use std::collections::VecDeque;
 

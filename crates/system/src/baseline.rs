@@ -16,7 +16,7 @@ use nds_core::{ElementType, NdsError, Region, Shape};
 use nds_flash::{Ftl, FtlConfig};
 use nds_host::CpuModel;
 use nds_interconnect::Link;
-use nds_sim::{SimDuration, SimTime, Stats};
+use nds_sim::{ComponentId, Observability, RunReport, SimDuration, SimTime, Stats};
 
 use crate::config::SystemConfig;
 use crate::error::SystemError;
@@ -50,7 +50,11 @@ pub struct BaselineSystem {
     next_id: u64,
     next_lba: u64,
     stats: Stats,
+    obs: Observability,
 }
+
+/// Journal identity of a front-end's request-level span events.
+const SYSTEM_COMPONENT: ComponentId = ComponentId::singleton("system");
 
 impl BaselineSystem {
     /// Builds a baseline system from a configuration.
@@ -62,6 +66,10 @@ impl BaselineSystem {
             ftl.install_faults(faults);
             link.install_faults(faults);
         }
+        ftl.device_mut().configure_observability(&config.obs);
+        link.configure_observability(&config.obs);
+        let mut obs = Observability::disabled();
+        obs.configure(&config.obs);
         BaselineSystem {
             ftl,
             link,
@@ -70,6 +78,7 @@ impl BaselineSystem {
             next_id: 1,
             next_lba: 0,
             stats: Stats::new(),
+            obs,
         }
     }
 
@@ -299,6 +308,13 @@ impl StorageFrontEnd for BaselineSystem {
         self.stats
             .add("system.write_commands", commands.len() as u64);
         self.stats.add("system.write_bytes", total_bytes);
+        self.obs
+            .journal_mut()
+            .begin_span(SimTime::ZERO, SYSTEM_COMPONENT, "write");
+        self.obs
+            .journal_mut()
+            .end_span(SimTime::ZERO + latency, SYSTEM_COMPONENT, "write");
+        self.obs.latency("write.latency", latency);
         Ok(WriteOutcome {
             latency,
             commands: commands.len() as u64,
@@ -390,6 +406,16 @@ impl StorageFrontEnd for BaselineSystem {
         self.stats
             .add("system.read_commands", commands.len() as u64);
         self.stats.add("system.read_bytes", total_bytes);
+        self.obs
+            .journal_mut()
+            .begin_span(SimTime::ZERO, SYSTEM_COMPONENT, "read");
+        self.obs.journal_mut().end_span(
+            SimTime::ZERO + io_latency + restructure,
+            SYSTEM_COMPONENT,
+            "read",
+        );
+        self.obs.latency("read.io_latency", io_latency);
+        self.obs.latency("read.latency", io_latency + restructure);
         Ok(ReadMetrics {
             io_latency,
             io_occupancy,
@@ -421,6 +447,21 @@ impl StorageFrontEnd for BaselineSystem {
         s.merge(self.ftl.stats());
         s.merge(self.ftl.device().stats());
         s
+    }
+
+    fn run_report(&self) -> RunReport {
+        let mut report = self.stats().to_report();
+        report.set_meta("arch", self.name());
+        report.absorb(&self.obs);
+        report.absorb(self.link.observability());
+        report.absorb(self.ftl.device().observability());
+        if let Some(t) = self.link.wire_timeline() {
+            report.add_timeline("link", t);
+        }
+        for (name, t) in self.ftl.device().timeline_snapshots() {
+            report.add_timeline(name, t);
+        }
+        report
     }
 }
 

@@ -6,7 +6,7 @@ use nds_faults::FaultConfig;
 use nds_flash::FlashConfig;
 use nds_host::CpuModel;
 use nds_interconnect::LinkConfig;
-use nds_sim::{SimDuration, Throughput};
+use nds_sim::{ObsConfig, SimDuration, Throughput};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the NDS-compliant SSD controller (§5.3.2): ARM cores
@@ -65,6 +65,10 @@ pub struct SystemConfig {
     /// Deterministic media/link fault plan installed into the device and
     /// link at construction (`None` = fault-free; every preset is `None`).
     pub faults: Option<FaultConfig>,
+    /// Observability configuration threaded into every timing component at
+    /// construction (event journals, latency histograms, busy-time
+    /// timelines). Off in every preset; disabled hooks cost one branch.
+    pub obs: ObsConfig,
 }
 
 impl SystemConfig {
@@ -90,6 +94,7 @@ impl SystemConfig {
             sw_stl_path: HostStlPath::linux_lightnvm(),
             nds_transfer_chunk: 2 * 1024 * 1024,
             faults: None,
+            obs: ObsConfig::disabled(),
         }
     }
 
@@ -145,6 +150,7 @@ impl SystemConfig {
             sw_stl_path: HostStlPath::linux_lightnvm(),
             nds_transfer_chunk: 64 * 1024,
             faults: None,
+            obs: ObsConfig::disabled(),
         }
     }
 
@@ -154,6 +160,17 @@ impl SystemConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Returns the configuration with the given observability settings.
+    /// Architectures built from it record typed events, latency histograms,
+    /// and busy-time timelines into their [`RunReport`](nds_sim::RunReport)
+    /// — provably without moving the modeled schedule
+    /// (`crates/system/tests/obs_invariance.rs`).
+    #[must_use]
+    pub fn with_observability(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
         self
     }
 }

@@ -318,7 +318,7 @@ impl FlashBackend {
                     });
                     (invalid, std::cmp::Reverse(wear))
                 });
-            let Some((block, valid, _)) = victim else {
+            let Some((block, valid, invalid)) = victim else {
                 break;
             };
             let victim_addr = BlockAddr {
@@ -326,6 +326,17 @@ impl FlashBackend {
                 bank: bank as usize,
                 block,
             };
+            self.device.observability_mut().event(
+                nds_sim::SimTime::ZERO,
+                nds_sim::ComponentId::singleton("gc"),
+                || nds_sim::EventKind::GcVictimPicked {
+                    channel,
+                    bank,
+                    block: block as u32,
+                    valid: valid as u32,
+                    invalid: invalid as u32,
+                },
+            );
             if valid > 0 {
                 for p in 0..g.pages_per_block {
                     let page = victim_addr.page(p);

@@ -1,7 +1,7 @@
 //! The common storage front-end trait and operation outcomes.
 
 use nds_core::{ElementType, Shape};
-use nds_sim::{SimDuration, Stats, Throughput};
+use nds_sim::{RunReport, SimDuration, Stats, Throughput};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SystemError;
@@ -211,6 +211,18 @@ pub trait StorageFrontEnd {
 
     /// Cumulative counters (commands, bytes, device ops) for reporting.
     fn stats(&self) -> Stats;
+
+    /// The architecture's serializable run artifact: counters plus —
+    /// when the system was built with
+    /// [`SystemConfig::with_observability`](crate::SystemConfig::with_observability)
+    /// — journal summaries, latency histograms, and busy-time timelines
+    /// from every timing component. The default reports counters only;
+    /// each architecture overrides it to absorb its components.
+    fn run_report(&self) -> RunReport {
+        let mut report = self.stats().to_report();
+        report.set_meta("arch", self.name());
+        report
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,9 @@ use std::collections::BTreeMap;
 use nds_core::{ElementType, Shape, SpaceId, Stl};
 use nds_host::CpuModel;
 use nds_interconnect::{wire, Link, NvmeCommand, QueuePair};
-use nds_sim::{Resource, SimDuration, SimTime, Stats};
+use nds_sim::{
+    ComponentId, EventKind, Observability, Resource, RunReport, SimDuration, SimTime, Stats,
+};
 
 use crate::config::{ControllerConfig, SystemConfig};
 use crate::error::SystemError;
@@ -35,7 +37,14 @@ pub struct HardwareNds {
     queue: QueuePair,
     next_id: u64,
     stats: Stats,
+    obs: Observability,
 }
+
+/// Journal identity of the front-end's request-level span events.
+const SYSTEM_COMPONENT: ComponentId = ComponentId::singleton("system");
+
+/// Journal identity of the NVMe submission/completion queue pair.
+const QUEUE_COMPONENT: ComponentId = ComponentId::singleton("nvme.queue");
 
 impl HardwareNds {
     /// Fixed cost of issuing one DMA descriptor in the on-device assembler.
@@ -49,6 +58,10 @@ impl HardwareNds {
             backend.install_faults(faults);
             link.install_faults(faults);
         }
+        backend.device_mut().configure_observability(&config.obs);
+        link.configure_observability(&config.obs);
+        let mut obs = Observability::disabled();
+        obs.configure(&config.obs);
         HardwareNds {
             stl: Stl::new(backend, config.stl),
             link,
@@ -59,6 +72,7 @@ impl HardwareNds {
             queue: QueuePair::new(64),
             next_id: 1,
             stats: Stats::new(),
+            obs,
         }
     }
 
@@ -72,12 +86,21 @@ impl HardwareNds {
         let wired = wire::encode(&cmd)
             .map_err(|_| SystemError::Command(nds_interconnect::CommandError::ZeroExtent))?;
         self.stats.add("nvme.wire_bytes", wired.wire_bytes());
+        let wire_bytes = wired.wire_bytes();
+        // The queue drains synchronously, so issue and completion share the
+        // per-operation epoch anchor rather than carrying modeled time.
+        self.obs.event(SimTime::ZERO, QUEUE_COMPONENT, || {
+            EventKind::CommandIssued { bytes: wire_bytes }
+        });
         self.queue.submit(cmd).expect("queue drained synchronously");
         let popped = self.queue.device_pop().expect("just submitted");
         let decoded = wire::decode(&wired).expect("encode/decode is lossless");
         debug_assert_eq!(decoded, popped, "wire format must be faithful");
         self.queue.complete(popped);
         let _ = self.queue.reap();
+        self.obs.event(SimTime::ZERO, QUEUE_COMPONENT, || {
+            EventKind::CommandCompleted { bytes: wire_bytes }
+        });
         Ok(decoded)
     }
 
@@ -205,6 +228,13 @@ impl StorageFrontEnd for HardwareNds {
 
         self.stats.add("system.write_commands", 1);
         self.stats.add("system.write_bytes", report.access.bytes);
+        self.obs
+            .journal_mut()
+            .begin_span(SimTime::ZERO, SYSTEM_COMPONENT, "write");
+        self.obs
+            .journal_mut()
+            .end_span(SimTime::ZERO + latency, SYSTEM_COMPONENT, "write");
+        self.obs.latency("write.latency", latency);
         Ok(WriteOutcome {
             latency,
             commands: 1,
@@ -293,6 +323,14 @@ impl StorageFrontEnd for HardwareNds {
 
         self.stats.add("system.read_commands", 1);
         self.stats.add("system.read_bytes", report.bytes);
+        self.obs
+            .journal_mut()
+            .begin_span(SimTime::ZERO, SYSTEM_COMPONENT, "read");
+        self.obs
+            .journal_mut()
+            .end_span(SimTime::ZERO + io_latency, SYSTEM_COMPONENT, "read");
+        self.obs.latency("read.io_latency", io_latency);
+        self.obs.latency("read.latency", io_latency);
         Ok(ReadMetrics {
             io_latency,
             io_occupancy,
@@ -320,6 +358,21 @@ impl StorageFrontEnd for HardwareNds {
         s.add("stl.plan_cache.hits", self.stl.plan_cache().hits());
         s.add("stl.plan_cache.misses", self.stl.plan_cache().misses());
         s
+    }
+
+    fn run_report(&self) -> RunReport {
+        let mut report = self.stats().to_report();
+        report.set_meta("arch", self.name());
+        report.absorb(&self.obs);
+        report.absorb(self.link.observability());
+        report.absorb(self.stl.backend().device().observability());
+        if let Some(t) = self.link.wire_timeline() {
+            report.add_timeline("link", t);
+        }
+        for (name, t) in self.stl.backend().device().timeline_snapshots() {
+            report.add_timeline(name, t);
+        }
+        report
     }
 }
 

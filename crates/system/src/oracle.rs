@@ -17,7 +17,7 @@
 use std::collections::BTreeMap;
 
 use nds_core::{translator, BlockShape, ElementType, NdsError, Region, Shape};
-use nds_sim::{SimDuration, Stats};
+use nds_sim::{RunReport, SimDuration, Stats};
 
 use crate::baseline::BaselineSystem;
 use crate::config::SystemConfig;
@@ -252,6 +252,14 @@ impl StorageFrontEnd for OracleSystem {
 
     fn stats(&self) -> Stats {
         self.inner.stats()
+    }
+
+    fn run_report(&self) -> RunReport {
+        // The oracle's timing components all live inside the backing
+        // baseline system; only the architecture label differs.
+        let mut report = self.inner.run_report();
+        report.set_meta("arch", self.name());
+        report
     }
 }
 

@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 use nds_core::{ElementType, NvmBackend, Shape, SpaceId, Stl};
 use nds_host::CpuModel;
 use nds_interconnect::Link;
-use nds_sim::{SimDuration, SimTime, Stats};
+use nds_sim::{ComponentId, Observability, RunReport, SimDuration, SimTime, Stats};
 
 use crate::config::SystemConfig;
 use crate::controller::HostStlPath;
@@ -39,7 +39,11 @@ pub struct SoftwareNds {
     datasets: BTreeMap<DatasetId, SpaceId>,
     next_id: u64,
     stats: Stats,
+    obs: Observability,
 }
+
+/// Journal identity of the front-end's request-level span events.
+const SYSTEM_COMPONENT: ComponentId = ComponentId::singleton("system");
 
 impl SoftwareNds {
     /// Builds a software-NDS system from a configuration.
@@ -50,6 +54,10 @@ impl SoftwareNds {
             backend.install_faults(faults);
             link.install_faults(faults);
         }
+        backend.device_mut().configure_observability(&config.obs);
+        link.configure_observability(&config.obs);
+        let mut obs = Observability::disabled();
+        obs.configure(&config.obs);
         SoftwareNds {
             stl: Stl::new(backend, config.stl),
             link,
@@ -58,6 +66,7 @@ impl SoftwareNds {
             datasets: BTreeMap::new(),
             next_id: 1,
             stats: Stats::new(),
+            obs,
         }
     }
 
@@ -147,6 +156,13 @@ impl StorageFrontEnd for SoftwareNds {
 
         self.stats.add("system.write_commands", unit_commands);
         self.stats.add("system.write_bytes", report.access.bytes);
+        self.obs
+            .journal_mut()
+            .begin_span(SimTime::ZERO, SYSTEM_COMPONENT, "write");
+        self.obs
+            .journal_mut()
+            .end_span(SimTime::ZERO + latency, SYSTEM_COMPONENT, "write");
+        self.obs.latency("write.latency", latency);
         Ok(WriteOutcome {
             latency,
             commands: unit_commands,
@@ -241,6 +257,14 @@ impl StorageFrontEnd for SoftwareNds {
 
         self.stats.add("system.read_commands", commands);
         self.stats.add("system.read_bytes", report.bytes);
+        self.obs
+            .journal_mut()
+            .begin_span(SimTime::ZERO, SYSTEM_COMPONENT, "read");
+        self.obs
+            .journal_mut()
+            .end_span(SimTime::ZERO + io_latency, SYSTEM_COMPONENT, "read");
+        self.obs.latency("read.io_latency", io_latency);
+        self.obs.latency("read.latency", io_latency);
         Ok(ReadMetrics {
             io_latency,
             io_occupancy,
@@ -267,6 +291,21 @@ impl StorageFrontEnd for SoftwareNds {
         s.add("stl.plan_cache.hits", self.stl.plan_cache().hits());
         s.add("stl.plan_cache.misses", self.stl.plan_cache().misses());
         s
+    }
+
+    fn run_report(&self) -> RunReport {
+        let mut report = self.stats().to_report();
+        report.set_meta("arch", self.name());
+        report.absorb(&self.obs);
+        report.absorb(self.link.observability());
+        report.absorb(self.stl.backend().device().observability());
+        if let Some(t) = self.link.wire_timeline() {
+            report.add_timeline("link", t);
+        }
+        for (name, t) in self.stl.backend().device().timeline_snapshots() {
+            report.add_timeline(name, t);
+        }
+        report
     }
 }
 

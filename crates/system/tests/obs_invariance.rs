@@ -1,0 +1,194 @@
+//! Schedule neutrality and determinism of the observability layer.
+//!
+//! The observability hooks (event journal, latency histograms, busy
+//! timelines) only *observe* completion instants the schedulers already
+//! computed — they never acquire a shared resource or feed state back into
+//! a timing decision. These tests prove it the strong way: every modeled
+//! quantity of a Fig. 9-style sweep must be bit-identical with full
+//! instrumentation on vs everything off, on every architecture — including
+//! under an active fault plan, where the retry paths emit the most events.
+//!
+//! They also pin down report determinism: two identical instrumented runs
+//! must serialize to byte-identical [`RunReport`] JSON, and that JSON must
+//! match the golden file in `tests/golden/` (regenerate with
+//! `NDS_BLESS_GOLDEN=1 cargo test -p nds-system --test obs_invariance`).
+
+// Test helpers outside #[test] fns aren't covered by allow-unwrap-in-tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use nds_core::{ElementType, Shape};
+use nds_faults::FaultConfig;
+use nds_sim::ObsConfig;
+use nds_system::{
+    BaselineSystem, HardwareNds, OracleSystem, ReadOutcome, SoftwareNds, StorageFrontEnd,
+    SystemConfig, WriteOutcome,
+};
+
+const N: u64 = 512;
+const TILE: u64 = 64;
+
+fn config(obs: ObsConfig) -> SystemConfig {
+    SystemConfig::small_test().with_observability(obs)
+}
+
+fn faulty_config(obs: ObsConfig) -> SystemConfig {
+    SystemConfig::small_test()
+        .with_faults(FaultConfig::with_rate(424242, 0.05))
+        .with_observability(obs)
+}
+
+/// The request trace: a miniature Fig. 9 sweep (rows, columns, submatrix,
+/// wide tile, whole matrix), issued twice.
+fn sweep() -> Vec<(Vec<u64>, Vec<u64>)> {
+    let mut requests = vec![
+        (vec![0, 0], vec![N, 64]),
+        (vec![0, 0], vec![64, N]),
+        (vec![1, 1], vec![128, 128]),
+        (vec![0, 1], vec![256, 128]),
+        (vec![0, 0], vec![N, N]),
+    ];
+    let repeats = requests.clone();
+    requests.extend(repeats);
+    requests
+}
+
+/// Runs write + sweep on one front-end and returns every modeled outcome.
+fn run<S: StorageFrontEnd>(mut sys: S) -> (WriteOutcome, Vec<ReadOutcome>) {
+    let shape = Shape::new([N, N]);
+    let id = sys
+        .create_dataset(shape.clone(), ElementType::F32)
+        .expect("create");
+    let bytes: Vec<u8> = (0..N * N * 4).map(|i| (i % 251) as u8).collect();
+    let w = sys
+        .write(id, &shape, &[0, 0], &[N, N], &bytes)
+        .expect("write");
+    let reads = sweep()
+        .iter()
+        .map(|(coord, sub)| sys.read(id, &shape, coord, sub).expect("read"))
+        .collect();
+    (w, reads)
+}
+
+fn assert_neutral(on: (WriteOutcome, Vec<ReadOutcome>), off: (WriteOutcome, Vec<ReadOutcome>)) {
+    assert_eq!(on.0, off.0, "write outcome diverges with obs on vs off");
+    for (i, (a, b)) in on.1.iter().zip(off.1.iter()).enumerate() {
+        assert_eq!(a, b, "read outcome {i} diverges with obs on vs off");
+    }
+}
+
+#[test]
+fn baseline_outcomes_identical_with_obs_on_and_off() {
+    assert_neutral(
+        run(BaselineSystem::new(config(ObsConfig::full()))),
+        run(BaselineSystem::new(config(ObsConfig::disabled()))),
+    );
+}
+
+#[test]
+fn software_nds_outcomes_identical_with_obs_on_and_off() {
+    assert_neutral(
+        run(SoftwareNds::new(config(ObsConfig::full()))),
+        run(SoftwareNds::new(config(ObsConfig::disabled()))),
+    );
+}
+
+#[test]
+fn hardware_nds_outcomes_identical_with_obs_on_and_off() {
+    assert_neutral(
+        run(HardwareNds::new(config(ObsConfig::full()))),
+        run(HardwareNds::new(config(ObsConfig::disabled()))),
+    );
+}
+
+#[test]
+fn oracle_outcomes_identical_with_obs_on_and_off() {
+    assert_neutral(
+        run(OracleSystem::with_tile(
+            config(ObsConfig::full()),
+            vec![TILE, TILE],
+        )),
+        run(OracleSystem::with_tile(
+            config(ObsConfig::disabled()),
+            vec![TILE, TILE],
+        )),
+    );
+}
+
+#[test]
+fn fault_recovery_outcomes_identical_with_obs_on_and_off() {
+    // The retry paths emit the densest event traffic (FaultInjected,
+    // RetryScheduled, re-recorded completions); they must stay neutral too.
+    assert_neutral(
+        run(SoftwareNds::new(faulty_config(ObsConfig::full()))),
+        run(SoftwareNds::new(faulty_config(ObsConfig::disabled()))),
+    );
+    assert_neutral(
+        run(HardwareNds::new(faulty_config(ObsConfig::full()))),
+        run(HardwareNds::new(faulty_config(ObsConfig::disabled()))),
+    );
+}
+
+/// One instrumented run's serialized report.
+fn instrumented_report<S: StorageFrontEnd>(make: impl FnOnce(SystemConfig) -> S) -> String {
+    let mut sys = make(config(ObsConfig::full()));
+    let shape = Shape::new([N, N]);
+    let id = sys
+        .create_dataset(shape.clone(), ElementType::F32)
+        .expect("create");
+    let bytes: Vec<u8> = (0..N * N * 4).map(|i| (i % 251) as u8).collect();
+    sys.write(id, &shape, &[0, 0], &[N, N], &bytes)
+        .expect("write");
+    for (coord, sub) in sweep() {
+        sys.read(id, &shape, &coord, &sub).expect("read");
+    }
+    sys.run_report().to_json()
+}
+
+#[test]
+fn run_report_json_is_byte_identical_across_runs() {
+    let first = instrumented_report(SoftwareNds::new);
+    let second = instrumented_report(SoftwareNds::new);
+    assert_eq!(first, second, "repeated runs must serialize identically");
+    let hw_first = instrumented_report(HardwareNds::new);
+    let hw_second = instrumented_report(HardwareNds::new);
+    assert_eq!(hw_first, hw_second);
+}
+
+#[test]
+fn run_report_matches_golden() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/obs_report_software_nds.json"
+    );
+    let mut actual = instrumented_report(SoftwareNds::new);
+    actual.push('\n');
+    if std::env::var_os("NDS_BLESS_GOLDEN").is_some() {
+        std::fs::write(golden_path, &actual).expect("bless golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with NDS_BLESS_GOLDEN=1 to create it");
+    assert_eq!(
+        actual, golden,
+        "RunReport JSON drifted from tests/golden/obs_report_software_nds.json; \
+         if the change is intentional, regenerate with NDS_BLESS_GOLDEN=1"
+    );
+}
+
+#[test]
+fn instrumented_report_actually_contains_observations() {
+    // Guard against the neutrality tests passing vacuously because the
+    // hooks silently stopped recording.
+    let json = instrumented_report(HardwareNds::new);
+    for needle in [
+        "\"flash.read_page\"",
+        "\"link.command\"",
+        "\"read.latency\"",
+        "\"write.latency\"",
+        "\"journal\"",
+        "\"timelines\"",
+        "CommandIssued",
+    ] {
+        assert!(json.contains(needle), "report lost {needle}");
+    }
+}

@@ -50,6 +50,10 @@ pub struct WorkloadRun {
     pub arch: &'static str,
     /// End-to-end latency across all phases.
     pub total: SimDuration,
+    /// I/O-stage busy time across phases.
+    pub io_busy: SimDuration,
+    /// Restructure-stage busy time across phases (baseline marshalling).
+    pub restructure_busy: SimDuration,
     /// Kernel busy time across phases.
     pub kernel_busy: SimDuration,
     /// Kernel idle time across phases (Fig. 10(b)).
@@ -84,6 +88,8 @@ impl WorkloadRun {
             workload,
             arch,
             total: phases.iter().map(|p| p.total).sum(),
+            io_busy: phases.iter().map(|p| p.io_busy).sum(),
+            restructure_busy: phases.iter().map(|p| p.restructure_busy).sum(),
             kernel_busy: phases.iter().map(|p| p.kernel_busy).sum(),
             kernel_idle: phases.iter().map(|p| p.kernel_idle).sum(),
             commands: phases.iter().map(|p| p.commands).sum(),
@@ -93,6 +99,26 @@ impl WorkloadRun {
             faults_recovered: 0,
             fault_retries: 0,
         }
+    }
+
+    /// Folds the run's pipeline-level timing and traffic into `report`
+    /// under `workload.*` names, so a bench artifact carries the stage view
+    /// (Fig. 10's busy/idle split) next to the component view.
+    pub fn attach_to_report(&self, report: &mut nds_sim::RunReport) {
+        report.set_meta("workload", self.workload);
+        report.add_duration("workload.total", self.total);
+        report.add_duration("workload.io_busy", self.io_busy);
+        report.add_duration("workload.restructure_busy", self.restructure_busy);
+        report.add_duration("workload.kernel_busy", self.kernel_busy);
+        report.add_duration("workload.kernel_idle", self.kernel_idle);
+        let mut stats = nds_sim::Stats::new();
+        stats.add("workload.commands", self.commands);
+        stats.add("workload.bytes", self.bytes);
+        stats.add("workload.checksum", self.checksum);
+        stats.add("workload.faults_injected", self.faults_injected);
+        stats.add("workload.faults_recovered", self.faults_recovered);
+        stats.add("workload.fault_retries", self.fault_retries);
+        report.add_counters(&stats);
     }
 
     /// Records the fault subsystem's activity from the architecture's
@@ -242,6 +268,8 @@ mod tests {
         };
         let run = WorkloadRun::from_phases("w", "a", &[phase.clone(), phase], 42);
         assert_eq!(run.total, SimDuration::from_micros(20));
+        assert_eq!(run.io_busy, SimDuration::from_micros(8));
+        assert_eq!(run.restructure_busy, SimDuration::ZERO);
         assert_eq!(run.commands, 6);
         assert_eq!(run.bytes, 200);
         assert_eq!(run.checksum, 42);
@@ -256,5 +284,12 @@ mod tests {
         assert_eq!(run.faults_injected, 4);
         assert_eq!(run.faults_recovered, 4);
         assert_eq!(run.fault_retries, 7);
+
+        let mut report = nds_sim::RunReport::new();
+        run.attach_to_report(&mut report);
+        let json = report.to_json();
+        assert!(json.contains("\"workload.total\""));
+        assert!(json.contains("\"workload.commands\": 6"));
+        assert!(json.contains("\"workload\": \"w\""));
     }
 }

@@ -29,6 +29,17 @@ if [[ "${1:-}" != "--no-test" ]]; then
     echo "== fault differential (NDS_FAULT_SEEDS=17,424242,9000000001)"
     NDS_FAULT_SEEDS=17,424242,9000000001 \
         cargo test --quiet --release --test fault_differential
+
+    # Report determinism: the same fully-instrumented run must serialize to
+    # byte-identical RunReport JSON twice in a row.
+    echo "== report determinism (fig9 a --report, twice)"
+    report_dir="$(mktemp -d)"
+    trap 'rm -rf "$report_dir"' EXIT
+    cargo build --quiet --release -p nds-bench --bin fig9
+    ./target/release/fig9 a --report "$report_dir/run1.json" > /dev/null
+    ./target/release/fig9 a --report "$report_dir/run2.json" > /dev/null
+    cmp "$report_dir/run1.json" "$report_dir/run2.json" \
+        || { echo "check.sh: fig9 run reports differ between identical runs" >&2; exit 1; }
 fi
 
 echo "check.sh: all green"
