@@ -18,10 +18,13 @@
 // Figure-regeneration binaries are operator tools, not simulation
 // data path: panicking on a malformed run is the right behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-use nds_bench::{header, obs_for, row, take_report_path, write_report};
+use nds_bench::{
+    collect_trace, header, obs_for, row, take_report_path, take_trace_path, write_report,
+    write_trace,
+};
 use nds_core::{AllocationPolicy, ElementType, Shape};
 use nds_flash::FlashTiming;
-use nds_sim::{ObsConfig, RunReport};
+use nds_sim::{ObsConfig, RunReport, TraceExport};
 use nds_system::{HardwareNds, SoftwareNds, StorageFrontEnd, SystemConfig};
 
 const N: u64 = 4096;
@@ -43,7 +46,11 @@ fn tile_bandwidth(sys: &mut dyn StorageFrontEnd, side: u64) -> f64 {
         .as_mib_per_sec()
 }
 
-fn allocation_policy_ablation(obs: ObsConfig, report: &mut RunReport) {
+fn allocation_policy_ablation(
+    obs: ObsConfig,
+    report: &mut RunReport,
+    traces: &mut Vec<(String, TraceExport)>,
+) {
     println!("## 1. Allocation policy (§4.2) — 1024² f64 tile fetch\n");
     header(&["policy", "hardware NDS MiB/s", "notes"]);
     for (policy, note) in [
@@ -58,12 +65,17 @@ fn allocation_policy_ablation(obs: ObsConfig, report: &mut RunReport) {
         let mut sys = HardwareNds::new(config);
         let bw = tile_bandwidth(&mut sys, 1024);
         report.merge_prefixed(&format!("alloc.{policy:?}."), &sys.run_report());
+        collect_trace(traces, &format!("alloc.{policy:?}"), &sys);
         row(&[format!("{policy:?}"), format!("{bw:8.0}"), note.to_owned()]);
     }
     println!();
 }
 
-fn multiplier_ablation(obs: ObsConfig, report: &mut RunReport) {
+fn multiplier_ablation(
+    obs: ObsConfig,
+    report: &mut RunReport,
+    traces: &mut Vec<(String, TraceExport)>,
+) {
     println!("## 2. Building-block multiplier (§4.1) — 1024² f64 tile fetch\n");
     header(&["multiplier", "block", "hardware NDS MiB/s"]);
     for multiplier in [1u64, 2, 4, 8] {
@@ -72,6 +84,7 @@ fn multiplier_ablation(obs: ObsConfig, report: &mut RunReport) {
         let mut sys = HardwareNds::new(config);
         let bw = tile_bandwidth(&mut sys, 1024);
         report.merge_prefixed(&format!("multiplier.{multiplier}x."), &sys.run_report());
+        collect_trace(traces, &format!("multiplier.{multiplier}x"), &sys);
         // Block side for f64 at this multiplier: √(128 KiB·m / 8), pow2-ceil.
         let elems = 32u64 * 4096 * multiplier / 8;
         let side = 1u64 << (64 - (elems - 1).leading_zeros()).div_ceil(2);
@@ -97,7 +110,11 @@ fn write_bandwidth(sys: &mut dyn StorageFrontEnd) -> f64 {
         .as_mib_per_sec()
 }
 
-fn fast_nvm_ablation(obs: ObsConfig, report: &mut RunReport) {
+fn fast_nvm_ablation(
+    obs: ObsConfig,
+    report: &mut RunReport,
+    traces: &mut Vec<(String, TraceExport)>,
+) {
     println!("## 3. Faster NVM (§7.2) — hardware-over-software advantage on writes\n");
     println!("(the paper: \"with faster NVM technologies that raise the internal-to-external");
     println!(" bandwidth ratio, the advantage of hardware NDS will become more significant\")\n");
@@ -119,6 +136,8 @@ fn fast_nvm_ablation(obs: ObsConfig, report: &mut RunReport) {
         let hw_bw = write_bandwidth(&mut hw);
         report.merge_prefixed(&format!("nvm.{key}.software-nds."), &sw.run_report());
         report.merge_prefixed(&format!("nvm.{key}.hardware-nds."), &hw.run_report());
+        collect_trace(traces, &format!("nvm.{key}.software-nds"), &sw);
+        collect_trace(traces, &format!("nvm.{key}.hardware-nds"), &hw);
         row(&[
             name.to_owned(),
             format!("{sw_bw:8.0}"),
@@ -128,7 +147,11 @@ fn fast_nvm_ablation(obs: ObsConfig, report: &mut RunReport) {
     }
 }
 
-fn transfer_chunk_ablation(obs: ObsConfig, report: &mut RunReport) {
+fn transfer_chunk_ablation(
+    obs: ObsConfig,
+    report: &mut RunReport,
+    traces: &mut Vec<(String, TraceExport)>,
+) {
     println!("\n## 4. NDS transfer chunk (§4.4) — when assembled data ships to the host\n");
     println!("(NDS starts moving assembled data once a segment reaches the optimal");
     println!(" data-exchange volume; §2.1 puts NVMe saturation at ~2 MB)\n");
@@ -154,6 +177,7 @@ fn transfer_chunk_ablation(obs: ObsConfig, report: &mut RunReport) {
             .read(id, &shape, &[0, 1], &[N, 2048])
             .expect("panel fetch");
         report.merge_prefixed(&format!("chunk.{}kib.", chunk / 1024), &sys.run_report());
+        collect_trace(traces, &format!("chunk.{}kib", chunk / 1024), &sys);
         row(&[
             format!("{} KiB", chunk / 1024),
             format!("{:8.0}", out.effective_bandwidth().as_mib_per_sec()),
@@ -162,17 +186,23 @@ fn transfer_chunk_ablation(obs: ObsConfig, report: &mut RunReport) {
 }
 
 fn main() {
-    let (report_path, _rest) = take_report_path(std::env::args().skip(1).collect());
-    let obs = obs_for(report_path.as_ref());
+    let (report_path, rest) = take_report_path(std::env::args().skip(1).collect());
+    let (trace_path, _rest) = take_trace_path(rest);
+    let obs = obs_for(report_path.as_ref(), trace_path.as_ref());
     let mut report = RunReport::new();
+    let mut traces = Vec::new();
     report.set_meta("bench", "ablation");
     println!("# Ablations of NDS design choices\n");
-    allocation_policy_ablation(obs, &mut report);
-    multiplier_ablation(obs, &mut report);
-    fast_nvm_ablation(obs, &mut report);
-    transfer_chunk_ablation(obs, &mut report);
+    allocation_policy_ablation(obs, &mut report, &mut traces);
+    multiplier_ablation(obs, &mut report, &mut traces);
+    fast_nvm_ablation(obs, &mut report, &mut traces);
+    transfer_chunk_ablation(obs, &mut report, &mut traces);
     if let Some(path) = report_path {
         write_report(&path, &report).expect("write report");
         eprintln!("run report written to {}", path.display());
+    }
+    if let Some(path) = trace_path {
+        write_trace(&path, &traces).expect("write trace");
+        eprintln!("chrome trace written to {}", path.display());
     }
 }

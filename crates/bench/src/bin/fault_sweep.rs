@@ -20,10 +20,13 @@
 // Figure-regeneration binaries are operator tools, not simulation
 // data path: panicking on a malformed run is the right behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-use nds_bench::{header, obs_for, row, take_report_path, write_report};
+use nds_bench::{
+    collect_trace, header, obs_for, row, take_report_path, take_trace_path, write_report,
+    write_trace,
+};
 use nds_core::{ElementType, Shape};
 use nds_faults::FaultConfig;
-use nds_sim::{RunReport, SimDuration};
+use nds_sim::{RunReport, SimDuration, TraceExport};
 use nds_system::{
     BaselineSystem, HardwareNds, OracleSystem, SoftwareNds, StorageFrontEnd, SystemConfig,
 };
@@ -73,12 +76,14 @@ fn run_script(sys: &mut dyn StorageFrontEnd) -> SimDuration {
 
 fn main() {
     let (report_path, rest) = take_report_path(std::env::args().skip(1).collect());
-    let obs = obs_for(report_path.as_ref());
+    let (trace_path, rest) = take_trace_path(rest);
+    let obs = obs_for(report_path.as_ref(), trace_path.as_ref());
     let seed: u64 = rest
         .first()
         .map(|s| s.parse().expect("seed must be a u64"))
         .unwrap_or(1221);
     let mut report = RunReport::new();
+    let mut traces: Vec<(String, TraceExport)> = Vec::new();
     report.set_meta("bench", "fault_sweep");
     report.set_meta("seed", seed.to_string());
     println!("# Fault sweep (seed {seed}, {N}x{N} f32, tile {TILE})\n");
@@ -118,6 +123,11 @@ fn main() {
                 &format!("rate{:03}.{}.", (rate * 100.0) as u64, sys.name()),
                 &sys.run_report(),
             );
+            collect_trace(
+                &mut traces,
+                &format!("rate{:03}.{}", (rate * 100.0) as u64, sys.name()),
+                sys.as_ref(),
+            );
             row(&[
                 format!("{rate:.2}"),
                 sys.name().to_owned(),
@@ -139,5 +149,9 @@ fn main() {
     if let Some(path) = report_path {
         write_report(&path, &report).expect("write report");
         eprintln!("run report written to {}", path.display());
+    }
+    if let Some(path) = trace_path {
+        write_trace(&path, &traces).expect("write trace");
+        eprintln!("chrome trace written to {}", path.display());
     }
 }

@@ -14,8 +14,11 @@
 // Figure-regeneration binaries are operator tools, not simulation
 // data path: panicking on a malformed run is the right behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-use nds_bench::{geomean, header, obs_for, row, take_report_path, write_report};
-use nds_sim::{ObsConfig, RunReport};
+use nds_bench::{
+    collect_trace, geomean, header, obs_for, row, take_report_path, take_trace_path, write_report,
+    write_trace,
+};
+use nds_sim::{ObsConfig, RunReport, TraceExport};
 use nds_system::{
     BaselineSystem, HardwareNds, OracleSystem, SoftwareNds, StorageFrontEnd, SystemConfig,
 };
@@ -56,6 +59,7 @@ fn run_all(
     workload: &dyn Workload,
     config: &SystemConfig,
     report: &mut RunReport,
+    traces: &mut Vec<(String, TraceExport)>,
 ) -> [WorkloadRun; 4] {
     let mut baseline = BaselineSystem::new(config.clone());
     let mut oracle = OracleSystem::with_tile(config.clone(), workload.kernel_tile());
@@ -76,13 +80,15 @@ fn run_all(
         let mut sub = sys.run_report();
         run.attach_to_report(&mut sub);
         report.merge_prefixed(&format!("{}.{}.", workload.name(), sys.name()), &sub);
+        collect_trace(traces, &format!("{}.{}", workload.name(), sys.name()), sys);
     }
     runs
 }
 
 fn main() {
     let (report_path, rest) = take_report_path(std::env::args().skip(1).collect());
-    let obs = obs_for(report_path.as_ref());
+    let (trace_path, rest) = take_trace_path(rest);
+    let obs = obs_for(report_path.as_ref(), trace_path.as_ref());
     let (params, cost_scale) = parse_args(&rest);
     let config = config(cost_scale, obs);
     println!(
@@ -115,10 +121,11 @@ fn main() {
     let mut hw_speedups = Vec::new();
     let mut idle_rows = Vec::new();
     let mut report = RunReport::new();
+    let mut traces = Vec::new();
     report.set_meta("bench", "fig10");
     for workload in all_workloads(params) {
         let [baseline, oracle, software, hardware] =
-            run_all(workload.as_ref(), &config, &mut report);
+            run_all(workload.as_ref(), &config, &mut report, &mut traces);
         assert_eq!(baseline.checksum, workload.reference_checksum());
         assert_eq!(software.checksum, baseline.checksum);
         assert_eq!(hardware.checksum, baseline.checksum);
@@ -176,5 +183,9 @@ fn main() {
     if let Some(path) = report_path {
         write_report(&path, &report).expect("write report");
         eprintln!("run report written to {}", path.display());
+    }
+    if let Some(path) = trace_path {
+        write_trace(&path, &traces).expect("write trace");
+        eprintln!("chrome trace written to {}", path.display());
     }
 }

@@ -17,12 +17,15 @@
 // data path: panicking on a malformed run is the right behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use nds_accel::ComputeEngine;
-use nds_bench::{header, obs_for, row, setup_matrix_f64, take_report_path, write_report};
+use nds_bench::{
+    collect_trace, header, obs_for, row, setup_matrix_f64, take_report_path, take_trace_path,
+    write_report, write_trace,
+};
 use nds_core::Shape;
 use nds_host::pipeline::{self, StageTimes};
 use nds_host::{CpuModel, MemoryBus};
 use nds_interconnect::LinkConfig;
-use nds_sim::{ObsConfig, RunReport, SimDuration};
+use nds_sim::{Journal, ObsConfig, RunReport, SimDuration, TraceExport};
 use nds_system::{BaselineSystem, OracleSystem, StorageFrontEnd, SystemConfig};
 
 /// Matrix side (scaled from the paper's 32,768) and kernel tile (scaled
@@ -38,7 +41,30 @@ fn stage_report(label: &str, stages: &[(&str, SimDuration)], total: SimDuration)
     row(&cells);
 }
 
-fn fig_a() {
+/// Runs one panel-(a) pipeline configuration, journaling every stage
+/// interval when `tracing`, and returns the schedule plus (if traced) a
+/// host-only [`TraceExport`]: the pipeline has no flash lanes, so the
+/// channel/bank tables stay empty and the makespan is the end-to-end time.
+fn run_pipeline(
+    blocks: &[StageTimes],
+    tracing: bool,
+) -> (pipeline::PipelineResult, Option<TraceExport>) {
+    let mut journal = if tracing {
+        Journal::enabled(4096)
+    } else {
+        Journal::disabled(0)
+    };
+    let result = pipeline::run_journaled(blocks, &["marshal", "h2d", "kernel"], &mut journal);
+    let export = tracing.then(|| TraceExport {
+        events: journal.events().filter(|e| e.trace != 0).copied().collect(),
+        channels: Vec::new(),
+        banks: Vec::new(),
+        makespan: result.total,
+    });
+    (result, export)
+}
+
+fn fig_a(tracing: bool, traces: &mut Vec<(String, TraceExport)>) {
     println!(
         "## (a) data already in main memory — paper: row-store takes 2.11× the sub-block time\n"
     );
@@ -59,8 +85,14 @@ fn fig_a() {
     let sub: Vec<StageTimes> = (0..steps)
         .map(|_| StageTimes::new([SimDuration::ZERO, h2d_time, kernel]))
         .collect();
-    let seq_run = pipeline::run(&seq);
-    let sub_run = pipeline::run(&sub);
+    let (seq_run, seq_trace) = run_pipeline(&seq, tracing);
+    let (sub_run, sub_trace) = run_pipeline(&sub, tracing);
+    if let Some(export) = seq_trace {
+        traces.push(("a.row-store".to_string(), export));
+    }
+    if let Some(export) = sub_trace {
+        traces.push(("a.sub-block".to_string(), export));
+    }
     header(&["configuration", "CPU stage", "H2D", "kernel", "end-to-end"]);
     stage_report(
         "row-store/sequential",
@@ -98,7 +130,7 @@ fn fig_a() {
     );
 }
 
-fn fig_b(obs: ObsConfig, report: &mut RunReport) {
+fn fig_b(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, TraceExport)>) {
     println!(
         "## (b) data fetched from the SSD — paper: +1.92× fetch time for the row-store layout\n"
     );
@@ -137,18 +169,26 @@ fn fig_b(obs: ObsConfig, report: &mut RunReport) {
     ]);
     report.merge_prefixed("b.baseline.", &base.run_report());
     report.merge_prefixed("b.oracle.", &oracle.run_report());
+    collect_trace(traces, "b.baseline", &base);
+    collect_trace(traces, "b.oracle", &oracle);
 }
 
 fn main() {
-    let (report_path, _rest) = take_report_path(std::env::args().skip(1).collect());
-    let obs = obs_for(report_path.as_ref());
+    let (report_path, rest) = take_report_path(std::env::args().skip(1).collect());
+    let (trace_path, _rest) = take_trace_path(rest);
+    let obs = obs_for(report_path.as_ref(), trace_path.as_ref());
     let mut report = RunReport::new();
+    let mut traces = Vec::new();
     report.set_meta("bench", "fig2");
     println!("# Fig. 2 — blocked matrix multiplication, row-store vs sub-block\n");
-    fig_a();
-    fig_b(obs, &mut report);
+    fig_a(trace_path.is_some(), &mut traces);
+    fig_b(obs, &mut report, &mut traces);
     if let Some(path) = report_path {
         write_report(&path, &report).expect("write report");
         eprintln!("run report written to {}", path.display());
+    }
+    if let Some(path) = trace_path {
+        write_trace(&path, &traces).expect("write trace");
+        eprintln!("chrome trace written to {}", path.display());
     }
 }

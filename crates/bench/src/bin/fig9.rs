@@ -20,9 +20,12 @@
 // Figure-regeneration binaries are operator tools, not simulation
 // data path: panicking on a malformed run is the right behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-use nds_bench::{header, obs_for, row, setup_matrix_f64, take_report_path, write_report};
+use nds_bench::{
+    collect_trace, header, obs_for, row, setup_matrix_f64, take_report_path, take_trace_path,
+    write_report, write_trace,
+};
 use nds_core::{ElementType, Shape};
-use nds_sim::{ObsConfig, RunReport};
+use nds_sim::{ObsConfig, RunReport, TraceExport};
 use nds_system::{BaselineSystem, HardwareNds, SoftwareNds, StorageFrontEnd, SystemConfig};
 
 const N: u64 = 8192;
@@ -41,9 +44,11 @@ fn fresh_systems(obs: ObsConfig) -> (BaselineSystem, SoftwareNds, HardwareNds) {
 }
 
 /// Folds the three systems' run artifacts into `report` under
-/// `<panel>.<arch>.`-prefixed names.
+/// `<panel>.<arch>.`-prefixed names, and their causal traces (when tracing
+/// is on) into `traces` under matching labels.
 fn absorb_systems(
     report: &mut RunReport,
+    traces: &mut Vec<(String, TraceExport)>,
     panel: &str,
     systems: (&BaselineSystem, &SoftwareNds, &HardwareNds),
 ) {
@@ -51,6 +56,9 @@ fn absorb_systems(
     report.merge_prefixed(&format!("{panel}.baseline."), &base.run_report());
     report.merge_prefixed(&format!("{panel}.software-nds."), &sw.run_report());
     report.merge_prefixed(&format!("{panel}.hardware-nds."), &hw.run_report());
+    collect_trace(traces, &format!("{panel}.baseline"), base);
+    collect_trace(traces, &format!("{panel}.software-nds"), sw);
+    collect_trace(traces, &format!("{panel}.hardware-nds"), hw);
 }
 
 /// Runs one read sweep over all three systems and prints MiB/s per point.
@@ -59,6 +67,7 @@ fn read_sweep(
     panel: &str,
     obs: ObsConfig,
     report: &mut RunReport,
+    traces: &mut Vec<(String, TraceExport)>,
     requests: &[(String, Vec<u64>, Vec<u64>)],
 ) {
     println!("\n## ({label})\n");
@@ -86,10 +95,10 @@ fn read_sweep(
             mib(h.effective_bandwidth().as_mib_per_sec()),
         ]);
     }
-    absorb_systems(report, panel, (&base, &sw, &hw));
+    absorb_systems(report, traces, panel, (&base, &sw, &hw));
 }
 
-fn fig_a(obs: ObsConfig, report: &mut RunReport) {
+fn fig_a(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, TraceExport)>) {
     // Row panels of 512..4096 rows (full width), as in Fig. 9(a).
     let requests = [512u64, 1024, 2048, 4096]
         .iter()
@@ -100,11 +109,12 @@ fn fig_a(obs: ObsConfig, report: &mut RunReport) {
         "a",
         obs,
         report,
+        traces,
         &requests,
     );
 }
 
-fn fig_b(obs: ObsConfig, report: &mut RunReport) {
+fn fig_b(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, TraceExport)>) {
     // Column panels of 512..4096 columns (full height).
     println!("\n## (b — column fetches; paper: row-store baseline ≤600 MB/s-class, NDS ≈ col-store baseline)\n");
     let shape = Shape::new([N, N]);
@@ -144,11 +154,12 @@ fn fig_b(obs: ObsConfig, report: &mut RunReport) {
             mib(h.effective_bandwidth().as_mib_per_sec()),
         ]);
     }
-    absorb_systems(report, "b", (&base, &sw, &hw));
+    absorb_systems(report, traces, "b", (&base, &sw, &hw));
     report.merge_prefixed("b.baseline-col-store.", &col_store.run_report());
+    collect_trace(traces, "b.baseline-col-store", &col_store);
 }
 
-fn fig_c(obs: ObsConfig, report: &mut RunReport) {
+fn fig_c(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, TraceExport)>) {
     // Square submatrices 512²..4096² at an unaligned-ish tile position.
     let requests = [512u64, 1024, 2048, 4096]
         .iter()
@@ -159,11 +170,12 @@ fn fig_c(obs: ObsConfig, report: &mut RunReport) {
         "c",
         obs,
         report,
+        traces,
         &requests,
     );
 }
 
-fn fig_d(obs: ObsConfig, report: &mut RunReport) {
+fn fig_d(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, TraceExport)>) {
     println!(
         "\n## (d — whole-matrix write; paper: baseline ~281 MB/s, software −30%, hardware −17%)\n"
     );
@@ -194,30 +206,36 @@ fn fig_d(obs: ObsConfig, report: &mut RunReport) {
             format!("{:+.0}%", (bw / baseline_bw - 1.0) * 100.0),
         ]);
     }
-    absorb_systems(report, "d", (&base, &sw, &hw));
+    absorb_systems(report, traces, "d", (&base, &sw, &hw));
 }
 
 fn main() {
     let (report_path, rest) = take_report_path(std::env::args().skip(1).collect());
-    let obs = obs_for(report_path.as_ref());
+    let (trace_path, rest) = take_trace_path(rest);
+    let obs = obs_for(report_path.as_ref(), trace_path.as_ref());
     let which = rest.first().map(String::as_str);
     let mut report = RunReport::new();
+    let mut traces = Vec::new();
     report.set_meta("bench", "fig9");
     println!("# Fig. 9 — §7.1 microbenchmarks ({N}×{N} f64, 256×256 f64 building blocks)");
     match which {
-        Some("a") => fig_a(obs, &mut report),
-        Some("b") => fig_b(obs, &mut report),
-        Some("c") => fig_c(obs, &mut report),
-        Some("d") => fig_d(obs, &mut report),
+        Some("a") => fig_a(obs, &mut report, &mut traces),
+        Some("b") => fig_b(obs, &mut report, &mut traces),
+        Some("c") => fig_c(obs, &mut report, &mut traces),
+        Some("d") => fig_d(obs, &mut report, &mut traces),
         _ => {
-            fig_a(obs, &mut report);
-            fig_b(obs, &mut report);
-            fig_c(obs, &mut report);
-            fig_d(obs, &mut report);
+            fig_a(obs, &mut report, &mut traces);
+            fig_b(obs, &mut report, &mut traces);
+            fig_c(obs, &mut report, &mut traces);
+            fig_d(obs, &mut report, &mut traces);
         }
     }
     if let Some(path) = report_path {
         write_report(&path, &report).expect("write report");
         eprintln!("run report written to {}", path.display());
+    }
+    if let Some(path) = trace_path {
+        write_trace(&path, &traces).expect("write trace");
+        eprintln!("chrome trace written to {}", path.display());
     }
 }

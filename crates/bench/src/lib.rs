@@ -18,21 +18,21 @@
 use std::path::{Path, PathBuf};
 
 use nds_core::{ElementType, Shape};
-use nds_sim::{ObsConfig, RunReport};
+use nds_sim::{ObsConfig, RunReport, TraceExport};
 use nds_system::{DatasetId, StorageFrontEnd, SystemError};
 
-/// Splits `--report <path>` (or `--report=<path>`) out of a raw argument
-/// list (as from `std::env::args().skip(1)`), returning the path if present
-/// plus the remaining arguments with the flag removed — so each binary's
-/// positional parsing is unaffected.
-pub fn take_report_path(args: Vec<String>) -> (Option<PathBuf>, Vec<String>) {
+/// Splits `--<flag> <path>` (or `--<flag>=<path>`) out of a raw argument
+/// list, returning the path if present plus the remaining arguments with
+/// the flag removed — so each binary's positional parsing is unaffected.
+fn take_path_flag(flag: &str, args: Vec<String>) -> (Option<PathBuf>, Vec<String>) {
+    let prefix = format!("{flag}=");
     let mut rest = Vec::with_capacity(args.len());
     let mut path = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
-        if a == "--report" {
+        if a == flag {
             path = it.next().map(PathBuf::from);
-        } else if let Some(p) = a.strip_prefix("--report=") {
+        } else if let Some(p) = a.strip_prefix(&prefix) {
             path = Some(PathBuf::from(p));
         } else {
             rest.push(a);
@@ -41,15 +41,54 @@ pub fn take_report_path(args: Vec<String>) -> (Option<PathBuf>, Vec<String>) {
     (path, rest)
 }
 
+/// Splits `--report <path>` (or `--report=<path>`) out of a raw argument
+/// list (as from `std::env::args().skip(1)`).
+pub fn take_report_path(args: Vec<String>) -> (Option<PathBuf>, Vec<String>) {
+    take_path_flag("--report", args)
+}
+
+/// Splits `--trace <path>` (or `--trace=<path>`) out of a raw argument
+/// list: the destination for a Chrome trace-event (Perfetto-loadable)
+/// export of the run's causal per-command traces.
+pub fn take_trace_path(args: Vec<String>) -> (Option<PathBuf>, Vec<String>) {
+    take_path_flag("--trace", args)
+}
+
 /// The observability configuration a bench run should build its systems
-/// with: full instrumentation when a report was requested, disabled (one
-/// dead branch per hook) otherwise.
-pub fn obs_for(report: Option<&PathBuf>) -> ObsConfig {
-    if report.is_some() {
+/// with: causal tracing on top of full instrumentation when a trace was
+/// requested, full instrumentation for a report alone, disabled (one dead
+/// branch per hook) otherwise.
+pub fn obs_for(report: Option<&PathBuf>, trace: Option<&PathBuf>) -> ObsConfig {
+    if trace.is_some() {
+        ObsConfig::traced()
+    } else if report.is_some() {
         ObsConfig::full()
     } else {
         ObsConfig::disabled()
     }
+}
+
+/// Appends `sys`'s causal trace export (if tracing was on) to `traces`
+/// under `label` — the label becomes the Chrome process name, so use
+/// `"<panel>.<architecture>"` style names.
+pub fn collect_trace<S: StorageFrontEnd + ?Sized>(
+    traces: &mut Vec<(String, TraceExport)>,
+    label: &str,
+    sys: &S,
+) {
+    if let Some(export) = sys.trace_export() {
+        traces.push((label.to_string(), export));
+    }
+}
+
+/// Writes the collected trace exports to `path` as deterministic Chrome
+/// trace-event JSON (loadable in Perfetto / `chrome://tracing`).
+///
+/// # Errors
+///
+/// I/O errors from creating or writing the file.
+pub fn write_trace(path: &Path, systems: &[(String, TraceExport)]) -> std::io::Result<()> {
+    std::fs::write(path, nds_prof::render(systems))
 }
 
 /// Writes a run report's deterministic JSON to `path` (trailing newline
@@ -149,7 +188,18 @@ mod tests {
         let (path, rest) = take_report_path(["c"].map(String::from).to_vec());
         assert!(path.is_none());
         assert_eq!(rest, ["c"]);
-        assert!(!obs_for(path.as_ref()).any_enabled());
+        assert!(!obs_for(path.as_ref(), None).any_enabled());
+    }
+
+    #[test]
+    fn trace_flag_enables_tracing() {
+        let (trace, rest) =
+            take_trace_path(["a", "--trace", "t.json", "b"].map(String::from).to_vec());
+        assert_eq!(trace.as_deref(), Some(std::path::Path::new("t.json")));
+        assert_eq!(rest, ["a", "b"]);
+        let obs = obs_for(None, trace.as_ref());
+        assert!(obs.tracing && obs.journal && obs.timelines);
+        assert!(!obs_for(None, None).tracing);
     }
 
     #[test]

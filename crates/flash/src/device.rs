@@ -2,7 +2,8 @@
 
 use nds_faults::{FaultConfig, FaultPlan, MediaReadFault};
 use nds_sim::{
-    ComponentId, EventKind, ObsConfig, Observability, ResourceSet, SimTime, Stats, TimelineSnapshot,
+    ComponentId, EventKind, ObsConfig, Observability, ResourceSet, SimDuration, SimTime, Stats,
+    TimelineSnapshot, TraceContext,
 };
 use serde::{Deserialize, Serialize};
 
@@ -13,6 +14,11 @@ use crate::error::FlashError;
 use crate::geometry::{BlockAddr, FlashGeometry, PageAddr};
 use crate::timing::FlashTiming;
 use crate::FlashConfig;
+
+/// Run-long `(resource name, busy time)` totals for one lane class
+/// (channels or banks), as returned by
+/// [`FlashDevice::lane_busy_totals`].
+pub type LaneBusy = Vec<(String, SimDuration)>;
 
 /// Lifecycle state of a flash page.
 ///
@@ -135,6 +141,38 @@ impl FlashDevice {
         let mut out = self.channels.timeline_snapshots();
         out.extend(self.banks.timeline_snapshots());
         out
+    }
+
+    /// Tags subsequent journal events with a front-end command's trace
+    /// context (causal trace id + run-long clock origin); paired with
+    /// [`end_trace`](Self::end_trace) around each traced command.
+    pub fn begin_trace(&mut self, ctx: TraceContext) {
+        self.obs.set_trace(ctx);
+    }
+
+    /// Stops trace tagging on the device journal.
+    pub fn end_trace(&mut self) {
+        self.obs.clear_trace();
+    }
+
+    /// Run-long `(name, busy)` totals per channel and per bank, from the
+    /// epoch-folded busy timelines (empty when timelines are disabled).
+    /// This is the ground truth behind the profiler's channel/bank
+    /// parallelism metrics.
+    pub fn lane_busy_totals(&self) -> (LaneBusy, LaneBusy) {
+        let busy = |snaps: Vec<(String, TimelineSnapshot)>| {
+            snaps
+                .into_iter()
+                .map(|(name, snap)| {
+                    let total = snap.total_busy();
+                    (name, total)
+                })
+                .collect()
+        };
+        (
+            busy(self.channels.timeline_snapshots()),
+            busy(self.banks.timeline_snapshots()),
+        )
     }
 
     /// The device geometry.

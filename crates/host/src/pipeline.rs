@@ -16,7 +16,7 @@
 //! pipelined compute kernel": how long the accelerator sits starved because
 //! the storage path cannot feed it.
 
-use nds_sim::SimDuration;
+use nds_sim::{ComponentId, Journal, SimDuration, SimTime, TraceContext};
 use serde::{Deserialize, Serialize};
 
 /// Per-stage durations for one block flowing through the pipeline.
@@ -119,6 +119,35 @@ pub fn run_traced(
     }
 }
 
+/// Like [`run`], but additionally records every scheduled stage interval
+/// into `journal` as a `SpanBegin`/`SpanEnd` pair — component
+/// `host.pipeline[stage]`, label from `labels` (falling back to
+/// `"stage"`), tagged with the block's 1-based trace id. This is the
+/// bridge from the pipeline recurrence to the Chrome-trace exporter:
+/// fig2 renders the interleaved schedule from these span pairs.
+///
+/// # Panics
+///
+/// Panics if `blocks` is empty or blocks disagree on stage count.
+pub fn run_journaled(
+    blocks: &[StageTimes],
+    labels: &[&'static str],
+    journal: &mut Journal,
+) -> PipelineResult {
+    let result = run_traced(blocks, |stage, block, start, finish| {
+        let component = ComponentId::new("host.pipeline", stage as u32);
+        let label = labels.get(stage).copied().unwrap_or("stage");
+        journal.set_trace(TraceContext {
+            id: block as u64 + 1,
+            origin: SimDuration::ZERO,
+        });
+        journal.begin_span(SimTime::ZERO + start, component, label);
+        journal.end_span(SimTime::ZERO + finish, component, label);
+    });
+    journal.clear_trace();
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +242,21 @@ mod tests {
                 .sum();
             assert_eq!(busy, traced.stage_busy[s]);
         }
+    }
+
+    #[test]
+    fn run_journaled_matches_run_and_pairs_spans() {
+        let blocks = uniform(3, &[50, 10]);
+        let plain = run(&blocks);
+        let mut journal = Journal::enabled(64);
+        let traced = run_journaled(&blocks, &["io", "kernel"], &mut journal);
+        assert_eq!(plain, traced, "journaling must not move the schedule");
+        assert_eq!(journal.len(), 3 * 2 * 2, "begin+end per stage per block");
+        let events: Vec<_> = journal.events().copied().collect();
+        assert!(events.iter().all(|e| e.trace >= 1 && e.trace <= 3));
+        assert!(events
+            .iter()
+            .any(|e| e.component == ComponentId::new("host.pipeline", 1)));
     }
 
     #[test]

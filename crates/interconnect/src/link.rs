@@ -5,7 +5,7 @@ use core::fmt;
 use nds_faults::{FaultConfig, FaultPlan, LinkFault};
 use nds_sim::{
     ComponentId, EventKind, ObsConfig, Observability, Resource, SimDuration, SimTime, Stats,
-    Throughput, TimelineSnapshot,
+    Throughput, TimelineSnapshot, TraceContext,
 };
 use serde::{Deserialize, Serialize};
 
@@ -136,6 +136,18 @@ impl Link {
     /// Mutable access to the link's journal and histograms.
     pub fn observability_mut(&mut self) -> &mut Observability {
         &mut self.obs
+    }
+
+    /// Tags subsequent journal events (command lifecycle, fault/retry)
+    /// with a front-end command's trace context; paired with
+    /// [`end_trace`](Self::end_trace) around each traced command.
+    pub fn begin_trace(&mut self, ctx: TraceContext) {
+        self.obs.set_trace(ctx);
+    }
+
+    /// Stops trace tagging on the link journal.
+    pub fn end_trace(&mut self) {
+        self.obs.clear_trace();
     }
 
     /// Snapshot of the wire's busy-time timeline, if sampling was enabled.

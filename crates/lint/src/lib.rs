@@ -193,10 +193,11 @@ const SIM_CRATES: &[&str] = &[
     "accel",
     "system",
     "workloads",
+    "prof",
 ];
 
 /// Crates on the modeled data/timing path: rules D2/D4 apply on top.
-const DATA_PATH_CRATES: &[&str] = &["core", "flash", "interconnect", "system"];
+const DATA_PATH_CRATES: &[&str] = &["core", "flash", "interconnect", "system", "prof"];
 
 /// Classifies a workspace-relative path into the rules that apply to it.
 ///

@@ -46,8 +46,9 @@ mod time;
 mod trace;
 
 pub use obs::{
-    BusyTimeline, ComponentId, Event, EventKind, Histograms, Journal, JournalSummary,
-    LatencyHistogram, ObsConfig, Observability, RunReport, TimelineSnapshot,
+    record_command_partition, BusyTimeline, CommandTracer, ComponentId, Event, EventKind,
+    Histograms, Journal, JournalSummary, LatencyHistogram, ObsConfig, Observability, RunReport,
+    TimelineSnapshot, TraceContext, TraceExport, TraceStage,
 };
 pub use resource::{Resource, ResourceSet};
 pub use stats::Stats;

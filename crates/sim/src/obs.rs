@@ -136,6 +136,71 @@ pub enum EventKind {
         /// Span label matching the begin event.
         label: &'static str,
     },
+    /// Start of a traced front-end command (paired with
+    /// [`TraceEnd`](Self::TraceEnd) by trace id). `at` is the command's
+    /// start instant on the run-long trace clock.
+    TraceBegin {
+        /// Run-unique 1-based trace id.
+        trace: u64,
+        /// Operation kind: `"read"` or `"write"`.
+        op: &'static str,
+    },
+    /// End of a traced front-end command; `at − begin.at` is the exact
+    /// end-to-end modeled latency.
+    TraceEnd {
+        /// Trace id matching the begin event.
+        trace: u64,
+    },
+    /// One stage of a traced command's latency partition: the `dur`-long
+    /// interval starting at `at` is attributed to `stage`. Per trace id
+    /// the stage durations sum *exactly* to end-to-end latency (the
+    /// attribution invariant `nds-prof` verifies).
+    StageSpan {
+        /// Trace id the stage belongs to.
+        trace: u64,
+        /// Pipeline stage the interval is attributed to.
+        stage: TraceStage,
+        /// Length of the interval.
+        dur: SimDuration,
+    },
+}
+
+/// The five-way latency attribution of a traced command (DESIGN.md
+/// "Profiling and critical-path attribution").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceStage {
+    /// Host-side command submission / NVMe queue occupancy.
+    Queue,
+    /// Host↔device link transfer on the critical path.
+    Link,
+    /// Flash channel/bank service on the critical path.
+    Flash,
+    /// Restructuring work: marshalling, scatter/gather, reassembly.
+    Restructure,
+    /// Everything else (fixed software costs such as STL traversal).
+    Other,
+}
+
+impl TraceStage {
+    /// Every stage, in attribution-table order.
+    pub const ALL: [TraceStage; 5] = [
+        TraceStage::Queue,
+        TraceStage::Link,
+        TraceStage::Flash,
+        TraceStage::Restructure,
+        TraceStage::Other,
+    ];
+
+    /// Stable lower-case name used in exported artifacts.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TraceStage::Queue => "queue",
+            TraceStage::Link => "link",
+            TraceStage::Flash => "flash",
+            TraceStage::Restructure => "restructure",
+            TraceStage::Other => "other",
+        }
+    }
 }
 
 impl EventKind {
@@ -152,6 +217,9 @@ impl EventKind {
             EventKind::RetryScheduled { .. } => "RetryScheduled",
             EventKind::SpanBegin { .. } => "SpanBegin",
             EventKind::SpanEnd { .. } => "SpanEnd",
+            EventKind::TraceBegin { .. } => "TraceBegin",
+            EventKind::TraceEnd { .. } => "TraceEnd",
+            EventKind::StageSpan { .. } => "StageSpan",
         }
     }
 }
@@ -159,12 +227,16 @@ impl EventKind {
 /// One journal entry: a typed event at a modeled instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
-    /// Modeled instant of the event.
+    /// Modeled instant of the event. While a trace context is set this is
+    /// on the run-long trace clock; otherwise it is epoch-local.
     pub at: SimTime,
     /// Component that emitted it.
     pub component: ComponentId,
     /// What happened.
     pub kind: EventKind,
+    /// Causal trace id of the front-end command in flight when the event
+    /// was recorded (0 = untraced).
+    pub trace: u64,
 }
 
 /// A bounded ring of typed events with per-kind counters.
@@ -180,6 +252,8 @@ pub struct Journal {
     recorded: u64,
     dropped: u64,
     by_kind: BTreeMap<&'static str, u64>,
+    trace: u64,
+    origin: SimDuration,
 }
 
 /// Default ring capacity for [`Journal::default`].
@@ -201,6 +275,8 @@ impl Journal {
             recorded: 0,
             dropped: 0,
             by_kind: BTreeMap::new(),
+            trace: 0,
+            origin: SimDuration::ZERO,
         }
     }
 
@@ -241,10 +317,27 @@ impl Journal {
             self.dropped += 1;
         }
         self.events.push_back(Event {
-            at,
+            at: at + self.origin,
             component,
             kind,
+            trace: self.trace,
         });
+    }
+
+    /// Tags subsequent events with `ctx`'s trace id and shifts their
+    /// timestamps by its run-long origin, so a command epoch's
+    /// `SimTime::ZERO`-anchored instants land on the continuous trace
+    /// clock. Cleared with [`clear_trace`](Self::clear_trace).
+    pub fn set_trace(&mut self, ctx: TraceContext) {
+        self.trace = ctx.id;
+        self.origin = ctx.origin;
+    }
+
+    /// Stops trace tagging: subsequent events record untraced (`trace`
+    /// 0) at epoch-local time.
+    pub fn clear_trace(&mut self) {
+        self.trace = 0;
+        self.origin = SimDuration::ZERO;
     }
 
     /// Records a [`EventKind::SpanBegin`] for `label`.
@@ -329,6 +422,132 @@ impl JournalSummary {
             *self.by_kind.entry(kind.clone()).or_insert(0) += count;
         }
     }
+}
+
+/// A command's identity on the run-long trace clock: its 1-based id and
+/// the clock offset at which the command started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Run-unique 1-based trace id (0 is reserved for "untraced").
+    pub id: u64,
+    /// Run-long trace-clock offset of the command's start.
+    pub origin: SimDuration,
+}
+
+/// Allocates trace ids and maintains the run-long trace clock.
+///
+/// Front-ends model each command in its own epoch anchored at
+/// [`SimTime::ZERO`]; the tracer concatenates those epochs — exactly like
+/// [`BusyTimeline::fold_epoch`] does for resource occupancy — so exported
+/// traces share one continuous clock whose final value is the run's
+/// serial makespan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommandTracer {
+    next_id: u64,
+    clock: SimDuration,
+}
+
+impl CommandTracer {
+    /// A tracer at clock zero; the first command gets trace id 1.
+    pub fn new() -> Self {
+        CommandTracer::default()
+    }
+
+    /// Starts the next command at the current clock.
+    pub fn begin(&mut self) -> TraceContext {
+        self.next_id += 1;
+        TraceContext {
+            id: self.next_id,
+            origin: self.clock,
+        }
+    }
+
+    /// Finishes the current command, advancing the clock by its
+    /// end-to-end latency.
+    pub fn finish(&mut self, latency: SimDuration) {
+        self.clock += latency;
+    }
+
+    /// The trace clock: total modeled time across finished commands.
+    pub fn makespan(&self) -> SimDuration {
+        self.clock
+    }
+
+    /// Commands begun so far.
+    pub fn commands(&self) -> u64 {
+        self.next_id
+    }
+}
+
+/// Records a traced command's exact latency partition into `journal`: a
+/// [`TraceBegin`](EventKind::TraceBegin) at the epoch origin, one
+/// [`StageSpan`](EventKind::StageSpan) per non-empty stage laid end to
+/// end, and a [`TraceEnd`](EventKind::TraceEnd) at `latency`. A shortfall
+/// between the stage sum and `latency` is padded with
+/// [`TraceStage::Other`], so the attribution invariant — stages sum
+/// exactly to end-to-end latency — holds by construction.
+///
+/// Must be called while `journal`'s trace context is set to `ctx`, so
+/// the events inherit the id and run-long origin.
+pub fn record_command_partition(
+    journal: &mut Journal,
+    component: ComponentId,
+    ctx: TraceContext,
+    op: &'static str,
+    latency: SimDuration,
+    stages: &[(TraceStage, SimDuration)],
+) {
+    let trace = ctx.id;
+    journal.record(SimTime::ZERO, component, || EventKind::TraceBegin {
+        trace,
+        op,
+    });
+    let mut offset = SimDuration::ZERO;
+    for &(stage, dur) in stages {
+        if dur.is_zero() {
+            continue;
+        }
+        journal.record(SimTime::ZERO + offset, component, || EventKind::StageSpan {
+            trace,
+            stage,
+            dur,
+        });
+        offset += dur;
+    }
+    debug_assert!(
+        offset <= latency,
+        "stage partition ({offset:?}) exceeds end-to-end latency ({latency:?})"
+    );
+    let pad = latency.saturating_sub(offset);
+    if !pad.is_zero() {
+        journal.record(SimTime::ZERO + offset, component, || EventKind::StageSpan {
+            trace,
+            stage: TraceStage::Other,
+            dur: pad,
+        });
+    }
+    journal.record(SimTime::ZERO + latency, component, || EventKind::TraceEnd {
+        trace,
+    });
+}
+
+/// Everything a front-end exports for one run's causal trace:
+/// trace-tagged events on the run-long clock (system, link, and flash
+/// journals combined), run-long per-channel/bank busy totals, and the
+/// trace clock's final value. Consumed by the Chrome-trace exporter and
+/// `nds-prof`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceExport {
+    /// Trace-tagged events ordered by instant (stable on ties, so
+    /// source order — system, link, flash — breaks them
+    /// deterministically).
+    pub events: Vec<Event>,
+    /// Run-long busy time per flash channel, by resource name.
+    pub channels: Vec<(String, SimDuration)>,
+    /// Run-long busy time per flash bank, by resource name.
+    pub banks: Vec<(String, SimDuration)>,
+    /// Final trace-clock value: the sum of traced command latencies.
+    pub makespan: SimDuration,
 }
 
 /// Number of log2 buckets: bucket 0 holds zero-duration samples, bucket
@@ -431,6 +650,46 @@ impl LatencyHistogram {
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| (i, c))
+    }
+
+    /// The `q`-quantile (`q` in `[0.0, 1.0]`, clamped) of the recorded
+    /// samples, reconstructed deterministically from the log2 buckets.
+    ///
+    /// `q` is converted once to an integer rank in parts-per-million;
+    /// everything after that is exact integer arithmetic: the rank's
+    /// bucket is located by cumulative count, the value interpolated at
+    /// the midpoint of the rank's equal slice of the bucket's span, and
+    /// the result clamped into `[min, max]`. Monotone in `q`; returns
+    /// zero for an empty histogram. The result is an approximation of the
+    /// true sample quantile with at most one bucket (2×) of error.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let clamped = if q.is_finite() {
+            q.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        // The only float step: one conversion to parts-per-million.
+        let ppm = (clamped * 1_000_000.0) as u128;
+        let rank = (ppm * (self.count as u128 - 1) / 1_000_000) as u64;
+        let mut seen = 0u64;
+        for (idx, count) in self.nonzero_buckets() {
+            if rank < seen + count {
+                let lo = Self::bucket_floor_nanos(idx);
+                let hi = Self::bucket_floor_nanos(idx + 1).max(lo);
+                let pos = rank - seen;
+                let span = hi - lo;
+                // Midpoint of the rank's slice when the bucket span is
+                // divided into `count` equal parts.
+                let offset = (span as u128 * (2 * pos as u128 + 1) / (2 * count as u128)) as u64;
+                let value = (lo + offset).clamp(self.min.as_nanos(), self.max.as_nanos());
+                return SimDuration::from_nanos(value);
+            }
+            seen += count;
+        }
+        self.max
     }
 
     /// Folds another histogram into this one.
@@ -614,6 +873,13 @@ pub struct TimelineSnapshot {
     pub overflow: SimDuration,
 }
 
+impl TimelineSnapshot {
+    /// Total busy time in the snapshot (buckets + overflow).
+    pub fn total_busy(&self) -> SimDuration {
+        self.buckets.iter().copied().sum::<SimDuration>() + self.overflow
+    }
+}
+
 /// Configuration for the observability layer, threaded through
 /// `SystemConfig` into every timing component. Everything defaults to
 /// off; the disabled layer costs one branch per hook.
@@ -631,6 +897,9 @@ pub struct ObsConfig {
     pub timeline_window: SimDuration,
     /// Timeline bucket cap per resource (overflow is summed past it).
     pub timeline_buckets: usize,
+    /// Thread causal per-command trace ids through the journals
+    /// (front-ends allocate a [`CommandTracer`] when set).
+    pub tracing: bool,
 }
 
 impl ObsConfig {
@@ -643,16 +912,28 @@ impl ObsConfig {
             timelines: false,
             timeline_window: SimDuration::from_micros(100),
             timeline_buckets: 4096,
+            tracing: false,
         }
     }
 
     /// Journal, histograms, and timelines all on, at default capacities.
+    /// Tracing stays off (it adds trace/stage events to the journal).
     pub const fn full() -> Self {
         ObsConfig {
             journal: true,
             histograms: true,
             timelines: true,
             ..ObsConfig::disabled()
+        }
+    }
+
+    /// Everything on **plus** causal per-command tracing, with journal
+    /// rings sized to retain full traces of a figure-scale run.
+    pub const fn traced() -> Self {
+        ObsConfig {
+            tracing: true,
+            journal_capacity: 1 << 16,
+            ..ObsConfig::full()
         }
     }
 
@@ -705,6 +986,17 @@ impl Observability {
     /// disabled).
     pub fn latency(&mut self, name: &'static str, sample: SimDuration) {
         self.histograms.record(name, sample);
+    }
+
+    /// Tags subsequent journal events with a command's trace context
+    /// (see [`Journal::set_trace`]).
+    pub fn set_trace(&mut self, ctx: TraceContext) {
+        self.journal.set_trace(ctx);
+    }
+
+    /// Stops trace tagging on the journal.
+    pub fn clear_trace(&mut self) {
+        self.journal.clear_trace();
     }
 
     /// The event journal.
@@ -862,6 +1154,12 @@ impl RunReport {
             push_u64(&mut out, h.min().as_nanos());
             out.push_str(", \"max_ns\": ");
             push_u64(&mut out, h.max().as_nanos());
+            out.push_str(", \"p50_ns\": ");
+            push_u64(&mut out, h.quantile(0.50).as_nanos());
+            out.push_str(", \"p95_ns\": ");
+            push_u64(&mut out, h.quantile(0.95).as_nanos());
+            out.push_str(", \"p99_ns\": ");
+            push_u64(&mut out, h.quantile(0.99).as_nanos());
             out.push_str(", \"log2_buckets\": [");
             let mut first_bucket = true;
             for (idx, count) in h.nonzero_buckets() {
@@ -1138,6 +1436,114 @@ mod tests {
         obs.configure(&ObsConfig::disabled());
         assert!(!obs.is_enabled());
         assert!(obs.journal().is_empty(), "configure resets the journal");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for n in [100u64, 200, 400, 800, 1600, 3200, 6400, 12800] {
+            h.record(SimDuration::from_nanos(n));
+        }
+        let mut last = SimDuration::ZERO;
+        for step in 0..=100u64 {
+            let q = h.quantile(step as f64 / 100.0);
+            assert!(q >= last, "quantile must be monotone in q");
+            assert!(
+                q >= h.min() && q <= h.max(),
+                "quantile must be in [min, max]"
+            );
+            last = q;
+        }
+        assert_eq!(LatencyHistogram::new().quantile(0.5), SimDuration::ZERO);
+        // A single sample: every quantile collapses onto it (clamped).
+        let mut one = LatencyHistogram::new();
+        one.record(us(7));
+        assert_eq!(one.quantile(0.0), us(7));
+        assert_eq!(one.quantile(1.0), us(7));
+    }
+
+    #[test]
+    fn trace_context_tags_and_shifts_events() {
+        let mut j = Journal::enabled(16);
+        let c = ComponentId::singleton("x");
+        j.record(SimTime::ZERO + us(1), c, || EventKind::CommandIssued {
+            bytes: 1,
+        });
+        let mut tracer = CommandTracer::new();
+        tracer.finish(us(10)); // pretend an earlier command took 10us
+        let ctx = tracer.begin();
+        assert_eq!(ctx.id, 1);
+        assert_eq!(ctx.origin, us(10));
+        j.set_trace(ctx);
+        j.record(SimTime::ZERO + us(2), c, || EventKind::CommandIssued {
+            bytes: 2,
+        });
+        j.clear_trace();
+        j.record(SimTime::ZERO + us(3), c, || EventKind::CommandIssued {
+            bytes: 3,
+        });
+        let events: Vec<_> = j.events().copied().collect();
+        assert_eq!(events[0].trace, 0);
+        assert_eq!(events[0].at, SimTime::ZERO + us(1));
+        assert_eq!(events[1].trace, 1);
+        assert_eq!(events[1].at, SimTime::ZERO + us(12), "origin-shifted");
+        assert_eq!(events[2].trace, 0);
+        assert_eq!(events[2].at, SimTime::ZERO + us(3));
+    }
+
+    #[test]
+    fn command_partition_sums_exactly_to_latency() {
+        let mut j = Journal::enabled(16);
+        let c = ComponentId::singleton("system");
+        let mut tracer = CommandTracer::new();
+        let ctx = tracer.begin();
+        j.set_trace(ctx);
+        record_command_partition(
+            &mut j,
+            c,
+            ctx,
+            "read",
+            us(10),
+            &[
+                (TraceStage::Flash, us(4)),
+                (TraceStage::Link, us(3)),
+                (TraceStage::Restructure, SimDuration::ZERO),
+            ],
+        );
+        j.clear_trace();
+        tracer.finish(us(10));
+        let events: Vec<_> = j.events().copied().collect();
+        // Begin, flash, link, other-pad, end — the zero stage is skipped.
+        assert_eq!(events.len(), 5);
+        let mut stage_sum = SimDuration::ZERO;
+        let mut begin = SimTime::ZERO;
+        let mut end = SimTime::ZERO;
+        for e in &events {
+            assert_eq!(e.trace, 1);
+            match e.kind {
+                EventKind::TraceBegin { trace, op } => {
+                    assert_eq!((trace, op), (1, "read"));
+                    begin = e.at;
+                }
+                EventKind::TraceEnd { trace } => {
+                    assert_eq!(trace, 1);
+                    end = e.at;
+                }
+                EventKind::StageSpan { dur, .. } => stage_sum += dur,
+                _ => panic!("unexpected event kind"),
+            }
+        }
+        assert_eq!(stage_sum, us(10), "stages must sum exactly to latency");
+        assert_eq!(end.saturating_since(begin), us(10));
+        assert_eq!(tracer.makespan(), us(10));
+        assert!(matches!(
+            events[3].kind,
+            EventKind::StageSpan {
+                stage: TraceStage::Other,
+                dur,
+                ..
+            } if dur == us(3)
+        ));
     }
 
     #[test]

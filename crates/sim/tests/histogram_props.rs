@@ -1,0 +1,93 @@
+//! Property tests of [`LatencyHistogram`]: quantile monotonicity/bounds
+//! and merge consistency (PR 5 satellite; the quantile algorithm backs the
+//! p50/p95/p99 fields in every run report and the `nds-prof` output).
+
+// Test helpers outside #[test] fns aren't covered by allow-unwrap-in-tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+
+use nds_sim::{LatencyHistogram, SimDuration};
+
+fn hist_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::default();
+    for &ns in samples {
+        h.record(SimDuration::from_nanos(ns));
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Quantiles never decrease as `q` increases, and always stay within
+    /// the observed `[min, max]` range.
+    #[test]
+    fn quantile_is_monotone_and_bounded(
+        samples in prop::collection::vec(0u64..1_000_000_000, 1..200),
+        qs in prop::collection::vec(0.0f64..1.0, 2..20),
+    ) {
+        let h = hist_of(&samples);
+        let mut sorted_q = qs;
+        sorted_q.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut prev = SimDuration::ZERO;
+        for (i, &q) in sorted_q.iter().enumerate() {
+            let v = h.quantile(q);
+            prop_assert!(v >= h.min(), "q{q} below min: {v} < {}", h.min());
+            prop_assert!(v <= h.max(), "q{q} above max: {v} > {}", h.max());
+            if i > 0 {
+                prop_assert!(v >= prev, "quantile not monotone at q={q}: {v} < {prev}");
+            }
+            prev = v;
+        }
+    }
+
+    /// A constant sample population has every quantile equal to that
+    /// constant (the `[min, max]` clamp makes this exact).
+    #[test]
+    fn constant_samples_have_constant_quantiles(
+        value in 0u64..1_000_000_000,
+        count in 1usize..100,
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&vec![value; count]);
+        prop_assert_eq!(h.quantile(q), SimDuration::from_nanos(value));
+        prop_assert_eq!(h.quantile(1.0), SimDuration::from_nanos(value));
+    }
+
+    /// Merging histograms is equivalent to recording the concatenated
+    /// sample stream: counts, totals, extremes, and every bucket agree.
+    #[test]
+    fn merge_matches_concatenation(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..150),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..150),
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let both: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let direct = hist_of(&both);
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert_eq!(merged.total(), direct.total());
+        prop_assert_eq!(merged.min(), direct.min());
+        prop_assert_eq!(merged.max(), direct.max());
+        prop_assert_eq!(merged.buckets(), direct.buckets());
+        // Identical state implies identical quantiles.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), direct.quantile(q));
+        }
+    }
+
+    /// Merging with an empty histogram is the identity, both ways.
+    #[test]
+    fn merge_with_empty_is_identity(
+        samples in prop::collection::vec(0u64..1_000_000_000, 0..150),
+    ) {
+        let base = hist_of(&samples);
+        let mut left = base.clone();
+        left.merge(&LatencyHistogram::default());
+        prop_assert_eq!(&left, &base);
+        let mut right = LatencyHistogram::default();
+        right.merge(&base);
+        prop_assert_eq!(&right, &base);
+    }
+}

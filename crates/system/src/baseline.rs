@@ -16,7 +16,10 @@ use nds_core::{ElementType, NdsError, Region, Shape};
 use nds_flash::{Ftl, FtlConfig};
 use nds_host::CpuModel;
 use nds_interconnect::Link;
-use nds_sim::{ComponentId, Observability, RunReport, SimDuration, SimTime, Stats};
+use nds_sim::{
+    record_command_partition, CommandTracer, ComponentId, Event, Observability, RunReport,
+    SimDuration, SimTime, Stats, TraceContext, TraceExport, TraceStage,
+};
 
 use crate::config::SystemConfig;
 use crate::error::SystemError;
@@ -51,6 +54,7 @@ pub struct BaselineSystem {
     next_lba: u64,
     stats: Stats,
     obs: Observability,
+    tracer: Option<CommandTracer>,
 }
 
 /// Journal identity of a front-end's request-level span events.
@@ -79,6 +83,43 @@ impl BaselineSystem {
             next_lba: 0,
             stats: Stats::new(),
             obs,
+            tracer: config.obs.tracing.then(CommandTracer::new),
+        }
+    }
+
+    /// Starts a traced command: allocates its trace context and tags the
+    /// system, link, and device journals with it. Returns `None` (and does
+    /// nothing) unless tracing is configured.
+    fn begin_command(&mut self) -> Option<TraceContext> {
+        let ctx = self.tracer.as_mut().map(|t| t.begin())?;
+        self.obs.set_trace(ctx);
+        self.ftl.device_mut().begin_trace(ctx);
+        self.link.begin_trace(ctx);
+        Some(ctx)
+    }
+
+    /// Finishes a traced command: records its exact stage partition,
+    /// clears the trace tags, and advances the trace clock by `latency`.
+    fn finish_command(
+        &mut self,
+        ctx: TraceContext,
+        op: &'static str,
+        latency: SimDuration,
+        stages: &[(TraceStage, SimDuration)],
+    ) {
+        record_command_partition(
+            self.obs.journal_mut(),
+            SYSTEM_COMPONENT,
+            ctx,
+            op,
+            latency,
+            stages,
+        );
+        self.obs.clear_trace();
+        self.ftl.device_mut().end_trace();
+        self.link.end_trace();
+        if let Some(t) = self.tracer.as_mut() {
+            t.finish(latency);
         }
     }
 
@@ -251,6 +292,7 @@ impl StorageFrontEnd for BaselineSystem {
         }
         self.ftl.device_mut().reset_timing();
         self.link.reset_timing();
+        let ctx = self.begin_command();
 
         // [P1] serialization: scattering the object into the linear layout.
         let marshal = if extents.len() > 1 {
@@ -302,8 +344,29 @@ impl StorageFrontEnd for BaselineSystem {
             link_end = self.link.try_transfer(count * ps, SimTime::ZERO)?;
         }
         let submit = self.cpu.submit_time(commands.len() as u64);
-        let io = link_end.saturating_since(SimTime::ZERO).max(submit);
+        let link_dur = link_end.saturating_since(SimTime::ZERO);
+        let io = link_dur.max(submit);
         let latency = marshal + io + program_end.saturating_since(SimTime::ZERO);
+
+        if let Some(ctx) = ctx {
+            // Chronological waterfall: marshal, then the io region (won by
+            // whichever of submission and link transfer dominated), then
+            // the program tail. The three sum exactly to `latency`.
+            let io_stage = if submit >= link_dur {
+                TraceStage::Queue
+            } else {
+                TraceStage::Link
+            };
+            let stages = [
+                (TraceStage::Restructure, marshal),
+                (io_stage, io),
+                (
+                    TraceStage::Flash,
+                    program_end.saturating_since(SimTime::ZERO),
+                ),
+            ];
+            self.finish_command(ctx, "write", latency, &stages);
+        }
 
         self.stats
             .add("system.write_commands", commands.len() as u64);
@@ -347,6 +410,7 @@ impl StorageFrontEnd for BaselineSystem {
         let total_bytes: u64 = extents.iter().map(|e| e.len).sum();
         self.ftl.device_mut().reset_timing();
         self.link.reset_timing();
+        let ctx = self.begin_command();
 
         let ps = self.page_size();
         let commands = self.commands_for(&ds, &extents);
@@ -356,6 +420,7 @@ impl StorageFrontEnd for BaselineSystem {
         let timing = *self.ftl.device().timing();
         let first_page = SimTime::ZERO + timing.read_latency + timing.transfer_time(ps as usize);
         let mut io_end = SimTime::ZERO;
+        let mut flash_end = SimTime::ZERO;
         for &(first, count, wire_bytes) in &commands {
             // Device: all the command's mapped pages, as one batch.
             let addrs: Vec<_> = (first..first + count)
@@ -371,13 +436,17 @@ impl StorageFrontEnd for BaselineSystem {
             let link_end = self
                 .link
                 .try_transfer(wire_bytes.min(count * ps), first_page.min(dev_end))?;
+            flash_end = flash_end.max(dev_end);
             io_end = io_end.max(dev_end).max(link_end);
         }
         // Preventive migration of any blocks the batch pushed past the
         // read-disturb limit, before the host sees the data.
-        io_end = io_end.max(self.ftl.service_disturbed(io_end)?);
+        let disturbed = self.ftl.service_disturbed(io_end)?;
+        flash_end = flash_end.max(disturbed);
+        io_end = io_end.max(disturbed);
         let submit = self.cpu.submit_time(commands.len() as u64);
-        let io_latency = io_end.saturating_since(SimTime::ZERO).max(submit);
+        let io_dur = io_end.saturating_since(SimTime::ZERO);
+        let io_latency = io_dur.max(submit);
         // Steady-state pacing under a deep queue: device lanes, wire, and
         // submitting CPU each drain their aggregate work in parallel.
         let io_occupancy = self
@@ -401,6 +470,23 @@ impl StorageFrontEnd for BaselineSystem {
         buf.resize(total_bytes as usize, 0);
         for e in &extents {
             self.read_extent(&ds, *e, buf);
+        }
+
+        if let Some(ctx) = ctx {
+            // Waterfall back from the end of the io region: when command
+            // submission dominated, the whole region is queue time;
+            // otherwise flash service owns it up to the last page's
+            // completion and the link the remainder (it finished last).
+            let mut stages = Vec::with_capacity(3);
+            if submit >= io_dur {
+                stages.push((TraceStage::Queue, io_latency));
+            } else {
+                let flash = flash_end.saturating_since(SimTime::ZERO).min(io_latency);
+                stages.push((TraceStage::Flash, flash));
+                stages.push((TraceStage::Link, io_latency - flash));
+            }
+            stages.push((TraceStage::Restructure, restructure));
+            self.finish_command(ctx, "read", io_latency + restructure, &stages);
         }
 
         self.stats
@@ -462,6 +548,30 @@ impl StorageFrontEnd for BaselineSystem {
             report.add_timeline(name, t);
         }
         report
+    }
+
+    fn trace_export(&self) -> Option<TraceExport> {
+        let tracer = self.tracer.as_ref()?;
+        let mut events: Vec<Event> = self.obs.journal().events().copied().collect();
+        events.extend(self.link.observability().journal().events().copied());
+        events.extend(
+            self.ftl
+                .device()
+                .observability()
+                .journal()
+                .events()
+                .copied(),
+        );
+        events.retain(|e| e.trace != 0);
+        // Stable sort: ties keep source order (system, link, flash).
+        events.sort_by_key(|e| e.at);
+        let (channels, banks) = self.ftl.device().lane_busy_totals();
+        Some(TraceExport {
+            events,
+            channels,
+            banks,
+            makespan: tracer.makespan(),
+        })
     }
 }
 

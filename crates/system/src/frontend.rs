@@ -1,7 +1,7 @@
 //! The common storage front-end trait and operation outcomes.
 
 use nds_core::{ElementType, Shape};
-use nds_sim::{RunReport, SimDuration, Stats, Throughput};
+use nds_sim::{RunReport, SimDuration, Stats, Throughput, TraceExport};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SystemError;
@@ -222,6 +222,16 @@ pub trait StorageFrontEnd {
         let mut report = self.stats().to_report();
         report.set_meta("arch", self.name());
         report
+    }
+
+    /// The run's causal trace — every trace-tagged event from the
+    /// system/link/device journals on the run-long trace clock, plus
+    /// per-channel/bank busy totals — for the Chrome-trace exporter and
+    /// `nds-prof`. `None` unless the system was built with
+    /// [`ObsConfig::traced`](nds_sim::ObsConfig::traced) (each
+    /// architecture overrides this default).
+    fn trace_export(&self) -> Option<TraceExport> {
+        None
     }
 }
 

@@ -17,7 +17,8 @@ use nds_core::{ElementType, Shape, SpaceId, Stl};
 use nds_host::CpuModel;
 use nds_interconnect::{wire, Link, NvmeCommand, QueuePair};
 use nds_sim::{
-    ComponentId, EventKind, Observability, Resource, RunReport, SimDuration, SimTime, Stats,
+    record_command_partition, CommandTracer, ComponentId, Event, EventKind, Observability,
+    Resource, RunReport, SimDuration, SimTime, Stats, TraceContext, TraceExport, TraceStage,
 };
 
 use crate::config::{ControllerConfig, SystemConfig};
@@ -38,6 +39,7 @@ pub struct HardwareNds {
     next_id: u64,
     stats: Stats,
     obs: Observability,
+    tracer: Option<CommandTracer>,
 }
 
 /// Journal identity of the front-end's request-level span events.
@@ -73,6 +75,44 @@ impl HardwareNds {
             next_id: 1,
             stats: Stats::new(),
             obs,
+            tracer: config.obs.tracing.then(CommandTracer::new),
+        }
+    }
+
+    /// Starts a traced command: allocates its trace context and tags the
+    /// system, link, and device journals with it — before the NVMe queue
+    /// events, so the extended command's submission is part of the trace.
+    /// `None` unless tracing is configured.
+    fn begin_command(&mut self) -> Option<TraceContext> {
+        let ctx = self.tracer.as_mut().map(|t| t.begin())?;
+        self.obs.set_trace(ctx);
+        self.stl.backend_mut().device_mut().begin_trace(ctx);
+        self.link.begin_trace(ctx);
+        Some(ctx)
+    }
+
+    /// Finishes a traced command: records its exact stage partition,
+    /// clears the trace tags, and advances the trace clock by `latency`.
+    fn finish_command(
+        &mut self,
+        ctx: TraceContext,
+        op: &'static str,
+        latency: SimDuration,
+        stages: &[(TraceStage, SimDuration)],
+    ) {
+        record_command_partition(
+            self.obs.journal_mut(),
+            SYSTEM_COMPONENT,
+            ctx,
+            op,
+            latency,
+            stages,
+        );
+        self.obs.clear_trace();
+        self.stl.backend_mut().device_mut().end_trace();
+        self.link.end_trace();
+        if let Some(t) = self.tracer.as_mut() {
+            t.finish(latency);
         }
     }
 
@@ -189,6 +229,7 @@ impl StorageFrontEnd for HardwareNds {
         data: &[u8],
     ) -> Result<WriteOutcome, SystemError> {
         let space = self.space_of(id)?;
+        let ctx = self.begin_command();
         // The request travels as one extended NVMe write (§5.3.1); validate
         // it against the interface limits, then marshal it through the real
         // wire codec and submission queue.
@@ -220,11 +261,9 @@ impl StorageFrontEnd for HardwareNds {
             program_end =
                 program_end.max(backend.try_schedule_unit_programs(&block.units, SimTime::ZERO)?);
         }
-        let latency = self.stl_latency(space)
-            + submit
-            + link
-            + decompose
-            + program_end.saturating_since(SimTime::ZERO);
+        let stl = self.stl_latency(space);
+        let program_tail = program_end.saturating_since(SimTime::ZERO);
+        let latency = stl + submit + link + decompose + program_tail;
 
         self.stats.add("system.write_commands", 1);
         self.stats.add("system.write_bytes", report.access.bytes);
@@ -235,6 +274,19 @@ impl StorageFrontEnd for HardwareNds {
             .journal_mut()
             .end_span(SimTime::ZERO + latency, SYSTEM_COMPONENT, "write");
         self.obs.latency("write.latency", latency);
+        if let Some(ctx) = ctx {
+            // The write is a strict chronological chain: controller STL
+            // lookup, NVMe submission, the object streaming over the link,
+            // controller decomposition, then the channel programs.
+            let stages = [
+                (TraceStage::Other, stl),
+                (TraceStage::Queue, submit),
+                (TraceStage::Link, link),
+                (TraceStage::Restructure, decompose),
+                (TraceStage::Flash, program_tail),
+            ];
+            self.finish_command(ctx, "write", latency, &stages);
+        }
         Ok(WriteOutcome {
             latency,
             commands: 1,
@@ -263,6 +315,7 @@ impl StorageFrontEnd for HardwareNds {
         buf: &mut Vec<u8>,
     ) -> Result<ReadMetrics, SystemError> {
         let space = self.space_of(id)?;
+        let ctx = self.begin_command();
         // The request travels as one extended NVMe read (§5.3.1), marshalled
         // through the real wire codec and submission queue.
         let cmd = NvmeCommand::NdsRead {
@@ -306,11 +359,10 @@ impl StorageFrontEnd for HardwareNds {
         }
         let link = self.chunked_link_time(report.bytes)?;
         let submit = self.cpu.submit_time(1);
-        let io_latency = self.stl_latency(space)
-            + submit
-            + asm_end
-                .saturating_since(SimTime::ZERO)
-                .max(link + first_block);
+        let stl = self.stl_latency(space);
+        let asm_dur = asm_end.saturating_since(SimTime::ZERO);
+        let region = asm_dur.max(link + first_block);
+        let io_latency = stl + submit + region;
         // Steady-state pacing: device lanes, the in-device assembler, and
         // the wire drain their aggregate work concurrently.
         let io_occupancy = self
@@ -331,6 +383,25 @@ impl StorageFrontEnd for HardwareNds {
             .end_span(SimTime::ZERO + io_latency, SYSTEM_COMPONENT, "read");
         self.obs.latency("read.io_latency", io_latency);
         self.obs.latency("read.latency", io_latency);
+        if let Some(ctx) = ctx {
+            // After the fixed STL + submission prefix, the critical path of
+            // the remaining region is either the in-device assembler (flash
+            // streaming, then assembly) or the wire (the first block, then
+            // the chunked transfer draining behind it).
+            let mut stages = Vec::with_capacity(4);
+            stages.push((TraceStage::Other, stl));
+            stages.push((TraceStage::Queue, submit));
+            if asm_dur >= link + first_block {
+                let flash = dev_end.saturating_since(SimTime::ZERO).min(region);
+                stages.push((TraceStage::Flash, flash));
+                stages.push((TraceStage::Restructure, region - flash));
+            } else {
+                let flash = first_block.min(region);
+                stages.push((TraceStage::Flash, flash));
+                stages.push((TraceStage::Link, region - flash));
+            }
+            self.finish_command(ctx, "read", io_latency, &stages);
+        }
         Ok(ReadMetrics {
             io_latency,
             io_occupancy,
@@ -373,6 +444,30 @@ impl StorageFrontEnd for HardwareNds {
             report.add_timeline(name, t);
         }
         report
+    }
+
+    fn trace_export(&self) -> Option<TraceExport> {
+        let tracer = self.tracer.as_ref()?;
+        let mut events: Vec<Event> = self.obs.journal().events().copied().collect();
+        events.extend(self.link.observability().journal().events().copied());
+        events.extend(
+            self.stl
+                .backend()
+                .device()
+                .observability()
+                .journal()
+                .events()
+                .copied(),
+        );
+        events.retain(|e| e.trace != 0);
+        events.sort_by_key(|e| e.at);
+        let (channels, banks) = self.stl.backend().device().lane_busy_totals();
+        Some(TraceExport {
+            events,
+            channels,
+            banks,
+            makespan: tracer.makespan(),
+        })
     }
 }
 

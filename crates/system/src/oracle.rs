@@ -17,7 +17,7 @@
 use std::collections::BTreeMap;
 
 use nds_core::{translator, BlockShape, ElementType, NdsError, Region, Shape};
-use nds_sim::{RunReport, SimDuration, Stats};
+use nds_sim::{RunReport, SimDuration, Stats, TraceExport};
 
 use crate::baseline::BaselineSystem;
 use crate::config::SystemConfig;
@@ -260,6 +260,12 @@ impl StorageFrontEnd for OracleSystem {
         let mut report = self.inner.run_report();
         report.set_meta("arch", self.name());
         report
+    }
+
+    fn trace_export(&self) -> Option<TraceExport> {
+        // Oracle requests decompose into per-tile baseline commands; the
+        // trace is the backing system's trace, one command per tile.
+        self.inner.trace_export()
     }
 }
 

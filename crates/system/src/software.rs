@@ -21,7 +21,10 @@ use std::collections::BTreeMap;
 use nds_core::{ElementType, NvmBackend, Shape, SpaceId, Stl};
 use nds_host::CpuModel;
 use nds_interconnect::Link;
-use nds_sim::{ComponentId, Observability, RunReport, SimDuration, SimTime, Stats};
+use nds_sim::{
+    record_command_partition, CommandTracer, ComponentId, Event, Observability, RunReport,
+    SimDuration, SimTime, Stats, TraceContext, TraceExport, TraceStage,
+};
 
 use crate::config::SystemConfig;
 use crate::controller::HostStlPath;
@@ -40,6 +43,7 @@ pub struct SoftwareNds {
     next_id: u64,
     stats: Stats,
     obs: Observability,
+    tracer: Option<CommandTracer>,
 }
 
 /// Journal identity of the front-end's request-level span events.
@@ -67,6 +71,43 @@ impl SoftwareNds {
             next_id: 1,
             stats: Stats::new(),
             obs,
+            tracer: config.obs.tracing.then(CommandTracer::new),
+        }
+    }
+
+    /// Starts a traced command: allocates its trace context and tags the
+    /// system, link, and device journals with it. `None` unless tracing is
+    /// configured.
+    fn begin_command(&mut self) -> Option<TraceContext> {
+        let ctx = self.tracer.as_mut().map(|t| t.begin())?;
+        self.obs.set_trace(ctx);
+        self.stl.backend_mut().device_mut().begin_trace(ctx);
+        self.link.begin_trace(ctx);
+        Some(ctx)
+    }
+
+    /// Finishes a traced command: records its exact stage partition,
+    /// clears the trace tags, and advances the trace clock by `latency`.
+    fn finish_command(
+        &mut self,
+        ctx: TraceContext,
+        op: &'static str,
+        latency: SimDuration,
+        stages: &[(TraceStage, SimDuration)],
+    ) {
+        record_command_partition(
+            self.obs.journal_mut(),
+            SYSTEM_COMPONENT,
+            ctx,
+            op,
+            latency,
+            stages,
+        );
+        self.obs.clear_trace();
+        self.stl.backend_mut().device_mut().end_trace();
+        self.link.end_trace();
+        if let Some(t) = self.tracer.as_mut() {
+            t.finish(latency);
         }
     }
 
@@ -124,6 +165,7 @@ impl StorageFrontEnd for SoftwareNds {
         let page = self.stl.backend().spec().unit_bytes as u64;
         self.stl.backend_mut().device_mut().reset_timing();
         self.link.reset_timing();
+        let ctx = self.begin_command();
 
         // Host decomposition: one scattered copy per translation segment.
         let decompose = self
@@ -148,11 +190,29 @@ impl StorageFrontEnd for SoftwareNds {
                 program_end.max(backend.try_schedule_unit_programs(&block.units, link_end)?);
         }
         let submit = self.cpu.submit_time(unit_commands);
-        let io = link_end.saturating_since(SimTime::ZERO).max(submit);
-        let latency = self.stl_latency(space)
-            + decompose
-            + io
-            + program_end.saturating_since(link_end.max(SimTime::ZERO));
+        let link_dur = link_end.saturating_since(SimTime::ZERO);
+        let io = link_dur.max(submit);
+        let stl = self.stl_latency(space);
+        let program_tail = program_end.saturating_since(link_end.max(SimTime::ZERO));
+        let latency = stl + decompose + io + program_tail;
+
+        if let Some(ctx) = ctx {
+            // Chronological waterfall: STL traversal, host decomposition,
+            // the io region (submission vs. link), and the program tail
+            // past the last link flush — an exact partition of `latency`.
+            let io_stage = if submit >= link_dur {
+                TraceStage::Queue
+            } else {
+                TraceStage::Link
+            };
+            let stages = [
+                (TraceStage::Other, stl),
+                (TraceStage::Restructure, decompose),
+                (io_stage, io),
+                (TraceStage::Flash, program_tail),
+            ];
+            self.finish_command(ctx, "write", latency, &stages);
+        }
 
         self.stats.add("system.write_commands", unit_commands);
         self.stats.add("system.write_bytes", report.access.bytes);
@@ -195,6 +255,7 @@ impl StorageFrontEnd for SoftwareNds {
         let page = self.stl.backend().spec().unit_bytes as u64;
         self.stl.backend_mut().device_mut().reset_timing();
         self.link.reset_timing();
+        let ctx = self.begin_command();
 
         // Vectored physical-read commands (LightNVM supports scatter lists
         // of up to 64 pages per command): each command's units stream off
@@ -202,6 +263,8 @@ impl StorageFrontEnd for SoftwareNds {
         // as one batched transfer.
         const VECTOR_PAGES: usize = 64;
         let mut first_block = SimDuration::ZERO;
+        let mut first_ready = SimTime::ZERO;
+        let mut flash_end = SimTime::ZERO;
         let mut io_end = SimTime::ZERO;
         let mut total_units = 0u64;
         let mut pending_bytes = 0u64;
@@ -214,6 +277,7 @@ impl StorageFrontEnd for SoftwareNds {
             total_units += block.units.len() as u64;
             let backend = self.stl.backend_mut();
             let dev_end = backend.try_schedule_unit_reads(&block.units, SimTime::ZERO)?;
+            flash_end = flash_end.max(dev_end);
             pending_ready = pending_ready.max(dev_end);
             pending_bytes += block.sector_bytes.min(block.units.len() as u64 * page);
             pending_units += block.units.len();
@@ -221,6 +285,7 @@ impl StorageFrontEnd for SoftwareNds {
                 let end = self.link.try_transfer(pending_bytes, pending_ready)?;
                 if first_block.is_zero() {
                     first_block = end.saturating_since(SimTime::ZERO);
+                    first_ready = pending_ready;
                 }
                 io_end = io_end.max(end);
                 pending_bytes = 0;
@@ -232,6 +297,7 @@ impl StorageFrontEnd for SoftwareNds {
             let end = self.link.try_transfer(pending_bytes, pending_ready)?;
             if first_block.is_zero() {
                 first_block = end.saturating_since(SimTime::ZERO);
+                first_ready = pending_ready;
             }
             io_end = io_end.max(end);
         }
@@ -243,7 +309,31 @@ impl StorageFrontEnd for SoftwareNds {
         // has drained.
         let assembly = self.cpu.scatter_copy_time(report.segments, report.bytes);
         let io_dur = io_end.saturating_since(SimTime::ZERO);
-        let io_latency = self.stl_latency(space) + io_dur.max(submit).max(assembly + first_block);
+        let stl = self.stl_latency(space);
+        let region = io_dur.max(submit).max(assembly + first_block);
+        let io_latency = stl + region;
+
+        if let Some(ctx) = ctx {
+            // Waterfall back from whichever term won the overlapped
+            // region: submission (queue), the last link flush (flash up
+            // to the last device completion, link for the rest), or
+            // pipelined assembly draining behind the first block.
+            let mut stages = Vec::with_capacity(4);
+            stages.push((TraceStage::Other, stl));
+            if submit >= io_dur && submit >= assembly + first_block {
+                stages.push((TraceStage::Queue, region));
+            } else if io_dur >= assembly + first_block {
+                let flash = flash_end.saturating_since(SimTime::ZERO).min(region);
+                stages.push((TraceStage::Flash, flash));
+                stages.push((TraceStage::Link, region - flash));
+            } else {
+                let flash = first_ready.saturating_since(SimTime::ZERO).min(first_block);
+                stages.push((TraceStage::Flash, flash));
+                stages.push((TraceStage::Link, first_block - flash));
+                stages.push((TraceStage::Restructure, assembly));
+            }
+            self.finish_command(ctx, "read", io_latency, &stages);
+        }
         // Steady-state pacing: aggregate device, wire, submission, and host
         // assembly work, whichever drains slowest.
         let io_occupancy = self
@@ -306,6 +396,24 @@ impl StorageFrontEnd for SoftwareNds {
             report.add_timeline(name, t);
         }
         report
+    }
+
+    fn trace_export(&self) -> Option<TraceExport> {
+        let tracer = self.tracer.as_ref()?;
+        let device = self.stl.backend().device();
+        let mut events: Vec<Event> = self.obs.journal().events().copied().collect();
+        events.extend(self.link.observability().journal().events().copied());
+        events.extend(device.observability().journal().events().copied());
+        events.retain(|e| e.trace != 0);
+        // Stable sort: ties keep source order (system, link, flash).
+        events.sort_by_key(|e| e.at);
+        let (channels, banks) = device.lane_busy_totals();
+        Some(TraceExport {
+            events,
+            channels,
+            banks,
+            makespan: tracer.makespan(),
+        })
     }
 }
 

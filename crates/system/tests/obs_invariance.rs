@@ -128,6 +128,80 @@ fn fault_recovery_outcomes_identical_with_obs_on_and_off() {
     );
 }
 
+#[test]
+fn tracing_outcomes_identical_with_trace_on_and_off() {
+    // Causal tracing (PR 5) piggybacks on the same observe-only hooks; the
+    // trace clock and per-command partitions must never move a schedule.
+    assert_neutral(
+        run(BaselineSystem::new(config(ObsConfig::traced()))),
+        run(BaselineSystem::new(config(ObsConfig::disabled()))),
+    );
+    assert_neutral(
+        run(SoftwareNds::new(config(ObsConfig::traced()))),
+        run(SoftwareNds::new(config(ObsConfig::disabled()))),
+    );
+    assert_neutral(
+        run(HardwareNds::new(config(ObsConfig::traced()))),
+        run(HardwareNds::new(config(ObsConfig::disabled()))),
+    );
+    assert_neutral(
+        run(OracleSystem::with_tile(
+            config(ObsConfig::traced()),
+            vec![TILE, TILE],
+        )),
+        run(OracleSystem::with_tile(
+            config(ObsConfig::disabled()),
+            vec![TILE, TILE],
+        )),
+    );
+}
+
+#[test]
+fn tracing_outcomes_identical_under_fault_plan() {
+    // Retry paths run with a trace context set (tagged FaultInjected /
+    // RetryScheduled events); recovery timing must stay bit-identical.
+    assert_neutral(
+        run(SoftwareNds::new(faulty_config(ObsConfig::traced()))),
+        run(SoftwareNds::new(faulty_config(ObsConfig::disabled()))),
+    );
+    assert_neutral(
+        run(HardwareNds::new(faulty_config(ObsConfig::traced()))),
+        run(HardwareNds::new(faulty_config(ObsConfig::disabled()))),
+    );
+}
+
+#[test]
+fn trace_export_present_only_when_traced() {
+    let shape = Shape::new([N, N]);
+    let bytes: Vec<u8> = (0..N * N * 4).map(|i| (i % 251) as u8).collect();
+    // Full instrumentation without tracing: no export.
+    let mut sys = SoftwareNds::new(config(ObsConfig::full()));
+    let id = sys
+        .create_dataset(shape.clone(), ElementType::F32)
+        .expect("create");
+    sys.write(id, &shape, &[0, 0], &[N, N], &bytes)
+        .expect("write");
+    assert!(
+        sys.trace_export().is_none(),
+        "untraced run must export None"
+    );
+    // Traced run: export carries tagged events on the run-long clock.
+    let mut sys = SoftwareNds::new(config(ObsConfig::traced()));
+    let id = sys
+        .create_dataset(shape.clone(), ElementType::F32)
+        .expect("create");
+    sys.write(id, &shape, &[0, 0], &[N, N], &bytes)
+        .expect("write");
+    sys.read(id, &shape, &[1, 1], &[128, 128]).expect("read");
+    let export = sys.trace_export().expect("traced run must export Some");
+    assert!(!export.events.is_empty());
+    assert!(export.events.iter().all(|e| e.trace != 0));
+    assert!(export.makespan > nds_sim::SimDuration::ZERO);
+    assert!(!export.channels.is_empty(), "channel busy totals missing");
+    let sorted = export.events.windows(2).all(|w| w[0].at <= w[1].at);
+    assert!(sorted, "export events must be ordered by instant");
+}
+
 /// One instrumented run's serialized report.
 fn instrumented_report<S: StorageFrontEnd>(make: impl FnOnce(SystemConfig) -> S) -> String {
     let mut sys = make(config(ObsConfig::full()));

@@ -5,7 +5,10 @@
 #
 # The entry also records `speedup`, the plan-cache win on repeated
 # same-shape reads (uncached / cached median), which the acceptance bar
-# requires to stay >= 1.3x.
+# requires to stay >= 1.3x, and `attribution`, the nds-prof critical-path
+# time-attribution summary of a traced fig9 panel-(a) run (per system, the
+# modeled nanoseconds each pipeline stage contributed to end-to-end
+# latency — the stage spans partition total latency exactly).
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 set -euo pipefail
@@ -13,12 +16,19 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_stl.json}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+trace="$(mktemp)"
+prof="$(mktemp)"
+trap 'rm -f "$raw" "$trace" "$prof"' EXIT
 
 cargo bench -p nds-bench --bench stl --bench microbench 2>/dev/null \
     | grep '^bench: ' | tee "$raw"
 
-RAW="$raw" OUT="$out" python3 - <<'PY'
+echo "== fig9 time attribution (nds-prof over a traced fig9 a run)"
+cargo build --quiet --release -p nds-bench -p nds-prof --bin fig9 --bin nds-prof
+./target/release/fig9 a --trace "$trace" > /dev/null
+./target/release/nds-prof "$trace" > "$prof"
+
+RAW="$raw" PROF="$prof" OUT="$out" python3 - <<'PY'
 import json, os, subprocess, time
 
 records = []
@@ -36,6 +46,23 @@ for cached, uncached in [("stl/read_tile_256", "stl/read_tile_256_uncached"),
     if cached in by_name and uncached in by_name and by_name[cached] > 0:
         speedup[cached] = round(by_name[uncached] / by_name[cached], 3)
 
+# nds-prof report: "## <system>" headers, then per-stage attribution lines
+# of the form "  <stage> <ns> ns <pct>%".
+attribution = {}
+system = None
+with open(os.environ["PROF"]) as f:
+    for line in f:
+        if line.startswith("## "):
+            system = line[3:].strip()
+            if system != "cross-system comparison":
+                attribution[system] = {}
+            else:
+                system = None
+        elif system and line.startswith("  ") and line.rstrip().endswith("%"):
+            parts = line.split()
+            if len(parts) == 4 and parts[2] == "ns":
+                attribution[system][parts[0]] = int(parts[1])
+
 commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
                         capture_output=True, text=True).stdout.strip() or None
 entry = {
@@ -43,6 +70,7 @@ entry = {
     "commit": commit,
     "records": records,
     "speedup": speedup,
+    "attribution": attribution,
 }
 
 out = os.environ["OUT"]
@@ -58,6 +86,10 @@ with open(out, "w") as f:
 worst = min(speedup.values()) if speedup else 0.0
 print(f"wrote {out}: {len(records)} records, "
       f"repeated same-shape read speedup {speedup} (floor 1.3x)")
+for system, stages in attribution.items():
+    total = sum(stages.values())
+    shares = ", ".join(f"{k} {v * 100 // total}%" for k, v in stages.items())
+    print(f"  attribution {system}: {shares}")
 if worst < 1.3:
     raise SystemExit(f"FAIL: plan-cache speedup {worst} < 1.3x")
 PY

@@ -40,6 +40,15 @@ if [[ "${1:-}" != "--no-test" ]]; then
     ./target/release/fig9 a --report "$report_dir/run2.json" > /dev/null
     cmp "$report_dir/run1.json" "$report_dir/run2.json" \
         || { echo "check.sh: fig9 run reports differ between identical runs" >&2; exit 1; }
+
+    # Trace determinism: the Chrome trace-event export (causal per-command
+    # traces on the modeled clock) must also be byte-identical across
+    # identical runs — nds-prof's attribution depends on it.
+    echo "== trace determinism (fig9 a --trace, twice)"
+    ./target/release/fig9 a --trace "$report_dir/trace1.json" > /dev/null
+    ./target/release/fig9 a --trace "$report_dir/trace2.json" > /dev/null
+    cmp "$report_dir/trace1.json" "$report_dir/trace2.json" \
+        || { echo "check.sh: fig9 chrome traces differ between identical runs" >&2; exit 1; }
 fi
 
 echo "check.sh: all green"

@@ -55,6 +55,7 @@ pub use nds_faults as faults;
 pub use nds_flash as flash;
 pub use nds_host as host;
 pub use nds_interconnect as interconnect;
+pub use nds_prof as prof;
 pub use nds_sim as sim;
 pub use nds_system as system;
 pub use nds_workloads as workloads;
