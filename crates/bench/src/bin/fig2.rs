@@ -60,6 +60,7 @@ fn run_pipeline(
         channels: Vec::new(),
         banks: Vec::new(),
         makespan: result.total,
+        tenants: Vec::new(),
     });
     (result, export)
 }

@@ -11,6 +11,7 @@
 //! | `fig9` | Fig. 9(a–d): row/column/submatrix/write micro-benchmarks |
 //! | `fig10` | Fig. 10(a)(b): end-to-end speedups and kernel idle time |
 //! | `overhead` | §7.3: STL latency and space overhead |
+//! | `tenants` | multi-tenant WFQ traffic engine: shares, depth, fairness |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -565,6 +565,17 @@ impl FlashDevice {
         self.banks.reset();
     }
 
+    /// Ends the current per-operation timing epoch after `span` of modeled
+    /// time (the operation's end-to-end latency): every channel and bank
+    /// timeline advances by the same span, so lanes stay aligned with the
+    /// run-long trace clock even when they drained before the operation
+    /// finished. Front-ends call this at operation end; see
+    /// [`Resource::fold_epoch`](nds_sim::Resource::fold_epoch).
+    pub fn fold_timing_epoch(&mut self, span: nds_sim::SimDuration) {
+        self.channels.fold_epoch(span);
+        self.banks.fold_epoch(span);
+    }
+
     /// Channel resources (for utilization reporting).
     pub fn channel_resources(&self) -> &ResourceSet {
         &self.channels

@@ -38,8 +38,10 @@
 mod command;
 mod link;
 mod queue;
+mod wfq;
 pub mod wire;
 
 pub use command::{CommandError, NvmeCommand, SpaceId, MAX_DIMENSIONS, MAX_ELEMENTS_PER_DIM};
 pub use link::{Link, LinkConfig, LinkError};
 pub use queue::{QueueError, QueuePair, DEFAULT_QUEUE_DEPTH};
+pub use wfq::{WfqScheduler, COST_SCALE};

@@ -326,6 +326,15 @@ impl Link {
     pub fn reset_timing(&mut self) {
         self.wire.reset();
     }
+
+    /// Ends the current per-operation timing epoch after `span` of modeled
+    /// time: the wire timeline advances by the operation's end-to-end span
+    /// (not just the wire's own drain), keeping it aligned with the
+    /// run-long trace clock. Front-ends call this at operation end; see
+    /// [`Resource::fold_epoch`](nds_sim::Resource::fold_epoch).
+    pub fn fold_timing_epoch(&mut self, span: SimDuration) {
+        self.wire.fold_epoch(span);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,144 @@
+//! Property tests of the WFQ admission scheduler: the fairness and
+//! ordering guarantees the multi-tenant traffic engine relies on, checked
+//! against randomized flow populations and enqueue sequences.
+
+// Test helpers outside #[test] fns aren't covered by allow-unwrap-in-tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+
+use nds_interconnect::WfqScheduler;
+
+/// A randomized backlogged scenario: per-flow weights and a shared
+/// request cost range.
+#[derive(Debug, Clone)]
+struct Backlog {
+    weights: Vec<u64>,
+    cost: u64,
+    rounds: usize,
+}
+
+fn backlog() -> impl Strategy<Value = Backlog> {
+    (
+        prop::collection::vec(1u64..8, 2..6),
+        64u64..8192,
+        8usize..40,
+    )
+        .prop_map(|(weights, cost, rounds)| Backlog {
+            weights,
+            cost,
+            rounds,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Work conservation: as long as anything is queued, `pop` serves it;
+    /// the scheduler never "idles" a backlogged queue, and everything
+    /// enqueued eventually drains in full.
+    #[test]
+    fn backlogged_queue_always_serves(b in backlog()) {
+        let mut wfq = WfqScheduler::new();
+        for (f, &w) in b.weights.iter().enumerate() {
+            wfq.register(f as u32, w);
+        }
+        let mut enqueued = 0u64;
+        for r in 0..b.rounds {
+            for f in 0..b.weights.len() as u32 {
+                wfq.enqueue(f, b.cost, (r, f));
+                enqueued += 1;
+            }
+            // Interleave partial drains: the queue must always yield.
+            if r % 2 == 0 {
+                prop_assert!(wfq.pop().is_some(), "backlogged pop returned None");
+                enqueued -= 1;
+            }
+        }
+        let mut drained = 0u64;
+        while wfq.pop().is_some() {
+            drained += 1;
+        }
+        prop_assert_eq!(drained, enqueued, "requests lost or duplicated");
+        prop_assert!(wfq.is_empty());
+    }
+
+    /// Determinism: the same enqueue sequence pops in the same order, and
+    /// the order is a pure function of (finish tag, flow, seq) — repeated
+    /// runs agree element-for-element.
+    #[test]
+    fn schedule_is_reproducible(b in backlog()) {
+        let run = || {
+            let mut wfq = WfqScheduler::new();
+            for (f, &w) in b.weights.iter().enumerate() {
+                wfq.register(f as u32, w);
+            }
+            for r in 0..b.rounds {
+                for f in 0..b.weights.len() as u32 {
+                    wfq.enqueue(f, b.cost + (r as u64 % 3), (r, f));
+                }
+            }
+            std::iter::from_fn(|| wfq.pop()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Weighted sharing: with every flow continuously backlogged on
+    /// equal-cost requests, each flow's share of the first `K` service
+    /// slots tracks its weight share within one request per flow (the
+    /// SCFQ per-flow lag bound).
+    #[test]
+    fn service_shares_track_weights(b in backlog()) {
+        let mut wfq = WfqScheduler::new();
+        let weight_sum: u64 = b.weights.iter().sum();
+        for (f, &w) in b.weights.iter().enumerate() {
+            wfq.register(f as u32, w);
+        }
+        // Enough backlog that no flow runs dry inside the observation
+        // window: `rounds` requests per unit of weight.
+        for r in 0..b.rounds as u64 {
+            for (f, &w) in b.weights.iter().enumerate() {
+                for _ in 0..w {
+                    wfq.enqueue(f as u32, b.cost, r);
+                }
+            }
+        }
+        let window = weight_sum * b.rounds as u64 / 2;
+        let mut served = vec![0u64; b.weights.len()];
+        for _ in 0..window {
+            let (f, _) = wfq.pop().expect("backlogged");
+            served[f as usize] += 1;
+        }
+        for (f, &w) in b.weights.iter().enumerate() {
+            let expected = window * w / weight_sum;
+            let got = served[f];
+            let slack = 1 + w; // SCFQ lag: ≤ one request per weight unit
+            prop_assert!(
+                got + slack >= expected && got <= expected + slack,
+                "flow {f} (weight {w}): served {got}, expected ~{expected} of {window}"
+            );
+        }
+    }
+
+    /// No starvation: even a weight-1 flow against arbitrarily heavy
+    /// competitors is served within one full round of the others' backlog.
+    #[test]
+    fn light_flow_is_not_starved(heavy in 1u64..64, backlog_len in 1usize..32) {
+        let mut wfq = WfqScheduler::new();
+        wfq.register(0, 1);
+        wfq.register(1, heavy);
+        for i in 0..backlog_len {
+            wfq.enqueue(1, 4096, i);
+        }
+        wfq.enqueue(0, 4096, usize::MAX);
+        let position = std::iter::from_fn(|| wfq.pop())
+            .position(|(f, _)| f == 0)
+            .expect("light flow served");
+        // Finish tag of the light request is bounded by one cost unit,
+        // so at most `heavy` of the competitor's requests precede it.
+        prop_assert!(
+            position as u64 <= heavy,
+            "light flow served at position {position}, weight ratio {heavy}"
+        );
+    }
+}

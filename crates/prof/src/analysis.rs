@@ -34,6 +34,8 @@ pub struct CommandProfile {
     pub start_ns: u64,
     /// Exact end-to-end modeled latency, nanoseconds.
     pub dur_ns: u64,
+    /// Owning tenant, when the trace came from a multi-tenant run.
+    pub tenant: Option<u32>,
 }
 
 /// Everything parsed for one system (one Chrome process) of a trace file.
@@ -86,6 +88,12 @@ pub struct SystemAnalysis {
     /// Jain's fairness index over per-channel busy time, in milli-units
     /// (1000 = perfectly even use of every channel).
     pub jain_milli: u64,
+    /// Per-tenant rows `(tenant, commands, total latency ns, per-mille
+    /// share of total latency)`; empty for single-stream traces.
+    pub tenants: Vec<(u32, u64, u64, u64)>,
+    /// Jain's fairness index over per-tenant total latency (the service
+    /// each tenant received), milli-units; `None` for single-stream traces.
+    pub tenant_jain_milli: Option<u64>,
     /// Up to ten slowest commands, longest first (ties by trace id).
     pub slowest: Vec<CommandProfile>,
 }
@@ -202,6 +210,7 @@ pub fn parse(text: &str) -> Result<Vec<SystemProfile>, String> {
                     op,
                     start_ns,
                     dur_ns,
+                    tenant: field_u64(line, "tenant").map(|t| t as u32),
                 });
             } else {
                 let stage = field_str(line, "stage")
@@ -238,7 +247,7 @@ fn milli_ratio(num: u64, den: u64) -> u64 {
 
 /// Jain's fairness index `(Σx)² / (n·Σx²)` in milli-units; 1000 for an
 /// empty or all-zero population (trivially fair).
-fn jain_milli(values: &[u64]) -> u64 {
+pub fn jain_milli(values: &[u64]) -> u64 {
     let n = values.len() as u128;
     if n == 0 {
         return 1000;
@@ -324,6 +333,29 @@ pub fn analyze(profile: &SystemProfile) -> SystemAnalysis {
         .map(|(_, ns)| ns)
         .sum();
     let channel_busy: Vec<u64> = profile.channels.iter().map(|&(_, ns)| ns).collect();
+    // Per-tenant service received: count and summed latency per tenant,
+    // plus Jain fairness over those sums. Only present when the trace was
+    // tenant-attributed (multi-tenant runs); latency share uses the
+    // attributed subtotal so unattributed setup traffic cannot skew it.
+    let mut per_tenant: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    for cmd in &profile.commands {
+        if let Some(t) = cmd.tenant {
+            let entry = per_tenant.entry(t).or_default();
+            entry.0 += 1;
+            entry.1 += cmd.dur_ns;
+        }
+    }
+    let tenant_total: u64 = per_tenant.values().map(|&(_, ns)| ns).sum();
+    let tenants: Vec<(u32, u64, u64, u64)> = per_tenant
+        .iter()
+        .map(|(&t, &(cmds, ns))| (t, cmds, ns, milli_ratio(ns, tenant_total)))
+        .collect();
+    let tenant_jain_milli = if per_tenant.is_empty() {
+        None
+    } else {
+        let service: Vec<u64> = per_tenant.values().map(|&(_, ns)| ns).collect();
+        Some(jain_milli(&service))
+    };
     let mut slowest: Vec<CommandProfile> = profile.commands.clone();
     slowest.sort_by_key(|c| (std::cmp::Reverse(c.dur_ns), c.trace));
     slowest.truncate(10);
@@ -340,6 +372,8 @@ pub fn analyze(profile: &SystemProfile) -> SystemAnalysis {
         busy_sum_ns,
         effective_parallelism_milli: milli_ratio(busy_sum_ns, profile.makespan_ns),
         jain_milli: jain_milli(&channel_busy),
+        tenants,
+        tenant_jain_milli,
         slowest,
     }
 }
@@ -385,6 +419,21 @@ pub fn format_report(analyses: &[SystemAnalysis]) -> String {
             milli(a.effective_parallelism_milli),
             milli(a.jain_milli)
         ));
+        if !a.tenants.is_empty() {
+            out.push_str("tenant service (attributed commands only):\n");
+            for (tenant, cmds, ns, pm) in &a.tenants {
+                out.push_str(&format!(
+                    "  tenant[{tenant}]: {cmds} cmds, {ns} ns total, share {}\n",
+                    permille_pct(*pm)
+                ));
+            }
+            if let Some(jain) = a.tenant_jain_milli {
+                out.push_str(&format!(
+                    "tenant fairness: jain {} over per-tenant latency totals\n",
+                    milli(jain)
+                ));
+            }
+        }
         if !a.slowest.is_empty() {
             out.push_str("slowest commands:\n");
             for cmd in &a.slowest {
@@ -441,6 +490,7 @@ mod tests {
             op: "read".into(),
             start_ns: 0,
             dur_ns,
+            tenant: None,
         });
         p.stages.insert(1, stages);
         p
@@ -486,6 +536,35 @@ mod tests {
         assert_eq!(a.busy_sum_ns, 100);
         assert_eq!(a.effective_parallelism_milli, 1000);
         assert_eq!(a.jain_milli, 1000, "equal channel busy is perfectly fair");
+    }
+
+    #[test]
+    fn tenant_rows_aggregate_attributed_commands_only() {
+        let mut p = profile_with(vec![("flash".into(), 100)], 100);
+        // Two more commands, attributed; the helper's command stays
+        // unattributed (setup traffic) and must not enter tenant rows.
+        for (trace, tenant, dur_ns) in [(2, 0u32, 300u64), (3, 1, 100)] {
+            p.commands.push(CommandProfile {
+                trace,
+                op: "read".into(),
+                start_ns: 0,
+                dur_ns,
+                tenant: Some(tenant),
+            });
+            p.stages.insert(trace, vec![("flash".into(), dur_ns)]);
+        }
+        let a = analyze(&p);
+        assert_eq!(a.tenants, vec![(0, 1, 300, 750), (1, 1, 100, 250)]);
+        // Jain over [300, 100]: 400² / (2·100000) = 0.8.
+        assert_eq!(a.tenant_jain_milli, Some(800));
+        let report = format_report(&[a]);
+        assert!(report.contains("tenant[0]: 1 cmds, 300 ns total, share 75.0%"));
+        assert!(report.contains("tenant fairness: jain 0.800"));
+        // Single-stream analyses stay tenant-free.
+        let plain = analyze(&profile_with(vec![("flash".into(), 100)], 100));
+        assert!(plain.tenants.is_empty());
+        assert_eq!(plain.tenant_jain_milli, None);
+        assert!(!format_report(&[plain]).contains("tenant"));
     }
 
     #[test]
@@ -541,6 +620,7 @@ mod tests {
             channels: vec![("flash.ch[0]".to_string(), SimDuration::from_nanos(70))],
             banks: vec![],
             makespan: SimDuration::from_nanos(100),
+            tenants: Vec::new(),
         };
         let text = crate::chrome::render(&[("demo".to_string(), export)]);
         let profiles = parse(&text).expect("parse");

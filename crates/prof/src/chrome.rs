@@ -17,6 +17,14 @@
 //! | 3   | `link`          | paired link transfers as `X` slices |
 //! | 4   | `flash`         | instant markers for page reads/programs, erases, GC, faults |
 //! | 5   | `spans`         | other paired `SpanBegin`/`SpanEnd` intervals |
+//! | 16+t | `tenant[t]`    | per-tenant command lanes (multi-tenant runs only) |
+//!
+//! When the export carries tenant attribution (`TraceExport::tenants`),
+//! every attributed command slice on the `commands` thread gains a
+//! `"tenant"` arg, and a copy of the slice lands on that tenant's own
+//! lane (`tid = 16 + tenant`) so Perfetto shows one swim-lane per tenant.
+//! The analysis parser only reads `tid` 0 and 1, so the duplicated lanes
+//! never double-count.
 //!
 //! The rendering is fully deterministic: same export, same bytes. An
 //! `ndsSummary` object (one line per system) carries the makespan, the
@@ -32,6 +40,8 @@ const TID_QUEUE: u32 = 2;
 const TID_LINK: u32 = 3;
 const TID_FLASH: u32 = 4;
 const TID_SPANS: u32 = 5;
+/// First per-tenant command lane; tenant `t` renders at `tid = 16 + t`.
+const TID_TENANT_BASE: u32 = 16;
 
 /// Thread naming for the per-system metadata records.
 const THREADS: [(u32, &str); 6] = [
@@ -151,6 +161,17 @@ fn emit_system(lines: &mut Vec<String>, pid: usize, name: &str, export: &TraceEx
              \"args\":{{\"name\":\"{tname}\"}}}}"
         ));
     }
+    let tenant_of: BTreeMap<u64, u32> = export.tenants.iter().copied().collect();
+    let mut tenant_lanes: Vec<u32> = tenant_of.values().copied().collect();
+    tenant_lanes.sort_unstable();
+    tenant_lanes.dedup();
+    for tenant in &tenant_lanes {
+        let tid = TID_TENANT_BASE + tenant;
+        lines.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"tenant[{tenant}]\"}}}}"
+        ));
+    }
     let pairing = pair_events(&export.events);
     for (idx, ev) in export.events.iter().enumerate() {
         let at_ns = ev.at.as_nanos();
@@ -160,14 +181,22 @@ fn emit_system(lines: &mut Vec<String>, pid: usize, name: &str, export: &TraceEx
                 if let Some(&end_ns) = pairing.trace_end.get(&id) {
                     let dur_ns = end_ns.saturating_sub(at_ns);
                     let slice = format!("{op}#{id}");
-                    lines.push(x_line(
-                        pid,
-                        TID_COMMANDS,
-                        &slice,
-                        at_ns,
-                        dur_ns,
-                        &format!(",\"trace\":{id}"),
-                    ));
+                    let tenant = tenant_of.get(&id);
+                    let extra = match tenant {
+                        Some(t) => format!(",\"trace\":{id},\"tenant\":{t}"),
+                        None => format!(",\"trace\":{id}"),
+                    };
+                    lines.push(x_line(pid, TID_COMMANDS, &slice, at_ns, dur_ns, &extra));
+                    if let Some(&t) = tenant {
+                        lines.push(x_line(
+                            pid,
+                            TID_TENANT_BASE + t,
+                            &slice,
+                            at_ns,
+                            dur_ns,
+                            &extra,
+                        ));
+                    }
                 }
             }
             EventKind::TraceEnd { .. } => {}
@@ -397,6 +426,7 @@ mod tests {
             channels: vec![("flash.ch[0]".to_string(), SimDuration::from_nanos(250))],
             banks: vec![("flash.bank[0]".to_string(), SimDuration::from_nanos(250))],
             makespan: SimDuration::from_nanos(500),
+            tenants: Vec::new(),
         }
     }
 
@@ -424,6 +454,21 @@ mod tests {
     }
 
     #[test]
+    fn tenant_attribution_duplicates_slices_onto_tenant_lanes() {
+        let mut export = sample_export();
+        export.tenants = vec![(1, 3)];
+        let out = render(&[("mt".to_string(), export)]);
+        // Command slice carries the tenant arg on the commands thread…
+        assert!(out.contains("\"tid\":0") && out.contains("\"tenant\":3"));
+        // …and is duplicated onto the tenant's own named lane.
+        assert!(out.contains("\"tid\":19"));
+        assert!(out.contains("\"name\":\"tenant[3]\""));
+        // Unattributed exports emit no tenant lanes at all.
+        let plain = render(&[("st".to_string(), sample_export())]);
+        assert!(!plain.contains("tenant"));
+    }
+
+    #[test]
     fn unpaired_events_degrade_to_instants() {
         let link = ComponentId::singleton("link");
         let export = TraceExport {
@@ -431,6 +476,7 @@ mod tests {
             channels: vec![],
             banks: vec![],
             makespan: SimDuration::from_nanos(10),
+            tenants: Vec::new(),
         };
         let out = render(&[("x".to_string(), export)]);
         assert!(out.contains("\"ph\":\"i\""));

@@ -29,5 +29,7 @@
 pub mod analysis;
 pub mod chrome;
 
-pub use analysis::{analyze, format_report, parse, CommandProfile, SystemAnalysis, SystemProfile};
+pub use analysis::{
+    analyze, format_report, jain_milli, parse, CommandProfile, SystemAnalysis, SystemProfile,
+};
 pub use chrome::render;

@@ -548,6 +548,11 @@ pub struct TraceExport {
     pub banks: Vec<(String, SimDuration)>,
     /// Final trace-clock value: the sum of traced command latencies.
     pub makespan: SimDuration,
+    /// Tenant attribution of trace ids, as `(trace id, tenant id)` pairs
+    /// sorted by trace id. Empty for single-stream runs; the multi-tenant
+    /// traffic engine fills it so `nds-prof` and the Chrome exporter can
+    /// group commands per tenant.
+    pub tenants: Vec<(u64, u32)>,
 }
 
 /// Number of log2 buckets: bucket 0 holds zero-duration samples, bucket

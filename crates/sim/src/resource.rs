@@ -141,8 +141,26 @@ impl Resource {
     /// finished window's span is folded into its epoch offset so the next
     /// window's busy intervals continue the run-long timeline.
     pub fn reset(&mut self) {
+        self.fold_epoch(SimDuration::ZERO);
+    }
+
+    /// Ends the current per-operation epoch after `span` of modeled time and
+    /// resets the resource to idle at t = 0. A timeline, if enabled, folds
+    /// the *larger* of `span` and the resource's own drain into its epoch
+    /// offset, so the next operation's busy intervals land where the
+    /// operation actually started on the run-long clock.
+    ///
+    /// This matters whenever the operation's end-to-end latency exceeds the
+    /// time this particular resource was committed (e.g. a flash channel
+    /// that finished early while the link kept streaming): folding by the
+    /// resource's own drain — what [`reset`](Self::reset) does — would slide
+    /// later epochs backwards relative to the run clock. Front-ends call
+    /// `fold_epoch(latency)` at operation end; a subsequent `reset` at the
+    /// next operation's start then degenerates to a harmless zero-fold.
+    pub fn fold_epoch(&mut self, span: SimDuration) {
         if let Some(timeline) = &mut self.timeline {
-            timeline.fold_epoch(self.next_free.saturating_since(self.window_start));
+            let drain = self.next_free.saturating_since(self.window_start);
+            timeline.fold_epoch(span.max(drain));
         }
         self.next_free = SimTime::ZERO;
         self.busy = SimDuration::ZERO;
@@ -290,6 +308,16 @@ impl ResourceSet {
         }
     }
 
+    /// Ends the current epoch on every member after `span` of modeled time
+    /// (see [`Resource::fold_epoch`]): each member's timeline advances by
+    /// the same operation span, keeping parallel lanes aligned on the
+    /// run-long clock.
+    pub fn fold_epoch(&mut self, span: SimDuration) {
+        for m in &mut self.members {
+            m.fold_epoch(span);
+        }
+    }
+
     /// Enables windowed busy-time sampling on every member.
     pub fn enable_timelines(&mut self, window: SimDuration, max_buckets: usize) {
         for m in &mut self.members {
@@ -397,6 +425,78 @@ mod tests {
             "second window's work lands after the folded epoch"
         );
         assert_eq!(timeline.total_busy(), SimDuration::from_micros(14));
+    }
+
+    #[test]
+    fn fold_epoch_uses_op_span_not_resource_drain() {
+        // Regression (ISSUE 7): a resource that drains before the operation
+        // ends must still advance its timeline by the full operation span,
+        // or later operations' busy time slides backwards on the run-long
+        // clock relative to the command tracer.
+        let mut r = Resource::new("r");
+        let w = SimDuration::from_micros(10);
+        r.enable_timeline(w, 64);
+        // Op 1: the resource is busy 10us, but the op takes 30us end to end.
+        r.acquire(SimTime::ZERO, SimDuration::from_micros(10));
+        r.fold_epoch(SimDuration::from_micros(30));
+        // Op 2's work must land in bucket 3 (t = 30us), not bucket 1.
+        r.acquire(SimTime::ZERO, SimDuration::from_micros(4));
+        let timeline = r.timeline().expect("enabled");
+        assert_eq!(
+            timeline.buckets(),
+            &[
+                SimDuration::from_micros(10),
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+                SimDuration::from_micros(4),
+            ],
+        );
+    }
+
+    #[test]
+    fn fold_epoch_never_shrinks_below_drain() {
+        // A span shorter than the resource's own drain cannot fold epochs
+        // on top of each other.
+        let mut r = Resource::new("r");
+        let w = SimDuration::from_micros(10);
+        r.enable_timeline(w, 64);
+        r.acquire(SimTime::ZERO, SimDuration::from_micros(20));
+        r.fold_epoch(SimDuration::from_micros(5));
+        // State is re-anchored like reset().
+        assert_eq!(r.next_free(), SimTime::ZERO);
+        assert_eq!(r.busy_time(), SimDuration::ZERO);
+        assert_eq!(r.acquisitions(), 0);
+        r.acquire(SimTime::ZERO, SimDuration::from_micros(10));
+        let timeline = r.timeline().expect("enabled");
+        assert_eq!(
+            timeline.buckets(),
+            &[
+                SimDuration::from_micros(10),
+                SimDuration::from_micros(10),
+                SimDuration::from_micros(10),
+            ],
+            "second epoch starts at the drain (20us), not at 5us"
+        );
+    }
+
+    #[test]
+    fn set_fold_epoch_keeps_lanes_aligned() {
+        let mut set = ResourceSet::new("ch", 2);
+        set.enable_timelines(SimDuration::from_micros(10), 8);
+        // Only lane 0 works in op 1, which spans 20us.
+        set.acquire(0, SimTime::ZERO, SimDuration::from_micros(10));
+        set.fold_epoch(SimDuration::from_micros(20));
+        // Both lanes work in op 2; both must start at t = 20us.
+        set.acquire(0, SimTime::ZERO, SimDuration::from_micros(5));
+        set.acquire(1, SimTime::ZERO, SimDuration::from_micros(5));
+        let snaps = set.timeline_snapshots();
+        let z = SimDuration::ZERO;
+        let five = SimDuration::from_micros(5);
+        assert_eq!(
+            snaps[0].1.buckets,
+            vec![SimDuration::from_micros(10), z, five]
+        );
+        assert_eq!(snaps[1].1.buckets, vec![z, z, five]);
     }
 
     #[test]

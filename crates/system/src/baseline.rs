@@ -378,6 +378,11 @@ impl StorageFrontEnd for BaselineSystem {
             .journal_mut()
             .end_span(SimTime::ZERO + latency, SYSTEM_COMPONENT, "write");
         self.obs.latency("write.latency", latency);
+        // End the timing epoch by the operation's full span so per-lane
+        // timelines stay on the run-long clock (the link or a channel may
+        // have drained long before the program tail finished).
+        self.ftl.device_mut().fold_timing_epoch(latency);
+        self.link.fold_timing_epoch(latency);
         Ok(WriteOutcome {
             latency,
             commands: commands.len() as u64,
@@ -502,6 +507,10 @@ impl StorageFrontEnd for BaselineSystem {
         );
         self.obs.latency("read.io_latency", io_latency);
         self.obs.latency("read.latency", io_latency + restructure);
+        self.ftl
+            .device_mut()
+            .fold_timing_epoch(io_latency + restructure);
+        self.link.fold_timing_epoch(io_latency + restructure);
         Ok(ReadMetrics {
             io_latency,
             io_occupancy,
@@ -571,7 +580,12 @@ impl StorageFrontEnd for BaselineSystem {
             channels,
             banks,
             makespan: tracer.makespan(),
+            tenants: Vec::new(),
         })
+    }
+
+    fn trace_cursor(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, CommandTracer::commands)
     }
 }
 

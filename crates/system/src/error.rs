@@ -27,6 +27,15 @@ pub enum SystemError {
         /// Pages available.
         available: u64,
     },
+    /// A tenant addressed a dataset outside its namespace (multi-tenant
+    /// traffic engine): tenants own disjoint dataspace sets and may never
+    /// read or write another tenant's data.
+    TenantIsolation {
+        /// The offending tenant.
+        tenant: u32,
+        /// The foreign dataset it addressed.
+        dataset: DatasetId,
+    },
 }
 
 impl fmt::Display for SystemError {
@@ -43,6 +52,10 @@ impl fmt::Display for SystemError {
             } => write!(
                 f,
                 "dataset needs {requested} pages but only {available} remain"
+            ),
+            SystemError::TenantIsolation { tenant, dataset } => write!(
+                f,
+                "tenant {tenant} addressed foreign dataset {dataset:?} outside its namespace"
             ),
         }
     }

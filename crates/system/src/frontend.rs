@@ -233,6 +233,16 @@ pub trait StorageFrontEnd {
     fn trace_export(&self) -> Option<TraceExport> {
         None
     }
+
+    /// Number of trace ids allocated so far (the command tracer's cursor);
+    /// 0 when tracing is off. One front-end operation may allocate several
+    /// ids (the oracle decomposes an operation into per-tile inner
+    /// operations), so callers attributing commands — e.g. the multi-tenant
+    /// traffic engine mapping trace ids to tenants — snapshot the cursor
+    /// around an operation and claim the ids in `(before, after]`.
+    fn trace_cursor(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

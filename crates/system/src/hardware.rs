@@ -287,6 +287,13 @@ impl StorageFrontEnd for HardwareNds {
             ];
             self.finish_command(ctx, "write", latency, &stages);
         }
+        // End the timing epoch by the operation's full span so per-lane
+        // timelines stay on the run-long clock.
+        self.stl
+            .backend_mut()
+            .device_mut()
+            .fold_timing_epoch(latency);
+        self.link.fold_timing_epoch(latency);
         Ok(WriteOutcome {
             latency,
             commands: 1,
@@ -402,6 +409,11 @@ impl StorageFrontEnd for HardwareNds {
             }
             self.finish_command(ctx, "read", io_latency, &stages);
         }
+        self.stl
+            .backend_mut()
+            .device_mut()
+            .fold_timing_epoch(io_latency);
+        self.link.fold_timing_epoch(io_latency);
         Ok(ReadMetrics {
             io_latency,
             io_occupancy,
@@ -467,7 +479,12 @@ impl StorageFrontEnd for HardwareNds {
             channels,
             banks,
             makespan: tracer.makespan(),
+            tenants: Vec::new(),
         })
+    }
+
+    fn trace_cursor(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, CommandTracer::commands)
     }
 }
 

@@ -57,6 +57,7 @@ mod frontend;
 mod hardware;
 mod oracle;
 mod software;
+mod tenants;
 
 pub use baseline::BaselineSystem;
 pub use config::{ControllerConfig, SystemConfig};
@@ -67,3 +68,7 @@ pub use frontend::{DatasetId, ReadMetrics, ReadOutcome, StorageFrontEnd, WriteOu
 pub use hardware::HardwareNds;
 pub use oracle::OracleSystem;
 pub use software::SoftwareNds;
+pub use tenants::{
+    tenant_pattern_byte, Arrival, Completion, OpKind, TenantOp, TenantSet, TenantSpec,
+    TrafficEngine,
+};

@@ -267,6 +267,12 @@ impl StorageFrontEnd for OracleSystem {
         // trace is the backing system's trace, one command per tile.
         self.inner.trace_export()
     }
+
+    fn trace_cursor(&self) -> u64 {
+        // One oracle operation allocates one trace id per covering tile on
+        // the backing system's tracer.
+        self.inner.trace_cursor()
+    }
 }
 
 #[cfg(test)]

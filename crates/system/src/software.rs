@@ -223,6 +223,13 @@ impl StorageFrontEnd for SoftwareNds {
             .journal_mut()
             .end_span(SimTime::ZERO + latency, SYSTEM_COMPONENT, "write");
         self.obs.latency("write.latency", latency);
+        // End the timing epoch by the operation's full span so per-lane
+        // timelines stay on the run-long clock.
+        self.stl
+            .backend_mut()
+            .device_mut()
+            .fold_timing_epoch(latency);
+        self.link.fold_timing_epoch(latency);
         Ok(WriteOutcome {
             latency,
             commands: unit_commands,
@@ -355,6 +362,11 @@ impl StorageFrontEnd for SoftwareNds {
             .end_span(SimTime::ZERO + io_latency, SYSTEM_COMPONENT, "read");
         self.obs.latency("read.io_latency", io_latency);
         self.obs.latency("read.latency", io_latency);
+        self.stl
+            .backend_mut()
+            .device_mut()
+            .fold_timing_epoch(io_latency);
+        self.link.fold_timing_epoch(io_latency);
         Ok(ReadMetrics {
             io_latency,
             io_occupancy,
@@ -413,7 +425,12 @@ impl StorageFrontEnd for SoftwareNds {
             channels,
             banks,
             makespan: tracer.makespan(),
+            tenants: Vec::new(),
         })
+    }
+
+    fn trace_cursor(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, CommandTracer::commands)
     }
 }
 

@@ -47,6 +47,7 @@ pub mod data;
 mod driver;
 pub mod kernels;
 mod params;
+pub mod tenants;
 mod workloads;
 
 pub use driver::{stream_phase, PhaseOutcome, WorkloadRun};

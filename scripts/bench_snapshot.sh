@@ -18,7 +18,8 @@ out="${1:-BENCH_stl.json}"
 raw="$(mktemp)"
 trace="$(mktemp)"
 prof="$(mktemp)"
-trap 'rm -f "$raw" "$trace" "$prof"' EXIT
+tenants_out="$(mktemp)"
+trap 'rm -f "$raw" "$trace" "$prof" "$tenants_out"' EXIT
 
 cargo bench -p nds-bench --bench stl --bench microbench 2>/dev/null \
     | grep '^bench: ' | tee "$raw"
@@ -28,7 +29,11 @@ cargo build --quiet --release -p nds-bench -p nds-prof --bin fig9 --bin nds-prof
 ./target/release/fig9 a --trace "$trace" > /dev/null
 ./target/release/nds-prof "$trace" > "$prof"
 
-RAW="$raw" PROF="$prof" OUT="$out" python3 - <<'PY'
+echo "== multi-tenant saturation (tenants, 16 mixed open/closed)"
+cargo build --quiet --release -p nds-bench --bin tenants
+./target/release/tenants --seed 42 > "$tenants_out"
+
+RAW="$raw" PROF="$prof" TENANTS="$tenants_out" OUT="$out" python3 - <<'PY'
 import json, os, subprocess, time
 
 records = []
@@ -63,6 +68,20 @@ with open(os.environ["PROF"]) as f:
             if len(parts) == 4 and parts[2] == "ns":
                 attribution[system][parts[0]] = int(parts[1])
 
+# tenants bench summary line:
+#   "makespan <N> ns, <N> bytes moved, <F> MiB/s aggregate, tenant jain <F>"
+multi_tenant = {}
+with open(os.environ["TENANTS"]) as f:
+    for line in f:
+        if line.startswith("makespan ") and "tenant jain" in line:
+            parts = line.split()
+            multi_tenant = {
+                "makespan_ns": int(parts[1]),
+                "bytes": int(parts[3]),
+                "throughput_mib_s": float(parts[6]),
+                "jain": float(parts[-1]),
+            }
+
 commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
                         capture_output=True, text=True).stdout.strip() or None
 entry = {
@@ -71,6 +90,7 @@ entry = {
     "records": records,
     "speedup": speedup,
     "attribution": attribution,
+    "multi_tenant": multi_tenant,
 }
 
 out = os.environ["OUT"]
@@ -90,6 +110,11 @@ for system, stages in attribution.items():
     total = sum(stages.values())
     shares = ", ".join(f"{k} {v * 100 // total}%" for k, v in stages.items())
     print(f"  attribution {system}: {shares}")
+if multi_tenant:
+    print(f"  multi-tenant: {multi_tenant['throughput_mib_s']} MiB/s aggregate, "
+          f"jain {multi_tenant['jain']}")
 if worst < 1.3:
     raise SystemExit(f"FAIL: plan-cache speedup {worst} < 1.3x")
+if multi_tenant and multi_tenant["jain"] < 0.9:
+    raise SystemExit(f"FAIL: multi-tenant jain {multi_tenant['jain']} < 0.9")
 PY

@@ -49,6 +49,20 @@ if [[ "${1:-}" != "--no-test" ]]; then
     ./target/release/fig9 a --trace "$report_dir/trace2.json" > /dev/null
     cmp "$report_dir/trace1.json" "$report_dir/trace2.json" \
         || { echo "check.sh: fig9 chrome traces differ between identical runs" >&2; exit 1; }
+
+    # Multi-tenant determinism under a pinned seed: the 16-tenant mixed
+    # open/closed run must produce byte-identical reports and traces (with
+    # per-tenant Perfetto lanes) across two identical invocations.
+    echo "== tenant determinism (tenants --seed 42 --report/--trace, twice)"
+    cargo build --quiet --release -p nds-bench --bin tenants
+    ./target/release/tenants --seed 42 \
+        --report "$report_dir/tenants1.json" --trace "$report_dir/tenants1.trace.json" > /dev/null
+    ./target/release/tenants --seed 42 \
+        --report "$report_dir/tenants2.json" --trace "$report_dir/tenants2.trace.json" > /dev/null
+    cmp "$report_dir/tenants1.json" "$report_dir/tenants2.json" \
+        || { echo "check.sh: tenants run reports differ between identical runs" >&2; exit 1; }
+    cmp "$report_dir/tenants1.trace.json" "$report_dir/tenants2.trace.json" \
+        || { echo "check.sh: tenants chrome traces differ between identical runs" >&2; exit 1; }
 fi
 
 echo "check.sh: all green"
