@@ -44,4 +44,5 @@ pub mod wire;
 pub use command::{CommandError, NvmeCommand, SpaceId, MAX_DIMENSIONS, MAX_ELEMENTS_PER_DIM};
 pub use link::{Link, LinkConfig, LinkError};
 pub use queue::{QueueError, QueuePair, DEFAULT_QUEUE_DEPTH};
-pub use wfq::{WfqScheduler, COST_SCALE};
+pub use wfq::{WfqError, WfqScheduler, COST_SCALE};
+pub use wire::WireError;

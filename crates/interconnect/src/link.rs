@@ -227,9 +227,15 @@ impl Link {
         self.obs
             .event(ready, LINK_COMPONENT, || EventKind::CommandIssued { bytes });
         let occupancy = self.occupancy(bytes);
-        let decision = match self.faults.as_mut() {
-            Some(plan) => plan.next_link_fault(),
-            None => LinkFault::None,
+        // Capture the retry parameters while the plan is borrowed: the
+        // fault arms below then need no second (fallible) plan lookup.
+        let (decision, budget, initial_backoff) = match self.faults.as_mut() {
+            Some(plan) => {
+                let cfg = plan.config();
+                let (budget, backoff) = (cfg.link_retry_budget, cfg.link_backoff);
+                (plan.next_link_fault(), budget, backoff)
+            }
+            None => (LinkFault::None, 0, nds_sim::SimDuration::from_nanos(0)),
         };
         let (failures, mode, fault_kind) = match decision {
             LinkFault::None => {
@@ -253,16 +259,7 @@ impl Link {
             .event(ready, LINK_COMPONENT, || EventKind::FaultInjected {
                 kind: fault_kind,
             });
-        let (budget, mut backoff) = {
-            // A non-None LinkFault can only come from an installed plan.
-            #[allow(clippy::expect_used)]
-            let cfg = self
-                .faults
-                .as_ref()
-                .expect("a fault decision implies an installed plan")
-                .config();
-            (cfg.link_retry_budget, cfg.link_backoff)
-        };
+        let mut backoff = initial_backoff;
         let mut at = ready;
         for attempt in 0..failures.min(budget) {
             // The failed attempt holds the wire for its full occupancy —

@@ -25,18 +25,48 @@
 //! wfq.register(1, 3);
 //! // Equal-cost requests: the weight-3 flow gets ~3 of every 4 slots.
 //! for _ in 0..4 {
-//!     wfq.enqueue(0, 4096, ());
-//!     wfq.enqueue(1, 4096, ());
+//!     wfq.enqueue(0, 4096, ()).unwrap();
+//!     wfq.enqueue(1, 4096, ()).unwrap();
 //! }
 //! let order: Vec<u32> = std::iter::from_fn(|| wfq.pop().map(|(f, _)| f)).collect();
 //! assert_eq!(order.iter().filter(|&&f| f == 1).take(3).count(), 3);
 //! ```
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Fixed-point scale applied to costs before dividing by the flow weight,
 /// so integer finish tags keep 2⁻²⁰ resolution per cost unit.
 pub const COST_SCALE: u128 = 1 << 20;
+
+/// Error from [`WfqScheduler::enqueue`]: the finish-tag arithmetic would
+/// wrap the u128 virtual clock. With 64-bit costs and the 2²⁰ fixed-point
+/// scale this needs ~2⁴⁴ maximal-cost enqueues on one flow, but wrapping
+/// silently would reorder every later pop — so the condition is a typed
+/// error, not a debug assertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WfqError {
+    /// `start + cost·COST_SCALE/weight` exceeded `u128::MAX`.
+    FinishTagOverflow {
+        /// The flow whose enqueue overflowed.
+        flow: u32,
+        /// The offending request cost.
+        cost: u64,
+    },
+}
+
+impl fmt::Display for WfqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WfqError::FinishTagOverflow { flow, cost } => write!(
+                f,
+                "wfq finish tag overflow: flow {flow} cost {cost} would wrap the virtual clock"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WfqError {}
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct FlowState {
@@ -106,21 +136,44 @@ impl<T> WfqScheduler<T> {
     /// Enqueues a request of `cost` units (bytes, for the traffic engine)
     /// on `flow`, carrying `payload`. A zero cost is treated as 1 so every
     /// request advances the flow's virtual clock.
-    pub fn enqueue(&mut self, flow: u32, cost: u64, payload: T) {
-        let virtual_now = self.virtual_now;
+    ///
+    /// The finish tag `start + cost·COST_SCALE/weight` is computed with
+    /// checked arithmetic: on u128 overflow the request is rejected with
+    /// [`WfqError::FinishTagOverflow`] and the scheduler state is left
+    /// exactly as it was (no flow registration, no clock movement).
+    pub fn enqueue(&mut self, flow: u32, cost: u64, payload: T) -> Result<(), WfqError> {
+        let (weight, last_finish) = self
+            .flows
+            .get(&flow)
+            .map_or((1, 0), |f| (f.weight, f.last_finish));
+        let start = last_finish.max(self.virtual_now);
+        let overflow = WfqError::FinishTagOverflow { flow, cost };
+        let scaled = u128::from(cost.max(1))
+            .checked_mul(COST_SCALE)
+            .ok_or(overflow)?;
+        let finish = start
+            .checked_add(scaled / u128::from(weight))
+            .ok_or(overflow)?;
         let state = self.flows.entry(flow).or_insert(FlowState {
             weight: 1,
             last_finish: 0,
             queued: 0,
         });
-        let start = state.last_finish.max(virtual_now);
-        let scaled = u128::from(cost.max(1)) * COST_SCALE;
-        let finish = start + scaled / u128::from(state.weight);
         state.last_finish = finish;
         state.queued += 1;
         let key = (finish, flow, self.seq);
         self.seq += 1;
         self.queue.insert(key, Pending { flow, payload });
+        Ok(())
+    }
+
+    /// Advances the virtual clock to `to` without serving anything (the
+    /// clock never moves backward). This is the checkpoint-restore hook:
+    /// a rebuilt scheduler can resume at a saved virtual time, and the
+    /// overflow regression tests use it to place the clock near the u128
+    /// boundary without ~2⁴⁴ warm-up enqueues.
+    pub fn fast_forward(&mut self, to: u128) {
+        self.virtual_now = self.virtual_now.max(to);
     }
 
     /// Dequeues the request with the smallest `(finish tag, flow id,
@@ -170,8 +223,8 @@ mod tests {
         wfq.register(0, 1);
         wfq.register(1, 1);
         for i in 0..3 {
-            wfq.enqueue(0, 100, i);
-            wfq.enqueue(1, 100, i);
+            wfq.enqueue(0, 100, i).unwrap();
+            wfq.enqueue(1, 100, i).unwrap();
         }
         assert_eq!(drain(&mut wfq), vec![0, 1, 0, 1, 0, 1]);
     }
@@ -182,8 +235,8 @@ mod tests {
         wfq.register(0, 1);
         wfq.register(1, 3);
         for i in 0..12 {
-            wfq.enqueue(0, 4096, i);
-            wfq.enqueue(1, 4096, i);
+            wfq.enqueue(0, 4096, i).unwrap();
+            wfq.enqueue(1, 4096, i).unwrap();
         }
         // In the first 8 pops, flow 1 (weight 3) should get ~6 slots.
         let order = drain(&mut wfq);
@@ -200,8 +253,8 @@ mod tests {
         let mut wfq = WfqScheduler::new();
         wfq.register(2, 1);
         wfq.register(1, 1);
-        wfq.enqueue(2, 64, 0u64);
-        wfq.enqueue(1, 64, 1u64);
+        wfq.enqueue(2, 64, 0u64).unwrap();
+        wfq.enqueue(1, 64, 1u64).unwrap();
         // Same cost, same weight, same start → same finish tag; the lower
         // flow id wins.
         assert_eq!(wfq.pop(), Some((1, 1)));
@@ -214,7 +267,7 @@ mod tests {
         wfq.register(0, 1);
         wfq.register(1, 1);
         for i in 0..8 {
-            wfq.enqueue(0, 1 << 16, i);
+            wfq.enqueue(0, 1 << 16, i).unwrap();
         }
         for _ in 0..8 {
             wfq.pop();
@@ -222,22 +275,72 @@ mod tests {
         // Flow 1 was idle throughout; SCFQ starts it at the current virtual
         // time, so it owes no debt for service it never requested — its
         // finish tag ties flow 0's and the pair alternates from here.
-        wfq.enqueue(1, 1 << 16, 100);
-        wfq.enqueue(0, 1 << 16, 101);
-        wfq.enqueue(1, 1 << 16, 102);
-        wfq.enqueue(0, 1 << 16, 103);
+        wfq.enqueue(1, 1 << 16, 100).unwrap();
+        wfq.enqueue(0, 1 << 16, 101).unwrap();
+        wfq.enqueue(1, 1 << 16, 102).unwrap();
+        wfq.enqueue(0, 1 << 16, 103).unwrap();
         assert_eq!(drain(&mut wfq), vec![0, 1, 0, 1]);
     }
 
     #[test]
     fn zero_cost_and_unregistered_flow_are_safe() {
         let mut wfq: WfqScheduler<()> = WfqScheduler::new();
-        wfq.enqueue(7, 0, ());
+        wfq.enqueue(7, 0, ()).unwrap();
         assert_eq!(wfq.queued(7), 1);
         assert_eq!(wfq.weight(7), Some(1));
         assert_eq!(wfq.pop(), Some((7, ())));
         assert!(wfq.is_empty());
         assert!(wfq.virtual_now() > 0, "zero cost still advances the clock");
+    }
+
+    #[test]
+    fn finish_tag_overflow_is_a_typed_error() {
+        let mut wfq: WfqScheduler<()> = WfqScheduler::new();
+        wfq.register(9, 1);
+        // Park the virtual clock one COST_SCALE below the boundary: a
+        // minimal request still fits exactly, a maximal one cannot.
+        wfq.fast_forward(u128::MAX - COST_SCALE);
+        let err = wfq.enqueue(9, u64::MAX, ()).unwrap_err();
+        assert_eq!(
+            err,
+            WfqError::FinishTagOverflow {
+                flow: 9,
+                cost: u64::MAX
+            }
+        );
+        assert!(!err.to_string().is_empty());
+        // The failed enqueue left no residue: nothing queued, the flow's
+        // tag untouched, and a small request still succeeds afterwards.
+        assert!(wfq.is_empty());
+        assert_eq!(wfq.queued(9), 0);
+        wfq.enqueue(9, 1, ()).unwrap();
+        assert_eq!(wfq.pop(), Some((9, ())));
+        assert_eq!(wfq.virtual_now(), u128::MAX);
+        // At the ceiling, even a minimal request overflows.
+        assert!(wfq.enqueue(9, 1, ()).is_err());
+    }
+
+    #[test]
+    fn extreme_weight_and_cost_stay_exact() {
+        // weight u64::MAX with maximal cost: scaled fits u128 (2⁶⁴·2²⁰)
+        // and the division keeps the tag small — no precision cliff.
+        let mut wfq: WfqScheduler<u8> = WfqScheduler::new();
+        wfq.register(0, u64::MAX);
+        wfq.register(1, 1);
+        wfq.enqueue(0, u64::MAX, 0).unwrap();
+        wfq.enqueue(1, u64::MAX, 1).unwrap();
+        // The max-weight flow's finish tag is ~2²⁰, the weight-1 flow's is
+        // ~2⁸⁴: the heavy flow pops first.
+        assert_eq!(wfq.pop(), Some((0, 0)));
+        assert_eq!(wfq.pop(), Some((1, 1)));
+    }
+
+    #[test]
+    fn failed_enqueue_does_not_register_the_flow() {
+        let mut wfq: WfqScheduler<()> = WfqScheduler::new();
+        wfq.fast_forward(u128::MAX);
+        assert!(wfq.enqueue(3, 1, ()).is_err());
+        assert_eq!(wfq.weight(3), None);
     }
 
     #[test]
@@ -248,7 +351,7 @@ mod tests {
             wfq.register(1, 5);
             wfq.register(2, 1);
             for i in 0..30u64 {
-                wfq.enqueue((i % 3) as u32, 1000 + i * 37, i);
+                wfq.enqueue((i % 3) as u32, 1000 + i * 37, i).unwrap();
             }
             let mut order = Vec::new();
             while let Some(item) = wfq.pop() {

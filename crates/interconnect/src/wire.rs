@@ -95,13 +95,23 @@ impl core::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Writes `value` little-endian at `offset`. Panic-free by construction:
+/// the zip stops at whichever side runs out, and every caller passes an
+/// in-bounds constant offset so nothing is ever truncated.
 fn put_u64(buf: &mut [u8], offset: usize, value: u64) {
-    buf[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+    for (dst, src) in buf.iter_mut().skip(offset).zip(value.to_le_bytes()) {
+        *dst = src;
+    }
 }
 
+/// Reads a little-endian u64 at `offset`; bytes past the buffer read as
+/// zero (again statically impossible for the codec's constant offsets).
 fn get_u64(buf: &[u8], offset: usize) -> u64 {
-    #[allow(clippy::expect_used)] // slice is exactly 8 bytes, try_into cannot fail
-    u64::from_le_bytes(buf[offset..offset + 8].try_into().expect("8 bytes"))
+    let mut bytes = [0u8; 8];
+    for (dst, src) in bytes.iter_mut().zip(buf.iter().skip(offset)) {
+        *dst = *src;
+    }
+    u64::from_le_bytes(bytes)
 }
 
 /// Encodes a validated command into its wire representation.
@@ -192,9 +202,10 @@ pub fn encode(cmd: &NvmeCommand) -> Result<WireCommand, WireError> {
             put_u64(&mut entry, 16, space.0);
             put_u64(&mut entry, 24, coord.len() as u64);
             let mut page = Box::new([0u8; ARG_PAGE_BYTES]);
-            for i in 0..coord.len() {
-                put_u64(page.as_mut_slice(), i * 16, coord[i]);
-                put_u64(page.as_mut_slice(), i * 16 + 8, sub_dims[i]);
+            // validate() guarantees equal arity; zip makes it panic-free.
+            for (i, (&c, &d)) in coord.iter().zip(sub_dims.iter()).enumerate() {
+                put_u64(page.as_mut_slice(), i * 16, c);
+                put_u64(page.as_mut_slice(), i * 16 + 8, d);
             }
             arg_page = Some(page);
         }

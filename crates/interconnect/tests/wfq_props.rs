@@ -46,7 +46,7 @@ proptest! {
         let mut enqueued = 0u64;
         for r in 0..b.rounds {
             for f in 0..b.weights.len() as u32 {
-                wfq.enqueue(f, b.cost, (r, f));
+                wfq.enqueue(f, b.cost, (r, f)).unwrap();
                 enqueued += 1;
             }
             // Interleave partial drains: the queue must always yield.
@@ -75,7 +75,7 @@ proptest! {
             }
             for r in 0..b.rounds {
                 for f in 0..b.weights.len() as u32 {
-                    wfq.enqueue(f, b.cost + (r as u64 % 3), (r, f));
+                    wfq.enqueue(f, b.cost + (r as u64 % 3), (r, f)).unwrap();
                 }
             }
             std::iter::from_fn(|| wfq.pop()).collect::<Vec<_>>()
@@ -99,7 +99,7 @@ proptest! {
         for r in 0..b.rounds as u64 {
             for (f, &w) in b.weights.iter().enumerate() {
                 for _ in 0..w {
-                    wfq.enqueue(f as u32, b.cost, r);
+                    wfq.enqueue(f as u32, b.cost, r).unwrap();
                 }
             }
         }
@@ -128,9 +128,9 @@ proptest! {
         wfq.register(0, 1);
         wfq.register(1, heavy);
         for i in 0..backlog_len {
-            wfq.enqueue(1, 4096, i);
+            wfq.enqueue(1, 4096, i).unwrap();
         }
-        wfq.enqueue(0, 4096, usize::MAX);
+        wfq.enqueue(0, 4096, usize::MAX).unwrap();
         let position = std::iter::from_fn(|| wfq.pop())
             .position(|(f, _)| f == 0)
             .expect("light flow served");

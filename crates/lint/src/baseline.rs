@@ -1,10 +1,18 @@
-//! The ratcheting baseline: grandfathered violation counts per
-//! `(rule, file)`, stored as `lint-baseline.json` at the workspace root.
+//! The ratcheting baseline, version 2: grandfathered violation counts per
+//! `(rule, file)` — each entry a total plus its reachable sub-count —
+//! stored as `lint-baseline.json` at the workspace root.
+//!
+//! Version 2 extends the original flat counts with the D4 reachability
+//! triage: every entry carries `"reachable"`, the number of violations
+//! whose enclosing function the call graph can reach from the public
+//! data-path API surface. For rules without a reachability notion the
+//! field is 0. Both numbers ratchet independently — a panic site *moving*
+//! into reach fails the gate even when the total is unchanged.
 //!
 //! The ratchet has three failure modes, all hard errors in the default run:
 //!
-//! * **regression** — a `(rule, file)` count above its baselined value
-//!   (new violations are listed individually);
+//! * **regression** — a `(rule, file)` total or reachable count above its
+//!   baselined value (new violations are listed individually);
 //! * **improvement** — a count *below* its baselined value; the fix is to
 //!   tighten the baseline with `--update-baseline`, so counts only go down;
 //! * **stale entry** — a baselined file that no longer exists, reported
@@ -17,29 +25,29 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::Path;
 
-use crate::Rule;
+use crate::{FileCounts, Rule};
 
 /// Grandfathered counts per `(rule, file)`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
-    /// Baselined violation counts; entries are always positive.
-    pub entries: BTreeMap<(Rule, String), usize>,
+    /// Baselined violation counts; totals are always positive.
+    pub entries: BTreeMap<(Rule, String), FileCounts>,
 }
 
 /// One divergence between the current tree and the baseline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Drift {
-    /// More violations than baselined: the new ones must be fixed or
-    /// suppressed.
+    /// More violations (total or reachable) than baselined: the new ones
+    /// must be fixed or suppressed.
     Regression {
         /// The rule and file that regressed.
         rule: Rule,
         /// Workspace-relative file path.
         file: String,
         /// Violations now present in the file.
-        current: usize,
+        current: FileCounts,
         /// Violations the baseline allows.
-        allowed: usize,
+        allowed: FileCounts,
     },
     /// Fewer violations than baselined: run `--update-baseline` to ratchet.
     Improvement {
@@ -48,9 +56,9 @@ pub enum Drift {
         /// Workspace-relative file path.
         file: String,
         /// Violations now present in the file.
-        current: usize,
+        current: FileCounts,
         /// Violations the baseline still records.
-        allowed: usize,
+        allowed: FileCounts,
     },
     /// A baselined file no longer exists.
     StaleFile {
@@ -71,7 +79,8 @@ impl fmt::Display for Drift {
                 allowed,
             } => write!(
                 f,
-                "{file}: [{rule}] {current} violation(s), baseline allows {allowed}"
+                "{file}: [{rule}] {} violation(s) ({} reachable), baseline allows {} ({} reachable)",
+                current.total, current.reachable, allowed.total, allowed.reachable
             ),
             Drift::Improvement {
                 rule,
@@ -80,8 +89,9 @@ impl fmt::Display for Drift {
                 allowed,
             } => write!(
                 f,
-                "{file}: [{rule}] improved to {current} (baseline says {allowed}); \
-                 run `cargo run -p nds-lint -- --update-baseline` to ratchet"
+                "{file}: [{rule}] improved to {}/{} reachable (baseline says {}/{}); \
+                 run `cargo run -p nds-lint -- --update-baseline` to ratchet",
+                current.total, current.reachable, allowed.total, allowed.reachable
             ),
             Drift::StaleFile { rule, file } => write!(
                 f,
@@ -103,22 +113,22 @@ impl Drift {
 /// Compares current counts against the baseline. `existing` is the set of
 /// files that are still present, for stale-entry detection.
 pub fn compare(
-    current: &BTreeMap<(Rule, String), usize>,
+    current: &BTreeMap<(Rule, String), FileCounts>,
     baseline: &Baseline,
     existing: &BTreeSet<String>,
 ) -> Vec<Drift> {
     let mut drifts = Vec::new();
-    for ((rule, file), &count) in current {
+    for ((rule, file), &counts) in current {
         let allowed = baseline
             .entries
             .get(&(*rule, file.clone()))
             .copied()
-            .unwrap_or(0);
-        if count > allowed {
+            .unwrap_or_default();
+        if counts.total > allowed.total || counts.reachable > allowed.reachable {
             drifts.push(Drift::Regression {
                 rule: *rule,
                 file: file.clone(),
-                current: count,
+                current: counts,
                 allowed,
             });
         }
@@ -131,12 +141,18 @@ pub fn compare(
             });
             continue;
         }
-        let count = current.get(&(*rule, file.clone())).copied().unwrap_or(0);
-        if count < allowed {
+        let counts = current
+            .get(&(*rule, file.clone()))
+            .copied()
+            .unwrap_or_default();
+        // A pure regression is already reported above; only report the
+        // improvement direction when nothing regressed in the cell.
+        let regressed = counts.total > allowed.total || counts.reachable > allowed.reachable;
+        if !regressed && (counts.total < allowed.total || counts.reachable < allowed.reachable) {
             drifts.push(Drift::Improvement {
                 rule: *rule,
                 file: file.clone(),
-                current: count,
+                current: counts,
                 allowed,
             });
         }
@@ -146,11 +162,11 @@ pub fn compare(
 
 impl Baseline {
     /// Builds a baseline that exactly matches `current` (dropping zeros).
-    pub fn from_counts(current: &BTreeMap<(Rule, String), usize>) -> Baseline {
+    pub fn from_counts(current: &BTreeMap<(Rule, String), FileCounts>) -> Baseline {
         Baseline {
             entries: current
                 .iter()
-                .filter(|(_, &c)| c > 0)
+                .filter(|(_, c)| c.total > 0)
                 .map(|(k, &c)| (k.clone(), c))
                 .collect(),
         }
@@ -166,12 +182,25 @@ impl Baseline {
         Baseline::parse(&text).map(Some)
     }
 
-    /// Parses the baseline JSON.
+    /// Parses the baseline JSON (version 2; version-1 files lack the
+    /// `"reachable"` field and are rejected so stale formats surface
+    /// loudly instead of silently dropping the reachability ratchet).
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let value = Json::parse(text)?;
         let top = value
             .as_object()
             .ok_or("baseline: top level must be an object")?;
+        let version = top
+            .iter()
+            .find(|(k, _)| k == "version")
+            .and_then(|(_, v)| v.as_number())
+            .ok_or("baseline: missing \"version\"")?;
+        if version != 2 {
+            return Err(format!(
+                "baseline: version {version} unsupported; regenerate with \
+                 `cargo run -p nds-lint -- --update-baseline` (format is now version 2)"
+            ));
+        }
         let entries_value = top
             .iter()
             .find(|(k, _)| k == "entries")
@@ -200,11 +229,19 @@ impl Baseline {
                 .as_string()
                 .ok_or("baseline: \"file\" must be a string")?
                 .to_string();
-            let count = field("count")?
+            let total = field("count")?
                 .as_number()
                 .ok_or("baseline: \"count\" must be a number")?;
-            if count > 0 {
-                entries.insert((rule, file), count);
+            let reachable = field("reachable")?
+                .as_number()
+                .ok_or("baseline: \"reachable\" must be a number")?;
+            if reachable > total {
+                return Err(format!(
+                    "baseline: {file} [{rule_name}]: reachable {reachable} exceeds count {total}"
+                ));
+            }
+            if total > 0 {
+                entries.insert((rule, file), FileCounts { total, reachable });
             }
         }
         Ok(Baseline { entries })
@@ -215,36 +252,41 @@ impl Baseline {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(
-            "  \"_comment\": \"nds-lint ratchet: grandfathered violations per (rule, file). \
-             Counts may only decrease; refresh with `cargo run -p nds-lint -- \
+            "  \"_comment\": \"nds-lint ratchet: grandfathered violations per (rule, file); \
+             reachable = subset inside functions the call graph reaches from the public \
+             data-path API. Counts may only decrease; refresh with `cargo run -p nds-lint -- \
              --update-baseline`.\",\n",
         );
-        out.push_str("  \"version\": 1,\n");
+        out.push_str("  \"version\": 2,\n");
         out.push_str("  \"entries\": [\n");
         let mut first = true;
-        for ((rule, file), count) in &self.entries {
+        for ((rule, file), counts) in &self.entries {
             if !first {
                 out.push_str(",\n");
             }
             first = false;
             out.push_str(&format!(
-                "    {{ \"rule\": \"{}\", \"file\": \"{}\", \"count\": {} }}",
+                "    {{ \"rule\": \"{}\", \"file\": \"{}\", \"count\": {}, \"reachable\": {} }}",
                 rule.name(),
                 json_escape(file),
-                count
+                counts.total,
+                counts.reachable
             ));
         }
         out.push_str("\n  ]\n}\n");
         out
     }
 
-    /// Total baselined count for one rule (for summaries).
-    pub fn total(&self, rule: Rule) -> usize {
-        self.entries
-            .iter()
-            .filter(|((r, _), _)| *r == rule)
-            .map(|(_, c)| c)
-            .sum()
+    /// Total baselined counts for one rule (for summaries).
+    pub fn total(&self, rule: Rule) -> FileCounts {
+        let mut sum = FileCounts::default();
+        for ((r, _), c) in &self.entries {
+            if *r == rule {
+                sum.total += c.total;
+                sum.reachable += c.reachable;
+            }
+        }
+        sum
     }
 }
 

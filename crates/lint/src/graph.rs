@@ -1,0 +1,445 @@
+//! Intra-crate item and call-graph builder, and panic-reachability.
+//!
+//! On top of the token stream ([`crate::lexer`]) this module recognizes the
+//! item structure the flow-aware rules need: module nesting, `impl` blocks
+//! (self type and optional trait), and `fn` items with their body spans,
+//! visibility, and *name-based* call edges (`callee(`, `.method(`). From
+//! those per-file indexes it builds one graph per crate and computes which
+//! functions are reachable from the **public data-path API surface**:
+//!
+//! * every method of an `impl` block whose trait *or* self type is one of
+//!   the entry types ([`ENTRY_TYPES`]: `StorageFrontEnd`, `TrafficEngine`,
+//!   `FlashDevice`, `Link`, `Ftl`) — trait-impl methods unconditionally,
+//!   inherent methods when `pub`;
+//! * every `pub` free function of a data-path crate (the wire codec's
+//!   `encode`/`decode` live here).
+//!
+//! The model is deliberately modest and documented as such (DESIGN.md):
+//! edges are matched by *name only* within one crate — no trait
+//! resolution, no cross-crate linking, no closure-passing dataflow. A
+//! callee name that matches several functions marks them all (sound
+//! over-approximation inside the crate); calls into other crates fall off
+//! the graph (the other crate's own entry surface covers them).
+
+use crate::lexer::{Token, TokenKind};
+
+/// Type names whose impl blocks form the public data-path API surface.
+pub const ENTRY_TYPES: &[&str] = &[
+    "StorageFrontEnd",
+    "TrafficEngine",
+    "FlashDevice",
+    "Link",
+    "Ftl",
+];
+
+/// One `fn` item recognized in a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's bare name.
+    pub name: String,
+    /// Self type of the enclosing `impl`, if any (`TrafficEngine`).
+    pub impl_type: Option<String>,
+    /// Trait of the enclosing `impl ... for`, if any (`StorageFrontEnd`).
+    pub impl_trait: Option<String>,
+    /// Whether the item carries a `pub` (any restriction counts).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub start_line: usize,
+    /// 1-based line of the body's closing brace (or the `;` for bodiless
+    /// trait-method declarations).
+    pub end_line: usize,
+    /// Callee names referenced from the body: `name(...)` and
+    /// `.name(...)` forms, macros and keywords excluded.
+    pub calls: Vec<String>,
+}
+
+/// The item index of one file.
+#[derive(Debug, Clone, Default)]
+pub struct ItemIndex {
+    /// Functions in source order. Nested items appear after their parent
+    /// with narrower line ranges.
+    pub functions: Vec<FnItem>,
+}
+
+impl ItemIndex {
+    /// The innermost function whose line range contains `line`.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnItem> {
+        self.enclosing_fn_idx(line).map(|i| &self.functions[i])
+    }
+
+    /// Index of the innermost function whose line range contains `line`.
+    pub fn enclosing_fn_idx(&self, line: usize) -> Option<usize> {
+        self.functions
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.start_line <= line && line <= f.end_line)
+            .min_by_key(|(_, f)| f.end_line - f.start_line)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Keywords that look like calls when followed by `(`.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "fn", "let", "else",
+    "break", "continue", "unsafe", "await", "yield",
+];
+
+/// A scope on the builder's stack.
+#[derive(Debug, Clone)]
+enum Scope {
+    /// A plain block / module / non-impl brace.
+    Block,
+    /// An `impl` body: `(self type, trait)`.
+    Impl(Option<String>, Option<String>),
+    /// A function body: index into `ItemIndex::functions`.
+    Fn(usize),
+}
+
+/// Extracts the "base name" of a type path from header tokens: the last
+/// identifier at angle-bracket depth 0 (`fmt::Display` → `Display`,
+/// `Foo<T>` → `Foo`, `&mut Bar` → `Bar`).
+fn type_base_name(src: &str, tokens: &[Token]) -> Option<String> {
+    let mut depth = 0i32;
+    let mut name = None;
+    for t in tokens {
+        match t.kind {
+            TokenKind::Punct => match t.text(src) {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                _ => {}
+            },
+            TokenKind::Ident if depth == 0 => {
+                let text = t.text(src);
+                if !matches!(text, "dyn" | "mut" | "const" | "impl" | "where") {
+                    name = Some(text.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    name
+}
+
+/// Builds the item index of one file from its token stream.
+pub fn build_items(src: &str, tokens: &[Token]) -> ItemIndex {
+    // Work over significant tokens only (comments out; literals stay so
+    // spans line up, but they never look like idents or braces).
+    let sig: Vec<&Token> = tokens.iter().filter(|t| !t.kind.is_comment()).collect();
+    let text = |i: usize| sig[i].text(src);
+    let is_punct = |i: usize, p: &str| sig[i].kind == TokenKind::Punct && text(i) == p;
+
+    let mut index = ItemIndex::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    // `fn`/`impl` headers seen but whose body brace hasn't opened yet.
+    let mut pending: Option<Scope> = None;
+    // Angle-bracket depth inside a pending header (so `{` of `Foo<{N}>`
+    // const generics doesn't count — rare, best-effort).
+    let mut i = 0usize;
+    while i < sig.len() {
+        if sig[i].kind == TokenKind::Ident {
+            match text(i) {
+                "impl" => {
+                    // Header runs to the body `{` or a terminating `;`.
+                    let mut j = i + 1;
+                    let mut angle = 0i32;
+                    while j < sig.len() {
+                        if sig[j].kind == TokenKind::Punct {
+                            match text(j) {
+                                "<" => angle += 1,
+                                ">" => angle -= 1,
+                                "{" if angle <= 0 => break,
+                                ";" if angle <= 0 => break,
+                                _ => {}
+                            }
+                        }
+                        j += 1;
+                    }
+                    let header: Vec<Token> =
+                        sig[i + 1..j.min(sig.len())].iter().map(|t| **t).collect();
+                    let for_at = header
+                        .iter()
+                        .position(|t| t.kind == TokenKind::Ident && t.text(src) == "for");
+                    let (impl_trait, impl_type) = match for_at {
+                        Some(at) => (
+                            type_base_name(src, &header[..at]),
+                            type_base_name(src, &header[at + 1..]),
+                        ),
+                        None => (None, type_base_name(src, &header)),
+                    };
+                    pending = Some(Scope::Impl(impl_type, impl_trait));
+                    i = j;
+                    continue;
+                }
+                "fn" => {
+                    let Some(name_tok) = sig.get(i + 1) else {
+                        i += 1;
+                        continue;
+                    };
+                    if name_tok.kind != TokenKind::Ident {
+                        i += 1;
+                        continue;
+                    }
+                    // Visibility: scan back over modifiers for `pub`.
+                    let mut back = i;
+                    let mut is_pub = false;
+                    while back > 0 {
+                        back -= 1;
+                        match text(back) {
+                            "const" | "async" | "unsafe" | "extern" => continue,
+                            ")" | "(" | "crate" | "super" | "self" | "in" => continue,
+                            "pub" => {
+                                is_pub = true;
+                                break;
+                            }
+                            _ => break,
+                        }
+                    }
+                    let (impl_type, impl_trait) = scopes
+                        .iter()
+                        .rev()
+                        .find_map(|s| match s {
+                            Scope::Impl(t, tr) => Some((t.clone(), tr.clone())),
+                            _ => None,
+                        })
+                        .unwrap_or((None, None));
+                    index.functions.push(FnItem {
+                        name: name_tok.text(src).to_string(),
+                        impl_type,
+                        impl_trait,
+                        is_pub,
+                        start_line: sig[i].line,
+                        end_line: sig[i].line,
+                        calls: Vec::new(),
+                    });
+                    let fn_idx = index.functions.len() - 1;
+                    // Signature runs to the body `{` or a `;` (trait decl),
+                    // tracking nesting so `where` clauses and default args
+                    // don't fool it.
+                    let mut j = i + 2;
+                    let mut angle = 0i32;
+                    let mut paren = 0i32;
+                    while j < sig.len() {
+                        if sig[j].kind == TokenKind::Punct {
+                            match text(j) {
+                                "<" => angle += 1,
+                                ">" => angle -= 1,
+                                "(" | "[" => paren += 1,
+                                ")" | "]" => paren -= 1,
+                                "{" if angle <= 0 && paren <= 0 => break,
+                                ";" if angle <= 0 && paren <= 0 => break,
+                                _ => {}
+                            }
+                        }
+                        j += 1;
+                    }
+                    if j < sig.len() && is_punct(j, ";") {
+                        // Bodiless declaration: line range is the signature.
+                        index.functions[fn_idx].end_line = sig[j].line;
+                        i = j + 1;
+                        continue;
+                    }
+                    pending = Some(Scope::Fn(fn_idx));
+                    i = j;
+                    continue;
+                }
+                _ => {}
+            }
+            // Call edges: `name(` and `.name(` — `name!(` macros never
+            // match (the `!` sits between name and paren), definitions are
+            // skipped by the `fn` arm above, control keywords excluded.
+            if i + 1 < sig.len() && is_punct(i + 1, "(") {
+                let name = text(i);
+                if !CALL_KEYWORDS.contains(&name) {
+                    if let Some(fi) = scopes.iter().rev().find_map(|s| match s {
+                        Scope::Fn(fi) => Some(*fi),
+                        _ => None,
+                    }) {
+                        index.functions[fi].calls.push(name.to_string());
+                    }
+                }
+            }
+        }
+        if sig[i].kind == TokenKind::Punct {
+            match text(i) {
+                "{" => {
+                    scopes.push(pending.take().unwrap_or(Scope::Block));
+                }
+                "}" => {
+                    if let Some(Scope::Fn(fi)) = scopes.pop() {
+                        index.functions[fi].end_line = sig[i].line;
+                    }
+                }
+                // Any other punct between a header and its `{` (generics,
+                // where-bounds) leaves `pending` alone.
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    // Unclosed scopes (truncated input): close function line ranges at the
+    // last token's line.
+    if let Some(last) = sig.last() {
+        for s in scopes {
+            if let Scope::Fn(fi) = s {
+                index.functions[fi].end_line = index.functions[fi].end_line.max(last.line);
+            }
+        }
+    }
+    index
+}
+
+/// Whether a function belongs to the crate's public data-path entry
+/// surface (see module docs).
+pub fn is_entry(f: &FnItem) -> bool {
+    let trait_entry = f
+        .impl_trait
+        .as_deref()
+        .is_some_and(|t| ENTRY_TYPES.contains(&t));
+    let type_entry = f
+        .impl_type
+        .as_deref()
+        .is_some_and(|t| ENTRY_TYPES.contains(&t));
+    if trait_entry {
+        return true;
+    }
+    if type_entry && f.is_pub {
+        return true;
+    }
+    // Free function: part of the crate's public module surface when pub.
+    f.impl_type.is_none() && f.impl_trait.is_none() && f.is_pub
+}
+
+/// Computes, across the files of one crate, the set of functions reachable
+/// from the entry surface. Returns one `Vec<bool>` per file, parallel to
+/// its `ItemIndex::functions`.
+pub fn reachable_fns(files: &[&ItemIndex]) -> Vec<Vec<bool>> {
+    // Node ids: (file index, fn index).
+    let mut name_to_nodes: std::collections::BTreeMap<&str, Vec<(usize, usize)>> =
+        std::collections::BTreeMap::new();
+    for (fi, idx) in files.iter().enumerate() {
+        for (ni, f) in idx.functions.iter().enumerate() {
+            name_to_nodes
+                .entry(f.name.as_str())
+                .or_default()
+                .push((fi, ni));
+        }
+    }
+    let mut reach: Vec<Vec<bool>> = files
+        .iter()
+        .map(|idx| vec![false; idx.functions.len()])
+        .collect();
+    let mut queue: Vec<(usize, usize)> = Vec::new();
+    for (fi, idx) in files.iter().enumerate() {
+        for (ni, f) in idx.functions.iter().enumerate() {
+            if is_entry(f) {
+                reach[fi][ni] = true;
+                queue.push((fi, ni));
+            }
+        }
+    }
+    while let Some((fi, ni)) = queue.pop() {
+        for callee in &files[fi].functions[ni].calls {
+            if let Some(targets) = name_to_nodes.get(callee.as_str()) {
+                for &(tf, tn) in targets {
+                    if !reach[tf][tn] {
+                        reach[tf][tn] = true;
+                        queue.push((tf, tn));
+                    }
+                }
+            }
+        }
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> ItemIndex {
+        build_items(src, &lex(src))
+    }
+
+    #[test]
+    fn recognizes_free_and_impl_fns() {
+        let src = "pub fn free() {}\n\
+                   struct Foo;\n\
+                   impl Foo {\n    pub fn method(&self) { helper(); }\n    fn private(&self) {}\n}\n\
+                   impl Clone for Foo {\n    fn clone(&self) -> Foo { Foo }\n}\n\
+                   fn helper() {}\n";
+        let idx = items(src);
+        let names: Vec<&str> = idx.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["free", "method", "private", "clone", "helper"]);
+        assert!(idx.functions[0].is_pub && idx.functions[0].impl_type.is_none());
+        let method = &idx.functions[1];
+        assert_eq!(method.impl_type.as_deref(), Some("Foo"));
+        assert!(method.is_pub);
+        assert_eq!(method.calls, vec!["helper"]);
+        let clone = &idx.functions[3];
+        assert_eq!(clone.impl_trait.as_deref(), Some("Clone"));
+        assert!(!clone.is_pub);
+    }
+
+    #[test]
+    fn impl_headers_with_generics_and_paths() {
+        let src = "impl<S: StorageFrontEnd> TrafficEngine<S> {\n    pub fn run(&mut self) {}\n}\n\
+                   impl core::fmt::Display for Error {\n    fn fmt(&self) {}\n}\n";
+        let idx = items(src);
+        assert_eq!(idx.functions[0].impl_type.as_deref(), Some("TrafficEngine"));
+        assert_eq!(idx.functions[0].impl_trait, None);
+        assert_eq!(idx.functions[1].impl_trait.as_deref(), Some("Display"));
+        assert_eq!(idx.functions[1].impl_type.as_deref(), Some("Error"));
+    }
+
+    #[test]
+    fn call_edges_skip_macros_and_keywords() {
+        let src = "fn f() { if cond() { panic!(\"x\") } g(); h.method(); }";
+        let idx = items(src);
+        assert_eq!(idx.functions[0].calls, vec!["cond", "g", "method"]);
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let src = "fn outer() {\n    fn inner() {\n        body();\n    }\n    tail();\n}\n";
+        let idx = items(src);
+        assert_eq!(idx.enclosing_fn(3).map(|f| f.name.as_str()), Some("inner"));
+        assert_eq!(idx.enclosing_fn(5).map(|f| f.name.as_str()), Some("outer"));
+        assert!(idx.enclosing_fn(99).is_none());
+    }
+
+    #[test]
+    fn reachability_flows_from_entry_surface() {
+        let src = "impl Link {\n    pub fn transfer(&self) { occupancy(); }\n}\n\
+                   fn occupancy() { deep(); }\n\
+                   fn deep() {}\n\
+                   fn orphan() { deep(); }\n";
+        let idx = items(src);
+        let reach = reachable_fns(&[&idx]);
+        let by_name = |n: &str| {
+            idx.functions
+                .iter()
+                .position(|f| f.name == n)
+                .map(|i| reach[0][i])
+        };
+        assert_eq!(by_name("transfer"), Some(true));
+        assert_eq!(by_name("occupancy"), Some(true));
+        assert_eq!(by_name("deep"), Some(true));
+        // `orphan` is private and uncalled: not reachable (though its
+        // callee is, via the entry chain).
+        assert_eq!(by_name("orphan"), Some(false));
+    }
+
+    #[test]
+    fn trait_impl_methods_are_entries_without_pub() {
+        let src = "impl StorageFrontEnd for Baseline {\n    fn read(&self) { helper(); }\n}\n\
+                   fn helper() { inner_panicks(); }\n\
+                   fn inner_panicks() {}\n";
+        let idx = items(src);
+        let reach = reachable_fns(&[&idx]);
+        assert!(
+            reach[0].iter().all(|&r| r),
+            "whole chain reachable: {reach:?}"
+        );
+    }
+}

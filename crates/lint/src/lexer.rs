@@ -1,0 +1,595 @@
+//! A std-only Rust token-stream lexer.
+//!
+//! The linter's first generation masked comments and string literals with a
+//! hand-rolled line scanner; that pass conflated lifetimes with char
+//! literals, lost track of raw-string hash fences, and could not tell a
+//! doc comment containing code from code. This module replaces it with a
+//! real single-pass lexer over the byte stream that understands:
+//!
+//! * line comments (`//`), doc line comments (`///`, `//!`),
+//! * block comments with arbitrary nesting (`/* /* */ */`), doc block
+//!   comments (`/** .. */`, `/*! .. */`),
+//! * cooked strings with escapes, byte strings (`b".."`), C strings
+//!   (`c".."`),
+//! * raw and raw-byte strings with any hash fence
+//!   (`r".."`, `r#".."#`, `br##".."##`),
+//! * char and byte-char literals vs lifetimes (`'a'` / `b'x'` vs `&'a str`
+//!   and `'static`, including labelled loops `'outer:`),
+//! * numeric literals with base prefixes, suffixes, and float forms
+//!   (`0xFF_u8`, `1_000`, `1.5e-3`, `2.0f32`, tuple-index `x.0`),
+//! * identifiers and lifetimes.
+//!
+//! Every token carries its byte span and 1-based start line; the stream
+//! covers the whole input (whitespace is skipped, everything else is a
+//! token), so downstream passes — masking, the item/call-graph builder,
+//! the flow-aware rules — agree on one tokenization.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `fn`, `u128`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// A char literal (`'x'`, `'\n'`, `'\u{1F600}'`).
+    CharLit,
+    /// A byte-char literal (`b'x'`).
+    ByteCharLit,
+    /// A cooked string literal (`"…"`), including `b"…"`/`c"…"` forms.
+    StrLit,
+    /// A raw string literal (`r"…"`, `r#"…"#`, `br##"…"##`).
+    RawStrLit,
+    /// A numeric literal; `float` is true for float forms.
+    Number {
+        /// True for `1.5`, `1e3`, `2.0f32`, `1.` — anything non-integer.
+        float: bool,
+    },
+    /// A `//` comment; `doc` is true for `///` and `//!`.
+    LineComment {
+        /// Rustdoc comment (`///` or `//!`).
+        doc: bool,
+    },
+    /// A `/* … */` comment (nesting handled); `doc` for `/**`/`/*!`.
+    BlockComment {
+        /// Rustdoc comment (`/**` or `/*!`).
+        doc: bool,
+    },
+    /// A single punctuation byte (`{`, `+`, `:`, …). Multi-byte operators
+    /// are left as consecutive `Punct` tokens for the consumer to combine.
+    Punct,
+    /// A byte the lexer has no rule for (stray `\r`, BOM leftovers…).
+    Unknown,
+}
+
+impl TokenKind {
+    /// True for every comment kind.
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// True for string/char literal kinds (the spans masking blanks out).
+    pub fn is_textual_literal(self) -> bool {
+        matches!(
+            self,
+            TokenKind::CharLit | TokenKind::ByteCharLit | TokenKind::StrLit | TokenKind::RawStrLit
+        )
+    }
+}
+
+/// One token: kind plus byte span plus the 1-based line its first byte
+/// sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// The lexer state: input bytes, cursor, and a running line counter.
+struct Lexer<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'s> Lexer<'s> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, counting newlines.
+    fn bump(&mut self) {
+        if self.bytes.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Advances `n` bytes, counting newlines.
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consumes a `//` comment to (not including) the newline.
+    fn line_comment(&mut self) -> TokenKind {
+        // `///` and `//!` are rustdoc; `////…` is a plain comment again.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'!'), _) => true,
+            (Some(b'/'), Some(b'/')) => false,
+            (Some(b'/'), _) => true,
+            _ => false,
+        };
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokenKind::LineComment { doc }
+    }
+
+    /// Consumes a `/* … */` comment, honouring nesting.
+    fn block_comment(&mut self) -> TokenKind {
+        // `/**/` is empty, not doc; `/**…` and `/*!…` are rustdoc.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'!'), _) => true,
+            (Some(b'*'), Some(b'/')) => false,
+            (Some(b'*'), Some(b'*')) => false,
+            (Some(b'*'), _) => true,
+            _ => false,
+        };
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break,
+            }
+        }
+        TokenKind::BlockComment { doc }
+    }
+
+    /// Consumes a cooked (escape-processing) string body after the opening
+    /// quote has been consumed.
+    fn cooked_string(&mut self) -> TokenKind {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::StrLit
+    }
+
+    /// Consumes a raw string `"…"#…#` body given the hash-fence length;
+    /// the opening quote has been consumed.
+    fn raw_string(&mut self, hashes: usize) -> TokenKind {
+        while let Some(b) = self.peek(0) {
+            self.bump();
+            if b == b'"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some(b'#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+        TokenKind::RawStrLit
+    }
+
+    /// After a `'`, decides char literal vs lifetime and consumes it.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // the opening quote
+        match self.peek(0) {
+            // `'\…'` is always a char literal.
+            Some(b'\\') => {
+                self.bump_n(2);
+                while let Some(b) = self.peek(0) {
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                TokenKind::CharLit
+            }
+            // `'x…`: identifier-ish start — lifetime unless a closing quote
+            // follows the identifier run (`'a'` char vs `'a ` lifetime).
+            Some(b) if is_ident_start(b) => {
+                let mut ahead = 0;
+                while self.peek(ahead).is_some_and(is_ident_continue) {
+                    ahead += 1;
+                }
+                if self.peek(ahead) == Some(b'\'') {
+                    self.bump_n(ahead + 1);
+                    TokenKind::CharLit
+                } else {
+                    self.bump_n(ahead);
+                    TokenKind::Lifetime
+                }
+            }
+            // `'…'` with a non-identifier char (`'+'`, `'€'`): char literal
+            // if a quote closes it within one (possibly multi-byte) char.
+            Some(_) => {
+                let mut ahead = 1;
+                while ahead <= 4 {
+                    match self.peek(ahead) {
+                        Some(b'\'') => {
+                            self.bump_n(ahead + 1);
+                            return TokenKind::CharLit;
+                        }
+                        Some(b) if b >= 0x80 => ahead += 1,
+                        _ => break,
+                    }
+                }
+                self.bump();
+                TokenKind::Punct
+            }
+            None => TokenKind::Punct,
+        }
+    }
+
+    /// Consumes a numeric literal (the first digit is at the cursor).
+    fn number(&mut self) -> TokenKind {
+        let start = self.pos;
+        let base_prefixed = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+        while self.peek(0).is_some_and(is_ident_continue) {
+            // `1e-3` / `1E+8`: the sign belongs to the exponent.
+            if !base_prefixed
+                && matches!(self.peek(0), Some(b'e' | b'E'))
+                && matches!(self.peek(1), Some(b'+' | b'-'))
+                && self.peek(2).is_some_and(|b| b.is_ascii_digit())
+            {
+                self.bump_n(2);
+                continue;
+            }
+            self.bump();
+        }
+        // A fractional part: `.` followed by a digit, or a trailing `1.`
+        // (not `1..2` ranges, not `1.max()` method calls).
+        let mut float = false;
+        if self.peek(0) == Some(b'.') {
+            match self.peek(1) {
+                Some(b) if b.is_ascii_digit() => {
+                    float = true;
+                    self.bump();
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        if matches!(self.peek(0), Some(b'e' | b'E'))
+                            && matches!(self.peek(1), Some(b'+' | b'-'))
+                            && self.peek(2).is_some_and(|b| b.is_ascii_digit())
+                        {
+                            self.bump_n(2);
+                            continue;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'.') => {}
+                Some(b) if is_ident_start(b) => {}
+                _ => {
+                    float = true;
+                    self.bump();
+                }
+            }
+        }
+        if !float && !base_prefixed {
+            let text = &self.bytes[start..self.pos];
+            float = text.ends_with(b"f32") || text.ends_with(b"f64");
+            if !float && !text.iter().any(|&b| b == b'u' || b == b'i') {
+                // An exponent makes an integer-looking literal a float:
+                // `e`/`E` followed by a digit or a signed digit (`1e9`,
+                // `1e-3`). Suffixed ints (`1u64`) are excluded above.
+                for k in 0..text.len() {
+                    if !matches!(text[k], b'e' | b'E') {
+                        continue;
+                    }
+                    match text.get(k + 1) {
+                        Some(d) if d.is_ascii_digit() => float = true,
+                        Some(b'+' | b'-') if text.get(k + 2).is_some_and(u8::is_ascii_digit) => {
+                            float = true
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        TokenKind::Number { float }
+    }
+}
+
+/// Tokenizes `src` completely. Never fails: malformed input degrades to
+/// `Unknown`/`Punct` tokens rather than derailing the stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(b) = lx.peek(0) {
+        if b.is_ascii_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let start = lx.pos;
+        let line = lx.line;
+        let kind = match b {
+            b'/' if lx.peek(1) == Some(b'/') => lx.line_comment(),
+            b'/' if lx.peek(1) == Some(b'*') => lx.block_comment(),
+            b'"' => {
+                lx.bump();
+                lx.cooked_string()
+            }
+            b'\'' => lx.char_or_lifetime(),
+            b if b.is_ascii_digit() => lx.number(),
+            b if is_ident_start(b) => {
+                let mut ahead = 0;
+                while lx.peek(ahead).is_some_and(is_ident_continue) {
+                    ahead += 1;
+                }
+                let ident = &lx.bytes[lx.pos..lx.pos + ahead];
+                // String-literal prefixes: the prefix is part of the
+                // literal token, not an identifier.
+                match (ident, lx.peek(ahead)) {
+                    (b"r" | b"br" | b"cr", Some(b'"' | b'#'))
+                        if raw_fence_follows(lx.bytes, lx.pos + ahead) =>
+                    {
+                        lx.bump_n(ahead);
+                        let mut hashes = 0;
+                        while lx.peek(0) == Some(b'#') {
+                            hashes += 1;
+                            lx.bump();
+                        }
+                        // The arm guard saw the fence, so a quote is here.
+                        lx.bump();
+                        lx.raw_string(hashes)
+                    }
+                    (b"r", Some(b'#')) => {
+                        // `r#ident` raw identifier: prefix and identifier
+                        // form one token (never the bare keyword).
+                        lx.bump_n(ahead + 1);
+                        while lx.peek(0).is_some_and(is_ident_continue) {
+                            lx.bump();
+                        }
+                        TokenKind::Ident
+                    }
+                    (b"b" | b"c", Some(b'"')) => {
+                        lx.bump_n(ahead + 1);
+                        lx.cooked_string()
+                    }
+                    (b"b", Some(b'\'')) => {
+                        lx.bump_n(ahead + 1);
+                        match lx.peek(0) {
+                            Some(b'\\') => lx.bump_n(2),
+                            Some(_) => lx.bump(),
+                            None => {}
+                        }
+                        if lx.peek(0) == Some(b'\'') {
+                            lx.bump();
+                        }
+                        TokenKind::ByteCharLit
+                    }
+                    _ => {
+                        lx.bump_n(ahead);
+                        TokenKind::Ident
+                    }
+                }
+            }
+            b if b.is_ascii_punctuation() => {
+                lx.bump();
+                TokenKind::Punct
+            }
+            _ => {
+                lx.bump();
+                TokenKind::Unknown
+            }
+        };
+        tokens.push(Token {
+            kind,
+            start,
+            end: lx.pos,
+            line,
+        });
+    }
+    tokens
+}
+
+/// True when the bytes at `at` begin a raw-string fence (`#…#"`, or `"`):
+/// distinguishes `r#"…"#` from the raw identifier `r#match`.
+fn raw_fence_follows(bytes: &[u8], mut at: usize) -> bool {
+    while bytes.get(at) == Some(&b'#') {
+        at += 1;
+    }
+    bytes.get(at) == Some(&b'"')
+}
+
+/// Source text with every comment and string/char literal blanked out
+/// (same byte length and line structure as the input), plus the extracted
+/// comments — the interface the line-pattern rules and the suppression
+/// parser consume.
+pub struct MaskedSource {
+    /// The blanked text: literals/comments become spaces, newlines stay.
+    pub text: String,
+    /// `(1-based start line, comment text, standalone)` — `standalone` is
+    /// true when nothing but whitespace precedes the comment on its line.
+    pub comments: Vec<(usize, String, bool)>,
+}
+
+/// Masks `src` using the token stream: comment and textual-literal spans
+/// are blanked (newlines preserved), and comments are collected in order.
+pub fn mask(src: &str, tokens: &[Token]) -> MaskedSource {
+    let mut out = src.as_bytes().to_vec();
+    let mut comments = Vec::new();
+    for t in tokens {
+        if t.kind.is_comment() || t.kind.is_textual_literal() {
+            for b in &mut out[t.start..t.end] {
+                if *b != b'\n' {
+                    *b = b' ';
+                }
+            }
+        }
+        if t.kind.is_comment() {
+            let line_start = src[..t.start].rfind('\n').map_or(0, |n| n + 1);
+            let standalone = src[line_start..t.start].trim().is_empty();
+            comments.push((t.line, t.text(src).to_string(), standalone));
+        }
+    }
+    MaskedSource {
+        text: String::from_utf8(out).unwrap_or_default(),
+        comments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_numbers_puncts() {
+        let got = kinds("fn foo(x: u128) -> u64 { x as u64 + 0xFF_u64 }");
+        assert!(got.contains(&(TokenKind::Ident, "u128".into())));
+        assert!(got.contains(&(TokenKind::Number { float: false }, "0xFF_u64".into())));
+    }
+
+    #[test]
+    fn float_forms() {
+        assert_eq!(kinds("1.5")[0].0, TokenKind::Number { float: true });
+        assert_eq!(kinds("1e9 ")[0].0, TokenKind::Number { float: true });
+        assert_eq!(kinds("2.0f32")[0].0, TokenKind::Number { float: true });
+        assert_eq!(kinds("1e-3")[0].0, TokenKind::Number { float: true });
+        assert_eq!(kinds("3f64")[0].0, TokenKind::Number { float: true });
+        assert_eq!(kinds("100_000")[0].0, TokenKind::Number { float: false });
+        assert_eq!(kinds("0xFE")[0].0, TokenKind::Number { float: false });
+        assert_eq!(kinds("1u64")[0].0, TokenKind::Number { float: false });
+        // Tuple index and ranges stay integral.
+        let tuple = kinds("x.0");
+        assert_eq!(tuple[2].0, TokenKind::Number { float: false });
+        let range = kinds("0..32");
+        assert_eq!(range[0].0, TokenKind::Number { float: false });
+        // Method call on an integer literal is not a float.
+        let call = kinds("1.max(2)");
+        assert_eq!(call[0].0, TokenKind::Number { float: false });
+        // Trailing-dot float.
+        assert_eq!(kinds("1. ")[0].0, TokenKind::Number { float: true });
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let got = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes: Vec<_> = got
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(got.contains(&(TokenKind::CharLit, "'a'".into())));
+        assert!(kinds("'static ")
+            .iter()
+            .any(|(k, _)| *k == TokenKind::Lifetime));
+        assert!(kinds("'\\n'").iter().any(|(k, _)| *k == TokenKind::CharLit));
+        assert!(kinds("'+'").iter().any(|(k, _)| *k == TokenKind::CharLit));
+        assert!(kinds("b'x'")
+            .iter()
+            .any(|(k, _)| *k == TokenKind::ByteCharLit));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        assert_eq!(
+            kinds(r##"r#"has "quotes" inside"#"##)[0].0,
+            TokenKind::RawStrLit
+        );
+        assert_eq!(kinds(r#"b"bytes""#)[0].0, TokenKind::StrLit);
+        assert_eq!(
+            kinds(r###"br##"raw # bytes"##"###)[0].0,
+            TokenKind::RawStrLit
+        );
+        // Raw identifiers are identifiers.
+        assert_eq!(kinds("r#match")[0], (TokenKind::Ident, "r#match".into()));
+    }
+
+    #[test]
+    fn nested_block_comments_and_docs() {
+        let src = "/* outer /* inner */ still */ code";
+        let got = kinds(src);
+        assert_eq!(got[0].0, TokenKind::BlockComment { doc: false });
+        assert_eq!(got[1], (TokenKind::Ident, "code".into()));
+        assert_eq!(kinds("/// doc")[0].0, TokenKind::LineComment { doc: true });
+        assert_eq!(kinds("//! doc")[0].0, TokenKind::LineComment { doc: true });
+        assert_eq!(
+            kinds("//// nope")[0].0,
+            TokenKind::LineComment { doc: false }
+        );
+        assert_eq!(
+            kinds("/** doc */")[0].0,
+            TokenKind::BlockComment { doc: true }
+        );
+        assert_eq!(kinds("/**/")[0].0, TokenKind::BlockComment { doc: false });
+    }
+
+    #[test]
+    fn masking_blanks_literals_and_collects_comments() {
+        let src = "let s = \"HashMap\"; // trailing HashMap\nlet c = 'x';";
+        let tokens = lex(src);
+        let masked = mask(src, &tokens);
+        assert!(!masked.text.contains("HashMap"));
+        assert!(!masked.text.contains("'x'"));
+        assert_eq!(masked.text.len(), src.len());
+        assert_eq!(masked.comments.len(), 1);
+        assert!(!masked.comments[0].2, "trailing comment is not standalone");
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "let a = r#\"line\nline\"#;\nlet b = 1;";
+        let tokens = lex(src);
+        let b = tokens.iter().find(|t| t.text(src) == "b").expect("b");
+        assert_eq!(b.line, 3);
+    }
+}

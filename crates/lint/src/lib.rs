@@ -1,14 +1,21 @@
-//! `nds-lint`: a source-level determinism/invariant linter for the NDS
+//! `nds-lint`: a flow-aware determinism/invariant linter for the NDS
 //! workspace, with a ratcheting baseline.
 //!
 //! Every correctness claim this reproduction makes — byte-identity of the
 //! fig9/fig10 sweeps with the plan cache on or off, rate-0 fault-schedule
-//! identity, monotone modeled time under faults — rests on the simulator
-//! being *deterministic by construction*. This crate turns that contract
-//! from tribal knowledge into a machine-checked gate. It is deliberately
-//! std-only (offline-safe, like the `crates/compat/*` stubs) and lexical:
-//! it masks comments and string literals, tracks `#[cfg(test)]` / `#[test]`
-//! regions, and then pattern-matches the named rules below.
+//! identity, WFQ shares tracking weights, tenant isolation — rests on the
+//! simulator being *deterministic by construction*. This crate turns that
+//! contract from tribal knowledge into a machine-checked gate. It is
+//! deliberately std-only (offline-safe, like the `crates/compat/*` stubs)
+//! and built in layers:
+//!
+//! 1. a real token-stream lexer ([`lexer`]) — raw/byte strings, nested
+//!    block comments, char-vs-lifetime disambiguation, doc comments — so
+//!    rules never fire inside literals or comments;
+//! 2. an intra-crate item/call-graph builder ([`graph`]) — fn items, impl
+//!    blocks, name-based call edges — so rules can reason about functions
+//!    and about reachability from the public data-path API surface;
+//! 3. the rules themselves, over masked lines and the token stream.
 //!
 //! # Rules
 //!
@@ -24,12 +31,28 @@
 //! * **D3 — no raw modeled-time arithmetic outside the clock API.**
 //!   `as_nanos()` fed into arithmetic, or `from_nanos(...)` with a
 //!   non-literal argument, bypasses the typed `SimTime`/`SimDuration`
-//!   operators that keep instants and spans from being confused. Only
-//!   `crates/sim` (the clock/stats API home) may do raw nanosecond math.
+//!   operators. Only `crates/sim` (the clock/stats API home) may do raw
+//!   nanosecond math.
 //! * **D4 — no panic paths in data-path crates.** `unwrap()`, `expect()`,
 //!   `panic!`, `unreachable!`, `todo!`, `unimplemented!` and direct
-//!   slice/array indexing can abort a simulation mid-schedule; data-path
-//!   code must surface typed errors instead.
+//!   slice/array indexing can abort a simulation mid-schedule. Each D4
+//!   violation is additionally classified **reachable** or unreachable
+//!   from the public data-path API surface (`StorageFrontEnd`,
+//!   `TrafficEngine`, `FlashDevice`, `Link`, `Ftl` impls and `pub` free
+//!   functions) via the intra-crate call graph, so the baseline doubles as
+//!   a triaged burn-down list.
+//! * **D5 — checked virtual-time/modeled-cost arithmetic.** Unchecked `+`
+//!   or `*` on u128 finish-tag/virtual-time values or on
+//!   `as_nanos()`-derived integer costs silently wraps; data-path code
+//!   must use `checked_*`/`saturating_*` and surface a typed error.
+//! * **D6 — tenant-isolation discipline.** Inside `crates/system`, a
+//!   function that handles a `tenant` and resolves a dataset id
+//!   (`read_into`/`write`/`shape_of`) must call the isolation guard
+//!   (`guard`/`owner_of`) *before* the first resolution, so a fast path
+//!   cannot skip the check the dynamic probes only sample.
+//! * **D7 — no floating point in deterministic data paths.** f32/f64
+//!   types, `*_f32`/`*_f64` conversions, and float literals are confined
+//!   to `crates/prof`, `crates/bench`, and test code.
 //!
 //! # Suppressions
 //!
@@ -42,21 +65,27 @@
 //!
 //! The directive needs a rule name *and* a non-empty reason; it applies to
 //! its own line and, when it stands alone on a line, to the next line.
-//! Malformed directives are themselves hard errors.
+//! Malformed directives are hard errors, and so are **stale** ones: an
+//! `allow(...)` that no longer masks any violation must be deleted, not
+//! left to rot.
 //!
-//! # Ratcheting baseline
+//! # Ratcheting baseline (version 2)
 //!
 //! Pre-existing violations are grandfathered in `lint-baseline.json`,
-//! counted per `(rule, file)`. New violations fail; reductions fail too
-//! until the baseline is tightened with `--update-baseline`, so the counts
-//! can only go down. A baseline entry for a file that no longer exists is
-//! reported as stale rather than silently kept.
+//! counted per `(rule, file)` with a separate reachable sub-count for D4.
+//! New violations fail; reductions fail too until the baseline is
+//! tightened with `--update-baseline`, so both counts only go down. A
+//! baseline entry for a file that no longer exists is reported as stale.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 pub mod baseline;
+pub mod graph;
+pub mod lexer;
+
+use lexer::{MaskedSource, Token, TokenKind};
 
 /// A named invariant the linter enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -69,15 +98,32 @@ pub enum Rule {
     /// Raw modeled-time arithmetic outside the `nds-sim` clock API.
     D3,
     /// Panic paths (`unwrap`/`expect`/`panic!`/slice index) in data-path
-    /// crates.
+    /// crates, triaged by reachability from the public API surface.
     D4,
+    /// Unchecked `+`/`*` on u128 virtual-time / modeled-cost arithmetic.
+    D5,
+    /// Dataset-id resolution not dominated by the tenant-isolation guard.
+    D6,
+    /// Floating point in a deterministic data path.
+    D7,
     /// A malformed `nds-lint:` directive — never baselined, always an error.
     BadDirective,
+    /// An `nds-lint: allow(...)` that suppresses nothing — never baselined,
+    /// always an error.
+    StaleSuppression,
 }
 
 impl Rule {
-    /// The four baselinable rules, in report order.
-    pub const ALL: [Rule; 4] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4];
+    /// The baselinable rules, in report order.
+    pub const ALL: [Rule; 7] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::D4,
+        Rule::D5,
+        Rule::D6,
+        Rule::D7,
+    ];
 
     /// Canonical name, as used in directives and the baseline file.
     pub fn name(self) -> &'static str {
@@ -86,7 +132,11 @@ impl Rule {
             Rule::D2 => "D2",
             Rule::D3 => "D3",
             Rule::D4 => "D4",
+            Rule::D5 => "D5",
+            Rule::D6 => "D6",
+            Rule::D7 => "D7",
             Rule::BadDirective => "directive",
+            Rule::StaleSuppression => "stale-suppression",
         }
     }
 
@@ -97,6 +147,9 @@ impl Rule {
             "D2" | "d2" => Some(Rule::D2),
             "D3" | "d3" => Some(Rule::D3),
             "D4" | "d4" => Some(Rule::D4),
+            "D5" | "d5" => Some(Rule::D5),
+            "D6" | "d6" => Some(Rule::D6),
+            "D7" | "d7" => Some(Rule::D7),
             _ => None,
         }
     }
@@ -108,7 +161,11 @@ impl Rule {
             Rule::D2 => "HashMap/HashSet in data-path code",
             Rule::D3 => "raw modeled-time arithmetic outside the clock API",
             Rule::D4 => "panic path in a data-path crate",
+            Rule::D5 => "unchecked virtual-time/cost arithmetic",
+            Rule::D6 => "dataset resolution not dominated by the tenant guard",
+            Rule::D7 => "floating point in a deterministic data path",
             Rule::BadDirective => "malformed nds-lint directive",
+            Rule::StaleSuppression => "stale nds-lint suppression",
         }
     }
 }
@@ -122,20 +179,24 @@ impl fmt::Display for Rule {
 /// Which rules apply to a given file.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RuleSet {
-    bits: u8,
+    bits: u16,
 }
 
 impl RuleSet {
     /// No rules.
     pub const EMPTY: RuleSet = RuleSet { bits: 0 };
 
-    fn bit(rule: Rule) -> u8 {
+    fn bit(rule: Rule) -> u16 {
         match rule {
             Rule::D1 => 1,
             Rule::D2 => 2,
             Rule::D3 => 4,
             Rule::D4 => 8,
-            Rule::BadDirective => 16,
+            Rule::D5 => 16,
+            Rule::D6 => 32,
+            Rule::D7 => 64,
+            Rule::BadDirective => 128,
+            Rule::StaleSuppression => 256,
         }
     }
 
@@ -170,6 +231,9 @@ pub struct Violation {
     pub line: usize,
     /// What was matched and what to do instead.
     pub message: String,
+    /// For D4: whether the enclosing function is reachable from the public
+    /// data-path API surface. `None` for every other rule.
+    pub reachable: Option<bool>,
 }
 
 impl fmt::Display for Violation {
@@ -178,7 +242,12 @@ impl fmt::Display for Violation {
             f,
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.message
-        )
+        )?;
+        match self.reachable {
+            Some(true) => write!(f, " [reachable from data-path API]"),
+            Some(false) => write!(f, " [not reachable from data-path API]"),
+            None => Ok(()),
+        }
     }
 }
 
@@ -196,8 +265,13 @@ const SIM_CRATES: &[&str] = &[
     "prof",
 ];
 
-/// Crates on the modeled data/timing path: rules D2/D4 apply on top.
+/// Crates on the modeled data/timing path: rules D2/D4/D5 apply on top.
 const DATA_PATH_CRATES: &[&str] = &["core", "flash", "interconnect", "system", "prof"];
+
+/// Crates where floating point is banned (D7). `prof` is the sanctioned
+/// home for derived statistics, so it is data-path for D2/D4/D5 but not
+/// for D7.
+const D7_CRATES: &[&str] = &["core", "flash", "interconnect", "system"];
 
 /// Classifies a workspace-relative path into the rules that apply to it.
 ///
@@ -225,6 +299,13 @@ pub fn rules_for(rel_path: &str) -> RuleSet {
     if DATA_PATH_CRATES.contains(&krate) {
         rules.push(Rule::D2);
         rules.push(Rule::D4);
+        rules.push(Rule::D5);
+    }
+    if krate == "system" {
+        rules.push(Rule::D6);
+    }
+    if D7_CRATES.contains(&krate) {
+        rules.push(Rule::D7);
     }
     // The observability module feeds RunReport serialization; hash-ordered
     // containers there would leak nondeterminism into report JSON, so it
@@ -235,167 +316,8 @@ pub fn rules_for(rel_path: &str) -> RuleSet {
     RuleSet::of(&rules)
 }
 
-/// Source text with comments and string/char literals blanked out (same
-/// length and line structure as the original), plus the extracted comments.
-struct MaskedSource {
-    text: String,
-    /// `(1-based start line, comment text, standalone)` — `standalone` is
-    /// true when nothing but whitespace precedes the comment on its line.
-    comments: Vec<(usize, String, bool)>,
-}
-
 fn is_ident(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Masks comments, strings and char literals. The masked text keeps every
-/// newline so line numbers survive; everything else inside a masked span
-/// becomes a space.
-fn mask_source(src: &str) -> MaskedSource {
-    let bytes = src.as_bytes();
-    let mut out = bytes.to_vec();
-    let mut comments = Vec::new();
-    let mut i = 0;
-    let mut line = 1usize;
-    let mut line_start = 0usize;
-    let blank = |out: &mut [u8], from: usize, to: usize| {
-        for b in &mut out[from..to] {
-            if *b != b'\n' {
-                *b = b' ';
-            }
-        }
-    };
-    while i < bytes.len() {
-        let b = bytes[i];
-        if b == b'\n' {
-            line += 1;
-            i += 1;
-            line_start = i;
-            continue;
-        }
-        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-            let standalone = src[line_start..i].trim().is_empty();
-            let end = src[i..].find('\n').map_or(bytes.len(), |n| i + n);
-            comments.push((line, src[i..end].to_string(), standalone));
-            blank(&mut out, i, end);
-            i = end;
-            continue;
-        }
-        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-            let standalone = src[line_start..i].trim().is_empty();
-            let start_line = line;
-            let start = i;
-            let mut depth = 1;
-            i += 2;
-            while i < bytes.len() && depth > 0 {
-                if bytes[i] == b'\n' {
-                    line += 1;
-                    line_start = i + 1;
-                    i += 1;
-                } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-                    depth += 1;
-                    i += 2;
-                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                    depth -= 1;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-            }
-            comments.push((start_line, src[start..i].to_string(), standalone));
-            blank(&mut out, start, i);
-            continue;
-        }
-        // Raw (and byte-raw) strings: r"..."  r#"..."#  br"..."
-        if (b == b'r' || b == b'b') && (i == 0 || !is_ident(bytes[i - 1])) {
-            let mut j = i + 1;
-            if b == b'b' && j < bytes.len() && bytes[j] == b'r' {
-                j += 1;
-            }
-            if b == b'b' && j == i + 1 && j < bytes.len() && bytes[j] == b'"' {
-                // b"..." — plain byte string, handled by the '"' arm below
-                // after we advance past the prefix.
-                i += 1;
-                continue;
-            }
-            let hash_start = j;
-            while j < bytes.len() && bytes[j] == b'#' {
-                j += 1;
-            }
-            if j < bytes.len() && bytes[j] == b'"' && (j > i + 1 || b == b'r' || j > hash_start) {
-                let hashes = j - hash_start;
-                let close: Vec<u8> = {
-                    let mut c = vec![b'"'];
-                    c.extend(std::iter::repeat_n(b'#', hashes));
-                    c
-                };
-                let start = i;
-                i = j + 1;
-                while i < bytes.len() {
-                    if bytes[i] == b'\n' {
-                        line += 1;
-                        line_start = i + 1;
-                    }
-                    if bytes[i..].starts_with(&close) {
-                        i += close.len();
-                        break;
-                    }
-                    i += 1;
-                }
-                blank(&mut out, start, i);
-                continue;
-            }
-            i += 1;
-            continue;
-        }
-        if b == b'"' {
-            let start = i;
-            i += 1;
-            while i < bytes.len() {
-                match bytes[i] {
-                    b'\\' => i += 2,
-                    b'\n' => {
-                        line += 1;
-                        line_start = i + 1;
-                        i += 1;
-                    }
-                    b'"' => {
-                        i += 1;
-                        break;
-                    }
-                    _ => i += 1,
-                }
-            }
-            blank(&mut out, start, i);
-            continue;
-        }
-        if b == b'\'' {
-            // Char literal vs lifetime: 'x' / '\n' are literals, 'a in
-            // `&'a str` is not.
-            if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
-                let start = i;
-                i += 2;
-                while i < bytes.len() && bytes[i] != b'\'' {
-                    i += 1;
-                }
-                i = (i + 1).min(bytes.len());
-                blank(&mut out, start, i);
-                continue;
-            }
-            if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
-                blank(&mut out, i, i + 3);
-                i += 3;
-                continue;
-            }
-            i += 1;
-            continue;
-        }
-        i += 1;
-    }
-    MaskedSource {
-        text: String::from_utf8(out).unwrap_or_default(),
-        comments,
-    }
 }
 
 /// True if `needle` occurs in `line` with non-identifier characters (or the
@@ -557,8 +479,9 @@ fn parse_directives(
                 line: *line,
                 message: format!(
                     "unparseable directive {directive:?}; use \
-                     `nds-lint: allow(<D1|D2|D3|D4>, <reason>)` with a non-empty reason"
+                     `nds-lint: allow(<D1..D7>, <reason>)` with a non-empty reason"
                 ),
+                reachable: None,
             }),
         }
     }
@@ -628,45 +551,155 @@ fn is_raw_time_arith(line: &str) -> bool {
     false
 }
 
-/// Lints one file's source under the given rule set. `rel_path` is used for
-/// reporting only.
-pub fn scan_source(src: &str, rel_path: &str, rules: RuleSet) -> Vec<Violation> {
-    let masked = mask_source(src);
-    let (sups, mut violations) = parse_directives(&masked.comments, rel_path);
-    let exempt = test_exempt_lines(&masked.text);
-    let suppressed = |rule: Rule, line: usize| {
-        sups.iter()
-            .any(|s| s.rule == rule && (s.line == line || (s.standalone && s.line + 1 == line)))
-    };
-    for (idx, line) in masked.text.lines().enumerate() {
-        let lineno = idx + 1;
-        if *exempt.get(lineno).unwrap_or(&false) {
+/// Everything the flow-aware rules need about one file: its token stream,
+/// the masked text, and the item/call-graph index.
+pub struct FileAnalysis {
+    /// Workspace-relative path, `/`-separated (reporting key).
+    pub rel_path: String,
+    /// The raw source.
+    pub src: String,
+    /// The full token stream of `src`.
+    pub tokens: Vec<Token>,
+    /// `src` with comments and textual literals blanked.
+    pub masked: MaskedSource,
+    /// Recognized `fn` items with spans and call edges.
+    pub items: graph::ItemIndex,
+}
+
+impl FileAnalysis {
+    /// Lexes and indexes one file.
+    pub fn new(src: &str, rel_path: &str) -> FileAnalysis {
+        let tokens = lexer::lex(src);
+        let masked = lexer::mask(src, &tokens);
+        let items = graph::build_items(src, &tokens);
+        FileAnalysis {
+            rel_path: rel_path.to_string(),
+            src: src.to_string(),
+            tokens,
+            masked,
+            items,
+        }
+    }
+
+    /// Significant (non-comment, non-textual-literal) tokens on each line,
+    /// keyed by 1-based line number. Multi-line tokens appear under their
+    /// start line.
+    fn line_tokens(&self) -> BTreeMap<usize, Vec<&Token>> {
+        let mut map: BTreeMap<usize, Vec<&Token>> = BTreeMap::new();
+        for t in &self.tokens {
+            if t.kind.is_comment() || t.kind.is_textual_literal() {
+                continue;
+            }
+            map.entry(t.line).or_default().push(t);
+        }
+        map
+    }
+}
+
+/// Keywords that must not count as the left operand of a binary `+`/`*`
+/// (so `return *x` / `match *x` are not read as arithmetic).
+const EXPR_KEYWORDS: &[&str] = &[
+    "return", "break", "in", "if", "else", "match", "while", "let", "mut", "ref", "move", "as",
+    "loop", "yield",
+];
+
+/// D5 state for one function: identifiers tainted as virtual-time/cost
+/// values (u128-typed, `as_nanos()`-derived, or the `COST_SCALE` family).
+fn d5_tainted_idents(analysis: &FileAnalysis, f: &graph::FnItem) -> BTreeSet<String> {
+    let mut tainted = BTreeSet::new();
+    let line_tokens = analysis.line_tokens();
+    for (_, toks) in line_tokens.range(f.start_line..=f.end_line) {
+        let texts: Vec<&str> = toks.iter().map(|t| t.text(&analysis.src)).collect();
+        let hot = texts
+            .iter()
+            .any(|t| *t == "u128" || *t == "as_nanos" || *t == "COST_SCALE");
+        if !hot {
             continue;
         }
-        let mut push = |rule: Rule, message: String| {
-            if !suppressed(rule, lineno) {
-                violations.push(Violation {
-                    rule,
-                    file: rel_path.to_string(),
-                    line: lineno,
-                    message,
-                });
+        // `let [mut] <id>` on a hot line taints <id>; `<id>: u128` (a
+        // parameter or binding annotation) taints <id> too.
+        for w in 0..texts.len() {
+            if texts[w] == "let" {
+                let name_at = if texts.get(w + 1) == Some(&"mut") {
+                    w + 2
+                } else {
+                    w + 1
+                };
+                if let Some(t) = toks.get(name_at) {
+                    if t.kind == TokenKind::Ident {
+                        tainted.insert(t.text(&analysis.src).to_string());
+                    }
+                }
             }
-        };
+            if texts[w] == "u128"
+                && w >= 2
+                && texts[w - 1] == ":"
+                && toks[w - 2].kind == TokenKind::Ident
+            {
+                tainted.insert(texts[w - 2].to_string());
+            }
+        }
+    }
+    tainted.insert("COST_SCALE".to_string());
+    tainted
+}
+
+/// Scans one analyzed file under `rules`. `fn_reachable` is the
+/// reachability flag per `analysis.items.functions` entry (computed
+/// crate-wide by [`lint_workspace`], single-file by [`scan_source`]).
+fn scan_analyzed(analysis: &FileAnalysis, rules: RuleSet, fn_reachable: &[bool]) -> Vec<Violation> {
+    let rel_path = analysis.rel_path.as_str();
+    let (sups, mut hard_errors) = parse_directives(&analysis.masked.comments, rel_path);
+    let exempt = test_exempt_lines(&analysis.masked.text);
+    let is_exempt = |line: usize| *exempt.get(line).unwrap_or(&false);
+    let line_tokens = analysis.line_tokens();
+
+    // D4 reachability: the violation inherits its enclosing function's
+    // flag; code outside any function (const initializers, macro bodies)
+    // is conservatively reachable.
+    let reachable_at = |line: usize| {
+        analysis
+            .items
+            .enclosing_fn_idx(line)
+            .is_none_or(|i| fn_reachable.get(i).copied().unwrap_or(true))
+    };
+
+    // Raw findings, before suppression filtering.
+    let mut raw: Vec<Violation> = Vec::new();
+    let push = |raw: &mut Vec<Violation>, rule: Rule, line: usize, message: String| {
+        let reachable = (rule == Rule::D4).then(|| reachable_at(line));
+        raw.push(Violation {
+            rule,
+            file: rel_path.to_string(),
+            line,
+            message,
+            reachable,
+        });
+    };
+
+    for (idx, line) in analysis.masked.text.lines().enumerate() {
+        let lineno = idx + 1;
+        if is_exempt(lineno) {
+            continue;
+        }
         if rules.contains(Rule::D1) {
             if let Some(needle) = D1_NEEDLES.iter().find(|n| line.contains(*n)) {
                 push(
+                    &mut raw,
                     Rule::D1,
+                    lineno,
                     format!(
                         "`{needle}` — simulation code must be free of wall-clock, \
-                             OS randomness, and environment reads"
+                         OS randomness, and environment reads"
                     ),
                 );
             }
         }
         if rules.contains(Rule::D2) && (has_token(line, "HashMap") || has_token(line, "HashSet")) {
             push(
+                &mut raw,
                 Rule::D2,
+                lineno,
                 "hash collections have randomized iteration order; use \
                  BTreeMap/BTreeSet or sort explicitly"
                     .to_string(),
@@ -674,7 +707,9 @@ pub fn scan_source(src: &str, rel_path: &str, rules: RuleSet) -> Vec<Violation> 
         }
         if rules.contains(Rule::D3) && is_raw_time_arith(line) {
             push(
+                &mut raw,
                 Rule::D3,
+                lineno,
                 "raw modeled-time arithmetic; use the SimTime/SimDuration \
                  operators (Add/Sub/Mul/Div) instead of nanosecond math"
                     .to_string(),
@@ -683,21 +718,229 @@ pub fn scan_source(src: &str, rel_path: &str, rules: RuleSet) -> Vec<Violation> 
         if rules.contains(Rule::D4) {
             if let Some(needle) = D4_NEEDLES.iter().find(|n| line.contains(*n)) {
                 push(
+                    &mut raw,
                     Rule::D4,
+                    lineno,
                     format!("`{needle}` — data-path code must return typed errors, not panic"),
                 );
             } else if has_slice_index(line) {
                 push(
+                    &mut raw,
                     Rule::D4,
+                    lineno,
                     "direct index/slice can panic; prefer get()/get_mut() or a \
                      checked pattern"
                         .to_string(),
                 );
             }
         }
+        if rules.contains(Rule::D7) {
+            if let Some(toks) = line_tokens.get(&lineno) {
+                let float = toks.iter().find(|t| match t.kind {
+                    TokenKind::Number { float } => float,
+                    TokenKind::Ident => {
+                        let text = t.text(&analysis.src);
+                        text == "f32"
+                            || text == "f64"
+                            || text.ends_with("_f32")
+                            || text.ends_with("_f64")
+                    }
+                    _ => false,
+                });
+                if let Some(t) = float {
+                    push(
+                        &mut raw,
+                        Rule::D7,
+                        lineno,
+                        format!(
+                            "`{}` — floating point is nondeterministic across \
+                             targets/opt-levels; deterministic data paths must use \
+                             integer (fixed-point) arithmetic",
+                            t.text(&analysis.src)
+                        ),
+                    );
+                }
+            }
+        }
     }
-    violations.sort();
-    violations
+
+    // D5: per-function taint, then statement-level unchecked +/* detection.
+    if rules.contains(Rule::D5) {
+        for f in &analysis.items.functions {
+            let tainted = d5_tainted_idents(analysis, f);
+            for (lineno, toks) in line_tokens.range(f.start_line..=f.end_line) {
+                if is_exempt(*lineno) {
+                    continue;
+                }
+                // Nested fns own their lines.
+                if analysis.items.enclosing_fn(*lineno).map(|g| g.start_line) != Some(f.start_line)
+                {
+                    continue;
+                }
+                let texts: Vec<&str> = toks.iter().map(|t| t.text(&analysis.src)).collect();
+                let hot = texts
+                    .iter()
+                    .any(|t| *t == "u128" || *t == "as_nanos" || tainted.contains(*t));
+                if !hot {
+                    continue;
+                }
+                // A checked/saturating/wrapping call on the line sanctions
+                // it (statement granularity, documented approximation).
+                if texts.iter().any(|t| {
+                    t.starts_with("checked_")
+                        || t.starts_with("saturating_")
+                        || t.starts_with("wrapping_")
+                        || t.starts_with("overflowing_")
+                }) {
+                    continue;
+                }
+                // A binary `+` or `*`: previous significant token is an
+                // operand end. CamelCase idents on the left are type
+                // bounds (`T: Add + Mul`), not values; SCREAMING_CASE
+                // consts still count.
+                let mut fired = false;
+                for w in 1..toks.len() {
+                    if fired {
+                        break;
+                    }
+                    if toks[w].kind != TokenKind::Punct || !matches!(texts[w], "+" | "*") {
+                        continue;
+                    }
+                    let prev = toks[w - 1];
+                    let prev_text = texts[w - 1];
+                    let operand_end = match prev.kind {
+                        TokenKind::Ident => {
+                            !EXPR_KEYWORDS.contains(&prev_text)
+                                && (!prev_text.starts_with(char::is_uppercase)
+                                    || !prev_text.chars().any(char::is_lowercase))
+                        }
+                        TokenKind::Number { .. } => true,
+                        TokenKind::Punct => matches!(prev_text, ")" | "]"),
+                        _ => false,
+                    };
+                    if operand_end {
+                        push(
+                            &mut raw,
+                            Rule::D5,
+                            *lineno,
+                            format!(
+                                "unchecked `{}` on virtual-time/cost arithmetic; use \
+                                 checked_*/saturating_* and surface a typed overflow error",
+                                texts[w]
+                            ),
+                        );
+                        fired = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // D6: guard-dominance inside tenant-handling functions.
+    if rules.contains(Rule::D6) {
+        for f in &analysis.items.functions {
+            let mut mentions_tenant = false;
+            let mut first_guard: Option<usize> = None;
+            let mut first_resolve: Option<usize> = None;
+            for (lineno, toks) in line_tokens.range(f.start_line..=f.end_line) {
+                if analysis.items.enclosing_fn(*lineno).map(|g| g.start_line) != Some(f.start_line)
+                {
+                    continue;
+                }
+                let texts: Vec<&str> = toks.iter().map(|t| t.text(&analysis.src)).collect();
+                for w in 0..texts.len() {
+                    if toks[w].kind != TokenKind::Ident {
+                        continue;
+                    }
+                    if texts[w] == "tenant" || texts[w] == "tenant_id" {
+                        mentions_tenant = true;
+                    }
+                    let called = texts.get(w + 1) == Some(&"(");
+                    if !called {
+                        continue;
+                    }
+                    match texts[w] {
+                        "guard" | "owner_of" => {
+                            first_guard.get_or_insert(*lineno);
+                        }
+                        "read_into" | "write" | "shape_of" => {
+                            first_resolve.get_or_insert(*lineno);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if !mentions_tenant || is_exempt(f.start_line) {
+                continue;
+            }
+            if let Some(r) = first_resolve {
+                let guarded = first_guard.is_some_and(|g| g <= r);
+                if !guarded && !is_exempt(r) {
+                    push(
+                        &mut raw,
+                        Rule::D6,
+                        r,
+                        format!(
+                            "fn `{}` resolves a dataset id before (or without) calling \
+                             the isolation guard; call guard()/owner_of() first",
+                            f.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Suppression filtering + stale-suppression audit.
+    let mut used = vec![false; sups.len()];
+    let mut kept: Vec<Violation> = Vec::new();
+    for v in raw {
+        let mut suppressed = false;
+        for (si, s) in sups.iter().enumerate() {
+            if s.rule == v.rule && (s.line == v.line || (s.standalone && s.line + 1 == v.line)) {
+                used[si] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            kept.push(v);
+        }
+    }
+    if rules.contains(Rule::StaleSuppression) {
+        for (si, s) in sups.iter().enumerate() {
+            // A suppression inside test-exempt code suppresses nothing by
+            // construction; only audit live-code directives.
+            if used[si] || is_exempt(s.line) || (s.standalone && is_exempt(s.line + 1)) {
+                continue;
+            }
+            kept.push(Violation {
+                rule: Rule::StaleSuppression,
+                file: rel_path.to_string(),
+                line: s.line,
+                message: format!(
+                    "allow({}) suppresses no violation; delete the directive",
+                    s.rule
+                ),
+                reachable: None,
+            });
+        }
+    }
+    kept.append(&mut hard_errors);
+    kept.sort();
+    kept
+}
+
+/// Lints one file's source under the given rule set, with reachability
+/// computed from this file alone. `rel_path` is used for reporting only.
+/// (The workspace run, [`lint_workspace`], computes reachability across
+/// all files of a crate instead.)
+pub fn scan_source(src: &str, rel_path: &str, rules: RuleSet) -> Vec<Violation> {
+    let with_audit = RuleSet {
+        bits: rules.bits | RuleSet::bit(Rule::StaleSuppression),
+    };
+    let analysis = FileAnalysis::new(src, rel_path);
+    let reach = graph::reachable_fns(&[&analysis.items]);
+    scan_analyzed(&analysis, with_audit, &reach[0])
 }
 
 /// Recursively lists the workspace's `.rs` files as
@@ -735,29 +978,70 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
     Ok(files)
 }
 
+/// The crate a lintable path belongs to (`crates/<name>/src/**`).
+fn crate_of(rel_path: &str) -> Option<&str> {
+    rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split_once('/'))
+        .map(|(krate, _)| krate)
+}
+
 /// Lints every classified file under `root` and returns all violations.
+/// D4 reachability is computed per crate: each crate's files form one
+/// call graph rooted at the public data-path API surface.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
-    let mut violations = Vec::new();
+    // Group the analyses by crate so reachability sees whole crates.
+    let mut by_crate: BTreeMap<String, Vec<(FileAnalysis, RuleSet)>> = BTreeMap::new();
     for (rel, abs) in workspace_files(root)? {
         let rules = rules_for(&rel);
         if rules.is_empty() {
             continue;
         }
+        let with_audit = RuleSet {
+            bits: rules.bits | RuleSet::bit(Rule::StaleSuppression),
+        };
         let src = std::fs::read_to_string(&abs)?;
-        violations.extend(scan_source(&src, &rel, rules));
+        let krate = crate_of(&rel).unwrap_or("").to_string();
+        by_crate
+            .entry(krate)
+            .or_default()
+            .push((FileAnalysis::new(&src, &rel), with_audit));
     }
+    let mut violations = Vec::new();
+    for files in by_crate.values() {
+        let indexes: Vec<&graph::ItemIndex> = files.iter().map(|(a, _)| &a.items).collect();
+        let reach = graph::reachable_fns(&indexes);
+        for ((analysis, rules), fn_reachable) in files.iter().zip(&reach) {
+            violations.extend(scan_analyzed(analysis, *rules, fn_reachable));
+        }
+    }
+    violations.sort();
     Ok(violations)
 }
 
-/// Per-`(rule, file)` violation counts (the baseline unit). Bad directives
-/// are never counted — they are unconditional errors.
-pub fn counts_of(violations: &[Violation]) -> BTreeMap<(Rule, String), usize> {
-    let mut counts = BTreeMap::new();
+/// Violation counts for one `(rule, file)` cell: the baseline unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FileCounts {
+    /// All violations of the rule in the file.
+    pub total: usize,
+    /// The subset whose enclosing function is reachable from the public
+    /// data-path API surface (only D4 populates this).
+    pub reachable: usize,
+}
+
+/// Per-`(rule, file)` violation counts. Bad directives and stale
+/// suppressions are never counted — they are unconditional errors.
+pub fn counts_of(violations: &[Violation]) -> BTreeMap<(Rule, String), FileCounts> {
+    let mut counts: BTreeMap<(Rule, String), FileCounts> = BTreeMap::new();
     for v in violations {
-        if v.rule == Rule::BadDirective {
+        if matches!(v.rule, Rule::BadDirective | Rule::StaleSuppression) {
             continue;
         }
-        *counts.entry((v.rule, v.file.clone())).or_insert(0) += 1;
+        let cell = counts.entry((v.rule, v.file.clone())).or_default();
+        cell.total += 1;
+        if v.reachable == Some(true) {
+            cell.reachable += 1;
+        }
     }
     counts
 }

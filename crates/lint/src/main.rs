@@ -5,6 +5,7 @@
 //! cargo run -p nds-lint -- --update-baseline  # ratchet the baseline down
 //! cargo run -p nds-lint -- --list             # dump every current violation
 //! cargo run -p nds-lint -- --summary          # per-rule totals only
+//! cargo run -p nds-lint -- --json report.json # machine-readable report
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations/drift, 2 usage or I/O error.
@@ -12,8 +13,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use nds_lint::baseline::{compare, Baseline};
-use nds_lint::{counts_of, existing_files, lint_workspace, Rule, Violation};
+use nds_lint::baseline::{compare, Baseline, Drift};
+use nds_lint::{counts_of, existing_files, lint_workspace, FileCounts, Rule, Violation};
 
 struct Options {
     root: PathBuf,
@@ -21,10 +22,12 @@ struct Options {
     update_baseline: bool,
     list: bool,
     summary: bool,
+    json_path: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: nds-lint [--root PATH] [--baseline PATH] [--update-baseline] [--list] [--summary]"
+    "usage: nds-lint [--root PATH] [--baseline PATH] [--update-baseline] [--list] [--summary] \
+     [--json PATH]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -42,6 +45,7 @@ fn parse_args() -> Result<Options, String> {
         update_baseline: false,
         list: false,
         summary: false,
+        json_path: None,
     };
     let mut args = std::env::args().skip(1);
     let mut baseline_override = None;
@@ -54,6 +58,10 @@ fn parse_args() -> Result<Options, String> {
             "--baseline" => {
                 let value = args.next().ok_or("--baseline needs a path")?;
                 baseline_override = Some(PathBuf::from(value));
+            }
+            "--json" => {
+                let value = args.next().ok_or("--json needs a path")?;
+                opts.json_path = Some(PathBuf::from(value));
             }
             "--update-baseline" => opts.update_baseline = true,
             "--list" => opts.list = true,
@@ -72,28 +80,111 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-fn print_summary(violations: &[Violation]) {
+fn rule_totals(violations: &[Violation], rule: Rule) -> (FileCounts, usize) {
     let counts = counts_of(violations);
-    for rule in Rule::ALL {
-        let total: usize = counts
-            .iter()
-            .filter(|((r, _), _)| *r == rule)
-            .map(|(_, c)| c)
-            .sum();
-        let files = counts.iter().filter(|((r, _), _)| *r == rule).count();
-        println!(
-            "{rule}: {total} violation(s) in {files} file(s) — {}",
-            rule.summary()
-        );
+    let mut sum = FileCounts::default();
+    let mut files = 0usize;
+    for ((r, _), c) in &counts {
+        if *r == rule {
+            sum.total += c.total;
+            sum.reachable += c.reachable;
+            files += 1;
+        }
     }
+    (sum, files)
+}
+
+fn print_summary(violations: &[Violation]) {
+    for rule in Rule::ALL {
+        let (sum, files) = rule_totals(violations, rule);
+        if rule == Rule::D4 {
+            println!(
+                "{rule}: {} violation(s) ({} reachable from the data-path API) in {files} \
+                 file(s) — {}",
+                sum.total,
+                sum.reachable,
+                rule.summary()
+            );
+        } else {
+            println!(
+                "{rule}: {} violation(s) in {files} file(s) — {}",
+                sum.total,
+                rule.summary()
+            );
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The machine-readable report `--json` writes: every violation plus
+/// per-rule totals and the drift verdict, so CI can archive one artifact.
+fn json_report(violations: &[Violation], drifts: &[Drift], failed: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"version\": 2,\n");
+    out.push_str(&format!("  \"failed\": {failed},\n"));
+    out.push_str("  \"summary\": {\n");
+    let mut first = true;
+    for rule in Rule::ALL {
+        let (sum, files) = rule_totals(violations, rule);
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "    \"{}\": {{ \"total\": {}, \"reachable\": {}, \"files\": {} }}",
+            rule.name(),
+            sum.total,
+            sum.reachable,
+            files
+        ));
+    }
+    out.push_str("\n  },\n");
+    out.push_str(&format!("  \"drifts\": {},\n", drifts.len()));
+    out.push_str("  \"violations\": [\n");
+    let mut first = true;
+    for v in violations {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let reachable = match v.reachable {
+            Some(true) => ", \"reachable\": true",
+            Some(false) => ", \"reachable\": false",
+            None => "",
+        };
+        out.push_str(&format!(
+            "    {{ \"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"message\": \"{}\"{reachable} }}",
+            v.rule.name(),
+            json_escape(&v.file),
+            v.line,
+            json_escape(&v.message)
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
 }
 
 fn run() -> Result<ExitCode, String> {
     let opts = parse_args()?;
     let violations = lint_workspace(&opts.root).map_err(|e| format!("walking workspace: {e}"))?;
-    let bad_directives: Vec<_> = violations
+    let hard_errors: Vec<_> = violations
         .iter()
-        .filter(|v| v.rule == Rule::BadDirective)
+        .filter(|v| matches!(v.rule, Rule::BadDirective | Rule::StaleSuppression))
         .collect();
     let counts = counts_of(&violations);
 
@@ -109,7 +200,7 @@ fn run() -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
-    for v in &bad_directives {
+    for v in &hard_errors {
         eprintln!("error: {v}");
     }
 
@@ -119,7 +210,11 @@ fn run() -> Result<ExitCode, String> {
             .map_err(|e| format!("writing {}: {e}", opts.baseline_path.display()))?;
         println!("wrote {}", opts.baseline_path.display());
         print_summary(&violations);
-        return Ok(if bad_directives.is_empty() {
+        if let Some(path) = &opts.json_path {
+            std::fs::write(path, json_report(&violations, &[], !hard_errors.is_empty()))
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+        return Ok(if hard_errors.is_empty() {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
@@ -129,14 +224,14 @@ fn run() -> Result<ExitCode, String> {
     let baseline = Baseline::load(&opts.baseline_path)?.unwrap_or_default();
     let existing = existing_files(&opts.root).map_err(|e| format!("walking workspace: {e}"))?;
     let drifts = compare(&counts, &baseline, &existing);
-    let mut failed = !bad_directives.is_empty();
+    let mut failed = !hard_errors.is_empty();
     for drift in &drifts {
         failed = true;
         eprintln!("error: {drift}");
         if drift.is_regression() {
             // Show the individual violations so the developer can see the
             // lines without re-running with --list.
-            if let nds_lint::baseline::Drift::Regression { rule, file, .. } = drift {
+            if let Drift::Regression { rule, file, .. } = drift {
                 for v in violations
                     .iter()
                     .filter(|v| v.rule == *rule && &v.file == file)
@@ -146,6 +241,10 @@ fn run() -> Result<ExitCode, String> {
             }
         }
     }
+    if let Some(path) = &opts.json_path {
+        std::fs::write(path, json_report(&violations, &drifts, failed))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
     if failed {
         eprintln!(
             "nds-lint: FAILED — fix or suppress with `// nds-lint: allow(<rule>, <reason>)`, \
@@ -153,9 +252,12 @@ fn run() -> Result<ExitCode, String> {
         );
         Ok(ExitCode::FAILURE)
     } else {
+        let (d4, _) = rule_totals(&violations, Rule::D4);
         println!(
-            "nds-lint: clean (baseline {})",
-            opts.baseline_path.display()
+            "nds-lint: clean (baseline {}; D4 burn-down: {} panic site(s), {} reachable)",
+            opts.baseline_path.display(),
+            d4.total,
+            d4.reachable
         );
         Ok(ExitCode::SUCCESS)
     }

@@ -1,0 +1,29 @@
+pub fn entry(v: &[u8]) -> u8 {
+    helper(v)
+}
+
+fn helper(v: &[u8]) -> u8 {
+    v[0]
+}
+
+fn orphan(v: &[u8]) -> u8 {
+    v[1]
+}
+
+pub struct Link {
+    budget: u32,
+}
+
+impl Link {
+    pub fn transfer(&self, frames: &[u8]) -> u8 {
+        self.step(frames)
+    }
+
+    fn step(&self, frames: &[u8]) -> u8 {
+        frames[0]
+    }
+
+    fn debug_dump(&self, frames: &[u8]) -> u8 {
+        frames[1]
+    }
+}

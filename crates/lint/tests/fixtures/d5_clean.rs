@@ -1,0 +1,13 @@
+pub fn finish_tag(cost: u64, weight: u64) -> Option<u128> {
+    let scaled = u128::from(cost).checked_mul(1000)?;
+    let start: u128 = 7;
+    start.checked_add(scaled / u128::from(weight))
+}
+
+pub fn untyped_arithmetic_is_fine(a: u64, b: u64) -> u64 {
+    a + b * 2
+}
+
+pub fn generic_bounds_are_not_operands<T: Clone + Default>(x: T) -> T {
+    x
+}

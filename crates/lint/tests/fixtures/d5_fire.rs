@@ -1,0 +1,5 @@
+pub fn finish_tag(cost: u64, weight: u64) -> u128 {
+    let scaled = u128::from(cost) * 1000;
+    let start: u128 = 7;
+    start + scaled / u128::from(weight)
+}

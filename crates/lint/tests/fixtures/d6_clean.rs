@@ -1,0 +1,13 @@
+pub fn read_for_tenant(
+    sys: &mut Sys,
+    tenant: u32,
+    id: DatasetId,
+    buf: &mut Vec<u8>,
+) -> Result<(), Error> {
+    sys.guard(tenant, id)?;
+    sys.read_into(id, buf)
+}
+
+pub fn no_tenant_in_sight(sys: &mut Sys, id: DatasetId, buf: &mut Vec<u8>) {
+    sys.read_into(id, buf);
+}

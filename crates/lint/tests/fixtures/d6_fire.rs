@@ -1,0 +1,5 @@
+pub fn read_for_tenant(sys: &mut Sys, tenant: u32, id: DatasetId, buf: &mut Vec<u8>) -> bool {
+    let shape = sys.shape_of(id);
+    sys.read_into(id, &shape, buf);
+    sys.owner_of(id) == Some(tenant)
+}

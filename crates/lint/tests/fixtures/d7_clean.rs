@@ -1,0 +1,18 @@
+//! Fixed point everywhere: a 1.5x slowdown is stored as 1500 milli-units,
+//! and mentioning 0.75 in a doc comment is not a violation.
+
+pub fn milli_ratio(num: u64, den: u64) -> u64 {
+    if den == 0 {
+        return 0;
+    }
+    ((num as u128).saturating_mul(1000) / den as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn floats_in_test_code_are_exempt() {
+        let x = 0.5_f64;
+        assert!(x < 1.0);
+    }
+}

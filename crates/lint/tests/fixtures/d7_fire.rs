@@ -1,0 +1,8 @@
+pub fn throughput(bytes: u64, nanos: u64) -> f64 {
+    bytes as f64 / nanos as f64
+}
+
+pub fn fraction() -> u64 {
+    let ratio = 0.75;
+    (1000.0 * ratio) as u64
+}

@@ -1,0 +1,4 @@
+pub fn gc_threshold(pages: u64) -> u64 {
+    // nds-lint: allow(D7, config-time rounding; never on the deterministic replay path)
+    ((pages as f64) * 0.9) as u64
+}

@@ -1,13 +1,16 @@
 //! Fixture-based self-tests for the nds-lint rules, suppression directives,
-//! and the ratcheting baseline, plus a gate test that holds the committed
-//! tree to the committed `lint-baseline.json`.
+//! the lexer's masking, D4 reachability triage, and the ratcheting
+//! version-2 baseline, plus a gate test that holds the committed tree to
+//! the committed `lint-baseline.json`.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
 use nds_lint::baseline::{compare, Baseline, Drift};
+use nds_lint::lexer::{lex, TokenKind};
 use nds_lint::{
-    counts_of, existing_files, lint_workspace, rules_for, scan_source, Rule, RuleSet, Violation,
+    counts_of, existing_files, lint_workspace, rules_for, scan_source, FileCounts, Rule, RuleSet,
+    Violation,
 };
 
 fn scan(fixture: &str, rules: &[Rule]) -> Vec<Violation> {
@@ -103,6 +106,89 @@ fn d4_suppressed_by_directive() {
     assert!(v.is_empty(), "unexpected: {v:?}");
 }
 
+#[test]
+fn d4_classifies_reachability_from_the_entry_surface() {
+    let v = scan(include_str!("fixtures/d4_reachability.rs"), &[Rule::D4]);
+    let by_line: BTreeMap<usize, Option<bool>> = v.iter().map(|v| (v.line, v.reachable)).collect();
+    // `helper` is called by the pub free fn `entry`; `Link::step` by the
+    // pub inherent method of the entry type `Link`.
+    assert_eq!(by_line.get(&6), Some(&Some(true)), "helper via pub free fn");
+    assert_eq!(by_line.get(&23), Some(&Some(true)), "step via Link method");
+    // `orphan` and `Link::debug_dump` are private and never called.
+    assert_eq!(by_line.get(&10), Some(&Some(false)), "orphan");
+    assert_eq!(by_line.get(&27), Some(&Some(false)), "debug_dump");
+    assert_eq!(v.len(), 4, "unexpected: {v:?}");
+    // The classification is part of the human-readable report.
+    let shown = v
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(shown.contains(" [reachable from data-path API]"));
+    assert!(shown.contains(" [not reachable from data-path API]"));
+}
+
+// ---------------------------------------------------------------- rule D5
+
+#[test]
+fn d5_fires_on_unchecked_virtual_time_arithmetic() {
+    let v = scan(include_str!("fixtures/d5_fire.rs"), &[Rule::D5]);
+    assert_eq!(lines_of(&v, Rule::D5), vec![2, 4]);
+}
+
+#[test]
+fn d5_allows_checked_math_and_untainted_integers() {
+    let v = scan(include_str!("fixtures/d5_clean.rs"), &[Rule::D5]);
+    assert!(v.is_empty(), "unexpected: {v:?}");
+}
+
+#[test]
+fn d5_suppressed_by_directive() {
+    let v = scan(include_str!("fixtures/d5_suppressed.rs"), &[Rule::D5]);
+    assert!(v.is_empty(), "unexpected: {v:?}");
+}
+
+// ---------------------------------------------------------------- rule D6
+
+#[test]
+fn d6_fires_when_resolution_precedes_the_guard() {
+    let v = scan(include_str!("fixtures/d6_fire.rs"), &[Rule::D6]);
+    assert_eq!(lines_of(&v, Rule::D6), vec![2]);
+    assert!(v[0].message.contains("read_for_tenant"), "{:?}", v[0]);
+}
+
+#[test]
+fn d6_allows_guard_first_and_tenantless_functions() {
+    let v = scan(include_str!("fixtures/d6_clean.rs"), &[Rule::D6]);
+    assert!(v.is_empty(), "unexpected: {v:?}");
+}
+
+#[test]
+fn d6_suppressed_by_directive() {
+    let v = scan(include_str!("fixtures/d6_suppressed.rs"), &[Rule::D6]);
+    assert!(v.is_empty(), "unexpected: {v:?}");
+}
+
+// ---------------------------------------------------------------- rule D7
+
+#[test]
+fn d7_fires_on_float_types_and_literals() {
+    let v = scan(include_str!("fixtures/d7_fire.rs"), &[Rule::D7]);
+    assert_eq!(lines_of(&v, Rule::D7), vec![1, 2, 6, 7]);
+}
+
+#[test]
+fn d7_allows_fixed_point_doc_comments_and_test_code() {
+    let v = scan(include_str!("fixtures/d7_clean.rs"), &[Rule::D7]);
+    assert!(v.is_empty(), "unexpected: {v:?}");
+}
+
+#[test]
+fn d7_suppressed_by_directive() {
+    let v = scan(include_str!("fixtures/d7_suppressed.rs"), &[Rule::D7]);
+    assert!(v.is_empty(), "unexpected: {v:?}");
+}
+
 // ---------------------------------------------------------- bad directives
 
 #[test]
@@ -112,24 +198,90 @@ fn malformed_directive_is_an_error_and_does_not_suppress() {
     assert_eq!(lines_of(&v, Rule::D4), vec![3]);
 }
 
+#[test]
+fn suppression_that_masks_nothing_is_an_error() {
+    let v = scan(include_str!("fixtures/stale_suppression.rs"), &[Rule::D4]);
+    assert_eq!(lines_of(&v, Rule::StaleSuppression), vec![2]);
+    assert!(lines_of(&v, Rule::D4).is_empty(), "unexpected: {v:?}");
+}
+
+// ---------------------------------------------------------- lexer torture
+
+#[test]
+fn torture_fixture_masks_every_trap_and_keeps_live_code_hot() {
+    // Raw strings, fenced raw strings, byte strings, nested block
+    // comments, and doc comments full of needles: nothing fires — except
+    // the genuine slice index after the char-vs-lifetime traps.
+    let v = scan(
+        include_str!("fixtures/torture.rs"),
+        &[Rule::D1, Rule::D2, Rule::D3, Rule::D4],
+    );
+    assert_eq!(lines_of(&v, Rule::D4), vec![34], "unexpected: {v:?}");
+    assert_eq!(v.len(), 1, "unexpected: {v:?}");
+}
+
+#[test]
+fn torture_fixture_tokenizes_as_expected() {
+    let src = include_str!("fixtures/torture.rs");
+    let tokens = lex(src);
+    let kinds_on = |line: usize| {
+        tokens
+            .iter()
+            .filter(|t| t.line == line)
+            .map(|t| t.kind)
+            .collect::<Vec<_>>()
+    };
+    // One raw-string token per raw-string line, fences intact.
+    assert_eq!(kinds_on(5), vec![TokenKind::RawStrLit]);
+    assert_eq!(kinds_on(9), vec![TokenKind::RawStrLit]);
+    // A byte string is a cooked string literal.
+    assert_eq!(kinds_on(13), vec![TokenKind::StrLit]);
+    // The nested block comment is one token starting at line 16; nothing
+    // on lines 17–19 leaks out as code.
+    assert_eq!(kinds_on(16), vec![TokenKind::BlockComment { doc: false }]);
+    assert!(kinds_on(17).is_empty() && kinds_on(18).is_empty() && kinds_on(19).is_empty());
+    // Doc comments keep their doc flag.
+    assert_eq!(kinds_on(21), vec![TokenKind::LineComment { doc: true }]);
+    // `'"'` and `'\''` are char literals, not lifetimes opening strings.
+    assert!(kinds_on(31).contains(&TokenKind::CharLit));
+    assert!(kinds_on(32).contains(&TokenKind::CharLit));
+    // The lifetime in the signature really is a lifetime.
+    assert!(kinds_on(30).contains(&TokenKind::Lifetime));
+}
+
 // ------------------------------------------------------------ rule scoping
 
 #[test]
 fn rules_apply_only_to_lib_sources_of_the_right_crates() {
     // Data-path crate lib code: everything applies.
     let flash = rules_for("crates/flash/src/ftl.rs");
-    for r in [Rule::D1, Rule::D2, Rule::D3, Rule::D4] {
+    for r in [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D7] {
         assert!(flash.contains(r), "flash lib code should get {r:?}");
     }
+    assert!(!flash.contains(Rule::D6), "D6 is system-only");
+    // The tenant-isolation guard lives in crates/system: D6 applies there.
+    let system = rules_for("crates/system/src/tenants.rs");
+    for r in [Rule::D4, Rule::D5, Rule::D6, Rule::D7] {
+        assert!(system.contains(r), "system lib code should get {r:?}");
+    }
+    // `prof` computes derived statistics: data-path (D2/D4/D5) but the
+    // sanctioned home for fixed-point summaries, so no D7.
+    let prof = rules_for("crates/prof/src/analysis.rs");
+    assert!(prof.contains(Rule::D5));
+    assert!(
+        !prof.contains(Rule::D7),
+        "prof is exempt from the float ban"
+    );
     // The clock API home is exempt from D3 but not D1.
     let sim = rules_for("crates/sim/src/time.rs");
     assert!(sim.contains(Rule::D1));
     assert!(!sim.contains(Rule::D3));
-    // Modeled-behaviour but not data-path: no D2/D4.
+    // Modeled-behaviour but not data-path: no D2/D4/D5/D7.
     let host = rules_for("crates/host/src/cpu.rs");
     assert!(host.contains(Rule::D1));
-    assert!(!host.contains(Rule::D2));
-    assert!(!host.contains(Rule::D4));
+    for r in [Rule::D2, Rule::D4, Rule::D5, Rule::D6, Rule::D7] {
+        assert!(!host.contains(r), "host should not get {r:?}");
+    }
     // The observability module serializes reports, so it gets D2 on top of
     // the sim crate's D1 — but its siblings do not.
     let obs = rules_for("crates/sim/src/obs.rs");
@@ -146,37 +298,60 @@ fn rules_apply_only_to_lib_sources_of_the_right_crates() {
 
 // ---------------------------------------------------------------- baseline
 
-fn counts(entries: &[(Rule, &str, usize)]) -> BTreeMap<(Rule, String), usize> {
+fn fc(total: usize, reachable: usize) -> FileCounts {
+    FileCounts { total, reachable }
+}
+
+fn counts(entries: &[(Rule, &str, FileCounts)]) -> BTreeMap<(Rule, String), FileCounts> {
     entries
         .iter()
-        .map(|(r, f, n)| ((*r, (*f).to_string()), *n))
+        .map(|(r, f, c)| ((*r, (*f).to_string()), *c))
         .collect()
 }
 
 #[test]
 fn baseline_round_trips_through_json() {
     let c = counts(&[
-        (Rule::D2, "crates/a/src/lib.rs", 3),
-        (Rule::D4, "crates/b/src/lib.rs", 7),
+        (Rule::D2, "crates/a/src/lib.rs", fc(3, 0)),
+        (Rule::D4, "crates/b/src/lib.rs", fc(7, 2)),
     ]);
     let b = Baseline::from_counts(&c);
     let parsed = Baseline::parse(&b.to_json()).expect("round trip");
     assert_eq!(parsed.entries, b.entries);
-    assert_eq!(parsed.total(Rule::D2), 3);
-    assert_eq!(parsed.total(Rule::D4), 7);
+    assert_eq!(parsed.total(Rule::D2), fc(3, 0));
+    assert_eq!(parsed.total(Rule::D4), fc(7, 2));
+}
+
+#[test]
+fn baseline_rejects_stale_version_1_files() {
+    let v1 = r#"{ "version": 1, "entries": [
+        { "rule": "D4", "file": "crates/a/src/lib.rs", "count": 3 }
+    ] }"#;
+    let err = Baseline::parse(v1).expect_err("version 1 must be rejected");
+    assert!(err.contains("version 1 unsupported"), "{err}");
+    assert!(err.contains("--update-baseline"), "{err}");
+}
+
+#[test]
+fn baseline_rejects_reachable_exceeding_count() {
+    let bad = r#"{ "version": 2, "entries": [
+        { "rule": "D4", "file": "crates/a/src/lib.rs", "count": 2, "reachable": 5 }
+    ] }"#;
+    let err = Baseline::parse(bad).expect_err("reachable > count is nonsense");
+    assert!(err.contains("exceeds count"), "{err}");
 }
 
 #[test]
 fn compare_flags_regressions_improvements_and_stale_entries() {
     let baseline = Baseline::from_counts(&counts(&[
-        (Rule::D4, "crates/a/src/lib.rs", 2),
-        (Rule::D4, "crates/gone/src/lib.rs", 1),
-        (Rule::D2, "crates/a/src/lib.rs", 5),
+        (Rule::D4, "crates/a/src/lib.rs", fc(2, 1)),
+        (Rule::D4, "crates/gone/src/lib.rs", fc(1, 0)),
+        (Rule::D2, "crates/a/src/lib.rs", fc(5, 0)),
     ]));
     let current = counts(&[
-        (Rule::D4, "crates/a/src/lib.rs", 4), // regression: 4 > 2
-        (Rule::D2, "crates/a/src/lib.rs", 1), // improvement: 1 < 5
-        (Rule::D1, "crates/b/src/lib.rs", 1), // new violation, unbaselined
+        (Rule::D4, "crates/a/src/lib.rs", fc(4, 1)), // regression: 4 > 2
+        (Rule::D2, "crates/a/src/lib.rs", fc(1, 0)), // improvement: 1 < 5
+        (Rule::D1, "crates/b/src/lib.rs", fc(1, 0)), // new violation, unbaselined
     ]);
     let existing: BTreeSet<String> = ["crates/a/src/lib.rs", "crates/b/src/lib.rs"]
         .iter()
@@ -186,20 +361,20 @@ fn compare_flags_regressions_improvements_and_stale_entries() {
     assert!(drifts.contains(&Drift::Regression {
         rule: Rule::D4,
         file: "crates/a/src/lib.rs".to_string(),
-        current: 4,
-        allowed: 2,
+        current: fc(4, 1),
+        allowed: fc(2, 1),
     }));
     assert!(drifts.contains(&Drift::Regression {
         rule: Rule::D1,
         file: "crates/b/src/lib.rs".to_string(),
-        current: 1,
-        allowed: 0,
+        current: fc(1, 0),
+        allowed: fc(0, 0),
     }));
     assert!(drifts.contains(&Drift::Improvement {
         rule: Rule::D2,
         file: "crates/a/src/lib.rs".to_string(),
-        current: 1,
-        allowed: 5,
+        current: fc(1, 0),
+        allowed: fc(5, 0),
     }));
     assert!(drifts.contains(&Drift::StaleFile {
         rule: Rule::D4,
@@ -209,8 +384,25 @@ fn compare_flags_regressions_improvements_and_stale_entries() {
 }
 
 #[test]
+fn reachable_count_ratchets_independently_of_the_total() {
+    // Same total, but a previously-unreachable panic became reachable
+    // (e.g. a new pub method now calls into it): that is a regression.
+    let baseline = Baseline::from_counts(&counts(&[(Rule::D4, "crates/a/src/lib.rs", fc(3, 1))]));
+    let current = counts(&[(Rule::D4, "crates/a/src/lib.rs", fc(3, 2))]);
+    let existing: BTreeSet<String> = std::iter::once("crates/a/src/lib.rs".to_string()).collect();
+    let drifts = compare(&current, &baseline, &existing);
+    assert_eq!(drifts.len(), 1, "{drifts:?}");
+    assert!(drifts[0].is_regression(), "{drifts:?}");
+    // And shrinking the reachable set alone is an improvement to ratchet.
+    let better = counts(&[(Rule::D4, "crates/a/src/lib.rs", fc(3, 0))]);
+    let drifts = compare(&better, &baseline, &existing);
+    assert_eq!(drifts.len(), 1, "{drifts:?}");
+    assert!(!drifts[0].is_regression(), "{drifts:?}");
+}
+
+#[test]
 fn identical_tree_and_baseline_produce_no_drift() {
-    let c = counts(&[(Rule::D4, "crates/a/src/lib.rs", 2)]);
+    let c = counts(&[(Rule::D4, "crates/a/src/lib.rs", fc(2, 1))]);
     let baseline = Baseline::from_counts(&c);
     let existing: BTreeSet<String> = std::iter::once("crates/a/src/lib.rs".to_string()).collect();
     assert!(compare(&c, &baseline, &existing).is_empty());
@@ -219,7 +411,8 @@ fn identical_tree_and_baseline_produce_no_drift() {
 // ------------------------------------------------------- workspace gate
 
 /// The committed tree must match the committed baseline exactly: any new
-/// violation fails, and any improvement must be ratcheted in.
+/// violation fails, any improvement must be ratcheted in, and malformed
+/// or stale directives are unconditional errors.
 #[test]
 fn committed_tree_matches_committed_baseline() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -229,9 +422,9 @@ fn committed_tree_matches_committed_baseline() {
     let violations = lint_workspace(root).expect("walk workspace");
     let hard: Vec<_> = violations
         .iter()
-        .filter(|v| v.rule == Rule::BadDirective)
+        .filter(|v| matches!(v.rule, Rule::BadDirective | Rule::StaleSuppression))
         .collect();
-    assert!(hard.is_empty(), "malformed directives: {hard:?}");
+    assert!(hard.is_empty(), "hard directive errors: {hard:?}");
     let baseline = Baseline::load(&root.join("lint-baseline.json"))
         .expect("readable baseline")
         .expect("lint-baseline.json is committed");

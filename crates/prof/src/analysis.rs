@@ -242,7 +242,7 @@ fn milli_ratio(num: u64, den: u64) -> u64 {
     if den == 0 {
         return 0;
     }
-    (u128::from(num) * 1000 / u128::from(den)) as u64
+    (u128::from(num).saturating_mul(1000) / u128::from(den)) as u64
 }
 
 /// Jain's fairness index `(Σx)² / (n·Σx²)` in milli-units; 1000 for an
@@ -253,11 +253,15 @@ pub fn jain_milli(values: &[u64]) -> u64 {
         return 1000;
     }
     let sum: u128 = values.iter().map(|&v| u128::from(v)).sum();
-    let sum_sq: u128 = values.iter().map(|&v| u128::from(v) * u128::from(v)).sum();
+    let sum_sq: u128 = values
+        .iter()
+        .map(|&v| u128::from(v).saturating_mul(u128::from(v)))
+        .sum();
     if sum_sq == 0 {
         return 1000;
     }
-    (sum * sum * 1000 / (n * sum_sq)) as u64
+    let num = sum.saturating_mul(sum).saturating_mul(1000);
+    (num / n.saturating_mul(sum_sq)) as u64
 }
 
 /// Analyzes one parsed system profile.

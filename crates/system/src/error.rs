@@ -36,6 +36,16 @@ pub enum SystemError {
         /// The foreign dataset it addressed.
         dataset: DatasetId,
     },
+    /// The WFQ scheduler rejected an admission (finish-tag overflow of the
+    /// u128 virtual clock).
+    Scheduler(nds_interconnect::WfqError),
+    /// The submission queue rejected a command.
+    Queue(nds_interconnect::QueueError),
+    /// The wire codec rejected a command on encode or decode.
+    Wire(nds_interconnect::WireError),
+    /// The NVMe queue-pair protocol was violated: a command did not
+    /// surface where the synchronous submit/pop/decode drain expects it.
+    Protocol(&'static str),
 }
 
 impl fmt::Display for SystemError {
@@ -57,6 +67,10 @@ impl fmt::Display for SystemError {
                 f,
                 "tenant {tenant} addressed foreign dataset {dataset:?} outside its namespace"
             ),
+            SystemError::Scheduler(e) => write!(f, "scheduler: {e}"),
+            SystemError::Queue(e) => write!(f, "queue: {e}"),
+            SystemError::Wire(e) => write!(f, "wire: {e}"),
+            SystemError::Protocol(what) => write!(f, "nvme protocol violation: {what}"),
         }
     }
 }
@@ -68,6 +82,9 @@ impl std::error::Error for SystemError {
             SystemError::Flash(e) => Some(e),
             SystemError::Command(e) => Some(e),
             SystemError::Link(e) => Some(e),
+            SystemError::Scheduler(e) => Some(e),
+            SystemError::Queue(e) => Some(e),
+            SystemError::Wire(e) => Some(e),
             _ => None,
         }
     }
@@ -94,6 +111,24 @@ impl From<nds_interconnect::CommandError> for SystemError {
 impl From<nds_interconnect::LinkError> for SystemError {
     fn from(e: nds_interconnect::LinkError) -> Self {
         SystemError::Link(e)
+    }
+}
+
+impl From<nds_interconnect::WfqError> for SystemError {
+    fn from(e: nds_interconnect::WfqError) -> Self {
+        SystemError::Scheduler(e)
+    }
+}
+
+impl From<nds_interconnect::QueueError> for SystemError {
+    fn from(e: nds_interconnect::QueueError) -> Self {
+        SystemError::Queue(e)
+    }
+}
+
+impl From<nds_interconnect::WireError> for SystemError {
+    fn from(e: nds_interconnect::WireError) -> Self {
+        SystemError::Wire(e)
     }
 }
 

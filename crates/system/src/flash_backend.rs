@@ -229,9 +229,8 @@ impl FlashBackend {
 
     /// Moves every valid page of `block` to a fresh page in the same lane,
     /// updating the handle maps and charging the moves to the timeline.
-    // Valid pages always carry data and a reverse-map entry; both expects
-    // below assert that device/backend bookkeeping invariant.
-    #[allow(clippy::expect_used)]
+    /// A valid page without data or a reverse-map entry means the
+    /// device/backend bookkeeping diverged and surfaces as `PageNotValid`.
     fn relocate_block(
         &mut self,
         block: BlockAddr,
@@ -246,7 +245,7 @@ impl FlashBackend {
             let data = self
                 .device
                 .peek(page)
-                .expect("valid page has data")
+                .ok_or(FlashError::PageNotValid(page))?
                 .to_vec();
             now = self.device.schedule_reads(&[page], now);
             // Copy-then-invalidate: secure the destination before touching
@@ -258,7 +257,7 @@ impl FlashBackend {
             {
                 Some(d) => d,
                 None => {
-                    self.maybe_gc(page.channel as u32, page.bank as u32);
+                    self.maybe_gc(page.channel as u32, page.bank as u32)?;
                     // GC may have relocated (or erased) the page under us;
                     // if so its mapping is already fresh — nothing to move.
                     if self.device.page_state(page) != PageState::Valid {
@@ -273,7 +272,7 @@ impl FlashBackend {
             let handle = self
                 .reverse
                 .remove(&page)
-                .expect("valid page belongs to a handle");
+                .ok_or(FlashError::PageNotValid(page))?;
             self.device.invalidate(page)?;
             self.forward.insert(handle, dest);
             self.reverse.insert(dest, handle);
@@ -288,8 +287,8 @@ impl FlashBackend {
 
     // GC relocations rely on bookkeeping invariants (valid pages have data
     // and reverse entries; over-provisioning guarantees a free destination).
-    #[allow(clippy::expect_used)]
-    fn maybe_gc(&mut self, channel: u32, bank: u32) {
+    // A violated invariant surfaces as a typed error instead of a panic.
+    fn maybe_gc(&mut self, channel: u32, bank: u32) -> Result<(), FlashError> {
         let g = *self.device.geometry();
         let threshold = ((g.pages_per_bank() as f64) * GC_THRESHOLD).ceil() as usize;
         let mut guard = 0;
@@ -346,18 +345,18 @@ impl FlashBackend {
                     let data = self
                         .device
                         .peek(page)
-                        .expect("valid page has data")
+                        .ok_or(FlashError::PageNotValid(page))?
                         .to_vec();
                     let handle = self
                         .reverse
                         .remove(&page)
-                        .expect("valid page belongs to a handle");
-                    self.device.invalidate(page).expect("page was valid");
+                        .ok_or(FlashError::PageNotValid(page))?;
+                    self.device.invalidate(page)?;
                     // Relocate within the same lane, avoiding the victim.
                     let dest = self
                         .find_free_page_avoiding(channel, bank, block)
-                        .expect("over-provisioning guarantees a free page during GC");
-                    self.device.program(dest, data).expect("dest page is free");
+                        .ok_or(FlashError::DeviceFull)?;
+                    self.device.program(dest, data)?;
                     self.forward.insert(handle, dest);
                     self.reverse.insert(dest, handle);
                     self.stats.add("backend.gc_relocated", 1);
@@ -366,6 +365,7 @@ impl FlashBackend {
             self.device.erase_block(victim_addr);
             self.stats.add("backend.gc_runs", 1);
         }
+        Ok(())
     }
 
     fn find_free_page_avoiding(
@@ -397,7 +397,9 @@ impl NvmBackend for FlashBackend {
     }
 
     fn alloc_unit(&mut self, channel: u32, bank: u32) -> Option<UnitLocation> {
-        self.maybe_gc(channel, bank);
+        // A GC bookkeeping error means the lane cannot be trusted to hold
+        // the unit; report it as exhausted.
+        self.maybe_gc(channel, bank).ok()?;
         // A handle is just an id; the physical page is chosen at write time
         // (NAND programs are the real commitment).
         let lane = self.lane(channel, bank);
@@ -439,7 +441,8 @@ impl NvmBackend for FlashBackend {
             self.device
                 .invalidate(old)
                 .expect("mapped page must be valid");
-            self.maybe_gc(loc.channel, loc.bank);
+            // The write still has its reserved page if GC bails out early.
+            let _ = self.maybe_gc(loc.channel, loc.bank);
         }
         let page = self
             .device

@@ -119,12 +119,8 @@ impl HardwareNds {
     /// Marshals `cmd` through the real §5.3.1 wire codec and the submission
     /// queue, exactly as the host driver would: encode, submit, device pops
     /// and decodes. Returns the decoded command the controller executes.
-    // The queue is drained synchronously and the codec round-trips every
-    // validated command, so the submit/pop/decode expects cannot fire.
-    #[allow(clippy::expect_used)]
     fn submit_command(&mut self, cmd: NvmeCommand) -> Result<NvmeCommand, SystemError> {
-        let wired = wire::encode(&cmd)
-            .map_err(|_| SystemError::Command(nds_interconnect::CommandError::ZeroExtent))?;
+        let wired = wire::encode(&cmd)?;
         self.stats.add("nvme.wire_bytes", wired.wire_bytes());
         let wire_bytes = wired.wire_bytes();
         // The queue drains synchronously, so issue and completion share the
@@ -132,9 +128,12 @@ impl HardwareNds {
         self.obs.event(SimTime::ZERO, QUEUE_COMPONENT, || {
             EventKind::CommandIssued { bytes: wire_bytes }
         });
-        self.queue.submit(cmd).expect("queue drained synchronously");
-        let popped = self.queue.device_pop().expect("just submitted");
-        let decoded = wire::decode(&wired).expect("encode/decode is lossless");
+        self.queue.submit(cmd)?;
+        let popped = self
+            .queue
+            .device_pop()
+            .ok_or(SystemError::Protocol("submitted command missing on pop"))?;
+        let decoded = wire::decode(&wired)?;
         debug_assert_eq!(decoded, popped, "wire format must be faithful");
         self.queue.complete(popped);
         let _ = self.queue.reap();
@@ -244,7 +243,7 @@ impl StorageFrontEnd for HardwareNds {
             NvmeCommand::NdsWrite {
                 coord, sub_dims, ..
             } => (coord.clone(), sub_dims.clone()),
-            _ => unreachable!("decoded command kind matches"),
+            _ => return Err(SystemError::Protocol("decoded write changed command kind")),
         };
         let report = self.stl.write(space, view, &coord, &sub_dims, data)?;
         self.stl.backend_mut().device_mut().reset_timing();
@@ -336,7 +335,7 @@ impl StorageFrontEnd for HardwareNds {
             NvmeCommand::NdsRead {
                 coord, sub_dims, ..
             } => (coord.clone(), sub_dims.clone()),
-            _ => unreachable!("decoded command kind matches"),
+            _ => return Err(SystemError::Protocol("decoded read changed command kind")),
         };
         let report = self.stl.read_into(space, view, &coord, &sub_dims, buf)?;
         self.stl.backend_mut().device_mut().reset_timing();

@@ -161,10 +161,15 @@ impl StorageFrontEnd for OracleSystem {
                     .data
             };
             for seg in &cover.segments {
-                image[seg.block_offset as usize..(seg.block_offset + seg.len) as usize]
-                    .copy_from_slice(
-                        &data[seg.buffer_offset as usize..(seg.buffer_offset + seg.len) as usize],
-                    );
+                let dst = image
+                    .get_mut(seg.block_offset as usize..(seg.block_offset + seg.len) as usize)
+                    .ok_or(SystemError::Protocol(
+                        "write plan segment exceeds tile image",
+                    ))?;
+                let src = data
+                    .get(seg.buffer_offset as usize..(seg.buffer_offset + seg.len) as usize)
+                    .ok_or(SystemError::Protocol("write plan segment exceeds payload"))?;
+                dst.copy_from_slice(src);
             }
             let out = self.inner.write(
                 ds.backing,
@@ -227,10 +232,17 @@ impl StorageFrontEnd for OracleSystem {
             io_occupancy = io_occupancy.max(out.io_occupancy);
             commands += out.commands;
             for seg in &cover.segments {
-                buf[seg.buffer_offset as usize..(seg.buffer_offset + seg.len) as usize]
-                    .copy_from_slice(
-                        &tile_buf[seg.block_offset as usize..(seg.block_offset + seg.len) as usize],
-                    );
+                let dst = buf
+                    .get_mut(seg.buffer_offset as usize..(seg.buffer_offset + seg.len) as usize)
+                    .ok_or(SystemError::Protocol(
+                        "read plan segment exceeds output buffer",
+                    ))?;
+                let src = tile_buf
+                    .get(seg.block_offset as usize..(seg.block_offset + seg.len) as usize)
+                    .ok_or(SystemError::Protocol(
+                        "read plan segment exceeds tile image",
+                    ))?;
+                dst.copy_from_slice(src);
             }
         }
         Ok(ReadMetrics {

@@ -305,6 +305,7 @@ impl<S: StorageFrontEnd> TrafficEngine<S> {
                     .map(|off| pattern_byte(set.seed, tenant, d, off))
                     .collect();
                 let coord = vec![0u64; shape.ndims()];
+                // nds-lint: allow(D6, setup writes seed freshly created datasets before ownership is registered with a guard)
                 sys.write(id, shape, &coord, shape.dims(), &payload)?;
                 datasets.push((id, shape.clone(), *element));
             }
@@ -457,7 +458,7 @@ impl<S: StorageFrontEnd> TrafficEngine<S> {
     /// front-end and do not surface here.
     pub fn run(&mut self) -> Result<(), SystemError> {
         loop {
-            self.admit();
+            self.admit()?;
             if let Some((tenant, opref)) = self.wfq.pop() {
                 self.serve(tenant, opref)?;
             } else if let Some(next) = self.next_arrival() {
@@ -473,8 +474,9 @@ impl<S: StorageFrontEnd> TrafficEngine<S> {
 
     /// Admits every arrived operation whose tenant has depth headroom, in
     /// tenant-id order (the deterministic tie-break for same-instant
-    /// arrivals).
-    fn admit(&mut self) {
+    /// arrivals). Surfaces the scheduler's finish-tag overflow as a typed
+    /// error instead of wrapping the virtual clock.
+    fn admit(&mut self) -> Result<(), SystemError> {
         let now = self.now;
         for (t, rt) in self.tenants.iter_mut().enumerate() {
             while rt.outstanding < rt.spec.depth.max(1) {
@@ -491,9 +493,10 @@ impl<S: StorageFrontEnd> TrafficEngine<S> {
                     .resolved
                     .get(index as usize)
                     .map_or(1, |op| op_volume(op) * element_bytes(rt, op));
-                self.wfq.enqueue(t as u32, cost, (index, arrival, now));
+                self.wfq.enqueue(t as u32, cost, (index, arrival, now))?;
             }
         }
+        Ok(())
     }
 
     /// The earliest arrival instant among all tenants' pending queues.

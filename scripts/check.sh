@@ -14,7 +14,11 @@ cargo fmt --all --check
 # ratcheting lint-baseline.json: fails on any new violation or unratcheted
 # improvement.
 echo "== nds-lint (determinism contract)"
-cargo run --quiet -p nds-lint
+lint_json="$(mktemp)"
+cargo run --quiet -p nds-lint -- --json "$lint_json" || { rm -f "$lint_json"; exit 1; }
+grep -q '"version": 2' "$lint_json" \
+    || { rm -f "$lint_json"; echo "check.sh: nds-lint --json did not emit a version-2 report" >&2; exit 1; }
+rm -f "$lint_json"
 
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -22,6 +26,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ "${1:-}" != "--no-test" ]]; then
     echo "== cargo test --workspace"
     cargo test --workspace --quiet
+
+    # Overflow-checked CI profile (release codegen + `overflow-checks =
+    # true`): the WFQ finish-tag arithmetic and the multi-tenant QoS /
+    # property suites must be wrap-free, not just lint-clean (rule D5).
+    echo "== cargo test --profile ci (WFQ + tenant suites, overflow checks on)"
+    cargo test --quiet --profile ci -p nds-interconnect
+    cargo test --quiet --profile ci -p nds-system \
+        --test wfq_qos --test tenant_isolation --test tenant_differential
 
     # Cross-architecture fault differential under pinned seeds: byte-identical
     # data vs the fault-free golden run, monotone modeled time, all faults
