@@ -152,7 +152,8 @@ pub fn translate_region(
     let elem = bb.element_bytes() as u64;
     let bb_dims = bb.dims();
     let d1 = space.dim(0);
-    let bb1 = bb_dims[0];
+    // Shapes are non-empty by construction; fall back to 1 rather than index.
+    let bb1 = bb_dims.first().copied().unwrap_or(1).max(1);
     // Elements of one block row-stripe: product of block dims except dim 0.
     let bb_volume = bb.volume();
 
@@ -168,7 +169,7 @@ pub fn translate_region(
         let mut buf_off = buf_elem_off;
         while remaining > 0 {
             let storage_coord = space.coord_at(linear);
-            let x1 = storage_coord[0];
+            let x1 = storage_coord.first().copied().unwrap_or(0);
             let row_take = remaining.min(d1 - x1);
             // Split [x1, x1 + row_take) at block boundaries along dim 0.
             let mut seg_x = x1;
@@ -183,11 +184,12 @@ pub fn translate_region(
                 let mut block_coord = Vec::with_capacity(storage_coord.len());
                 let mut intra_linear = 0u64;
                 let mut stride = 1u64;
-                for (i, &x) in storage_coord.iter().enumerate() {
+                for (i, (&x, &bb_i)) in storage_coord.iter().zip(bb_dims).enumerate() {
                     let xi = if i == 0 { seg_x } else { x };
-                    block_coord.push(xi / bb_dims[i]);
-                    intra_linear += (xi % bb_dims[i]) * stride;
-                    stride *= bb_dims[i];
+                    let bb_i = bb_i.max(1);
+                    block_coord.push(xi / bb_i);
+                    intra_linear += (xi % bb_i) * stride;
+                    stride *= bb_i;
                 }
                 debug_assert!(intra_linear < bb_volume);
 

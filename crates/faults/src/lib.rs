@@ -246,6 +246,91 @@ impl FaultPlan {
     }
 }
 
+/// What a device-scope cluster fault event does (ISSUE 9).
+///
+/// Unlike the per-event media/link faults above, these are *scheduled*
+/// events: a cluster run carries an explicit, ordered plan of whole-device
+/// failures, so the differential harness can compare a fault-injected run
+/// against a golden run op for op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceFaultKind {
+    /// The device fails permanently: every replica it held is lost and
+    /// must be re-replicated onto surviving capacity.
+    Kill,
+    /// The device's host link goes down: the device is unreachable but its
+    /// contents survive. Writes during the outage leave its replicas stale.
+    LinkDown,
+    /// The device's host link comes back up; stale replicas must resync
+    /// before the device serves reads again.
+    LinkRestore,
+}
+
+impl DeviceFaultKind {
+    /// Stable lower-case name used in journals and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DeviceFaultKind::Kill => "kill",
+            DeviceFaultKind::LinkDown => "link_down",
+            DeviceFaultKind::LinkRestore => "link_restore",
+        }
+    }
+}
+
+/// One device-scope fault event. The cluster applies every event whose
+/// `at_op` is at or below the front-end operation counter *before* serving
+/// that operation, in plan order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceFault {
+    /// 0-based front-end operation index the event fires before.
+    pub at_op: u64,
+    /// Target device (cluster device index).
+    pub device: u32,
+    /// What happens to it.
+    pub kind: DeviceFaultKind,
+}
+
+/// A deterministic schedule of device-scope fault events for a cluster run.
+///
+/// Events are kept sorted by `at_op` (stably, so same-op events retain the
+/// author's order — a `LinkDown` written before a `LinkRestore` at the same
+/// op applies first). The empty plan is the golden run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ClusterFaultPlan {
+    events: Vec<DeviceFault>,
+}
+
+impl ClusterFaultPlan {
+    /// Builds a plan from `events`, sorting them stably by `at_op`.
+    pub fn new(mut events: Vec<DeviceFault>) -> Self {
+        events.sort_by_key(|e| e.at_op);
+        ClusterFaultPlan { events }
+    }
+
+    /// A convenience plan that kills `device` before op `at_op`.
+    pub fn kill_at(at_op: u64, device: u32) -> Self {
+        ClusterFaultPlan::new(vec![DeviceFault {
+            at_op,
+            device,
+            kind: DeviceFaultKind::Kill,
+        }])
+    }
+
+    /// The sorted event schedule.
+    pub fn events(&self) -> &[DeviceFault] {
+        &self.events
+    }
+
+    /// True if the plan schedules no events (the golden run).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +437,37 @@ mod tests {
             }
         }
         assert!(saw_timeout && saw_drop, "both link failure modes occur");
+    }
+
+    #[test]
+    fn cluster_plan_sorts_stably_by_op() {
+        let plan = ClusterFaultPlan::new(vec![
+            DeviceFault {
+                at_op: 9,
+                device: 2,
+                kind: DeviceFaultKind::LinkDown,
+            },
+            DeviceFault {
+                at_op: 3,
+                device: 1,
+                kind: DeviceFaultKind::Kill,
+            },
+            DeviceFault {
+                at_op: 9,
+                device: 2,
+                kind: DeviceFaultKind::LinkRestore,
+            },
+        ]);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.events()[0].at_op, 3);
+        // Same-op events keep author order: down before restore.
+        assert_eq!(plan.events()[1].kind, DeviceFaultKind::LinkDown);
+        assert_eq!(plan.events()[2].kind, DeviceFaultKind::LinkRestore);
+        assert!(ClusterFaultPlan::default().is_empty());
+        let kill = ClusterFaultPlan::kill_at(5, 0);
+        assert_eq!(kill.events()[0].kind, DeviceFaultKind::Kill);
+        assert_eq!(DeviceFaultKind::Kill.name(), "kill");
     }
 
     #[test]

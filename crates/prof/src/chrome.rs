@@ -291,6 +291,23 @@ fn emit_system(lines: &mut Vec<String>, pid: usize, name: &str, export: &TraceEx
                 let extra = format!(",\"trace\":{trace},\"attempt\":{attempt}");
                 lines.push(i_line(pid, tid, "RetryScheduled", at_ns, &extra));
             }
+            EventKind::ReplicaRead { device, shard } => {
+                let extra = format!(",\"trace\":{trace},\"device\":{device},\"shard\":{shard}");
+                lines.push(i_line(pid, TID_SPANS, "ReplicaRead", at_ns, &extra));
+            }
+            EventKind::ReplicaCopied { from, to, bytes } => {
+                let extra =
+                    format!(",\"trace\":{trace},\"from\":{from},\"to\":{to},\"bytes\":{bytes}");
+                lines.push(i_line(pid, TID_SPANS, "ReplicaCopied", at_ns, &extra));
+            }
+            EventKind::DeviceDown { device } => {
+                let extra = format!(",\"trace\":{trace},\"device\":{device}");
+                lines.push(i_line(pid, TID_SPANS, "DeviceDown", at_ns, &extra));
+            }
+            EventKind::DeviceUp { device } => {
+                let extra = format!(",\"trace\":{trace},\"device\":{device}");
+                lines.push(i_line(pid, TID_SPANS, "DeviceUp", at_ns, &extra));
+            }
         }
     }
 }

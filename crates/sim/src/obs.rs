@@ -163,6 +163,33 @@ pub enum EventKind {
         /// Length of the interval.
         dur: SimDuration,
     },
+    /// The cluster front-end steered a shard read to a replica device.
+    ReplicaRead {
+        /// Device the read was served from.
+        device: u32,
+        /// Shard index within the dataset.
+        shard: u32,
+    },
+    /// The cluster copied a shard replica between devices (re-replication
+    /// after a device kill, or resync after a link restore).
+    ReplicaCopied {
+        /// Source device.
+        from: u32,
+        /// Destination device.
+        to: u32,
+        /// Payload bytes copied.
+        bytes: u64,
+    },
+    /// A cluster device became unavailable (killed, or its link went down).
+    DeviceDown {
+        /// The affected device.
+        device: u32,
+    },
+    /// A cluster device's link was restored.
+    DeviceUp {
+        /// The affected device.
+        device: u32,
+    },
 }
 
 /// The five-way latency attribution of a traced command (DESIGN.md
@@ -220,6 +247,10 @@ impl EventKind {
             EventKind::TraceBegin { .. } => "TraceBegin",
             EventKind::TraceEnd { .. } => "TraceEnd",
             EventKind::StageSpan { .. } => "StageSpan",
+            EventKind::ReplicaRead { .. } => "ReplicaRead",
+            EventKind::ReplicaCopied { .. } => "ReplicaCopied",
+            EventKind::DeviceDown { .. } => "DeviceDown",
+            EventKind::DeviceUp { .. } => "DeviceUp",
         }
     }
 }

@@ -74,9 +74,14 @@ impl Resource {
         self.busy += hold;
         self.acquisitions += 1;
         if let Some(timeline) = &mut self.timeline {
+            // Anchored on the epoch clock's origin (t = 0), not on
+            // `window_start`: `reset_window` moves the utilization window
+            // mid-epoch without re-anchoring the schedule, so
+            // window-relative recording would slide these intervals
+            // backwards on the run-long timeline.
             timeline.record(
-                start.saturating_since(self.window_start),
-                end.saturating_since(self.window_start),
+                start.saturating_since(SimTime::ZERO),
+                end.saturating_since(SimTime::ZERO),
             );
         }
         end
@@ -159,7 +164,10 @@ impl Resource {
     /// next operation's start then degenerates to a harmless zero-fold.
     pub fn fold_epoch(&mut self, span: SimDuration) {
         if let Some(timeline) = &mut self.timeline {
-            let drain = self.next_free.saturating_since(self.window_start);
+            // The drain is measured from the epoch clock's origin, not from
+            // `window_start`: a mid-epoch `reset_window` must not shrink the
+            // fold and overlap the next epoch onto committed work.
+            let drain = self.next_free.saturating_since(SimTime::ZERO);
             timeline.fold_epoch(span.max(drain));
         }
         self.next_free = SimTime::ZERO;
@@ -476,6 +484,44 @@ mod tests {
                 SimDuration::from_micros(10),
             ],
             "second epoch starts at the drain (20us), not at 5us"
+        );
+    }
+
+    #[test]
+    fn timeline_anchoring_survives_mid_epoch_window_reset() {
+        // Regression (ISSUE 9): the cluster layer keeps run-long steering
+        // resources per device and restarts their utilization window when a
+        // device is removed and later re-added. `reset_window` moves the
+        // accounting window WITHOUT re-anchoring the schedule, but the old
+        // code recorded timeline intervals and computed the epoch-fold
+        // drain relative to `window_start`: work scheduled after the reset
+        // slid backwards on the run clock, and the subsequent fold
+        // undercounted the drain, overlapping the next epoch onto it.
+        let mut r = Resource::new("r");
+        let w = SimDuration::from_micros(10);
+        r.enable_timeline(w, 64);
+        let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
+        r.acquire(SimTime::ZERO, SimDuration::from_micros(10));
+        // A device dies at t = 10us: restart the window mid-epoch.
+        r.reset_window(t(10));
+        // The surviving replica works [10, 20)us; it must land in bucket 1.
+        r.acquire(t(10), SimDuration::from_micros(10));
+        assert_eq!(
+            r.timeline().expect("enabled").buckets(),
+            &[SimDuration::from_micros(10), SimDuration::from_micros(10)],
+            "post-reset work must stay anchored on the epoch clock"
+        );
+        // Folding with a short span must still advance by the 20us drain.
+        r.fold_epoch(SimDuration::from_micros(5));
+        r.acquire(SimTime::ZERO, SimDuration::from_micros(10));
+        assert_eq!(
+            r.timeline().expect("enabled").buckets(),
+            &[
+                SimDuration::from_micros(10),
+                SimDuration::from_micros(10),
+                SimDuration::from_micros(10),
+            ],
+            "the fold drain is absolute, not window-relative"
         );
     }
 

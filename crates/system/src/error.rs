@@ -46,6 +46,19 @@ pub enum SystemError {
     /// The NVMe queue-pair protocol was violated: a command did not
     /// surface where the synchronous submit/pop/decode drain expects it.
     Protocol(&'static str),
+    /// No alive, fresh, link-up replica can serve the shard (cluster
+    /// front-end): the operation is rejected *unacknowledged* rather than
+    /// silently dropped.
+    ShardUnavailable {
+        /// The dataset whose shard is unreachable.
+        dataset: DatasetId,
+        /// The unreachable shard index.
+        shard: u32,
+    },
+    /// Cluster bookkeeping violated an internal invariant (a replica map
+    /// and a buffer range disagreed). Surfaced as a typed error instead of
+    /// a panic so the data path stays panic-free (nds-lint D4).
+    ClusterInconsistency(&'static str),
 }
 
 impl fmt::Display for SystemError {
@@ -71,6 +84,13 @@ impl fmt::Display for SystemError {
             SystemError::Queue(e) => write!(f, "queue: {e}"),
             SystemError::Wire(e) => write!(f, "wire: {e}"),
             SystemError::Protocol(what) => write!(f, "nvme protocol violation: {what}"),
+            SystemError::ShardUnavailable { dataset, shard } => write!(
+                f,
+                "no alive fresh replica can serve shard {shard} of dataset {dataset:?}"
+            ),
+            SystemError::ClusterInconsistency(what) => {
+                write!(f, "cluster invariant violated: {what}")
+            }
         }
     }
 }

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 
 mod baseline;
+mod cluster;
 mod config;
 mod controller;
 mod error;
@@ -60,6 +61,7 @@ mod software;
 mod tenants;
 
 pub use baseline::BaselineSystem;
+pub use cluster::{ClusterConfig, NdsCluster};
 pub use config::{ControllerConfig, SystemConfig};
 pub use controller::{ControllerPipeline, HostStlPath};
 pub use error::SystemError;

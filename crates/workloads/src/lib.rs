@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cluster;
 pub mod data;
 mod driver;
 pub mod kernels;

@@ -19,7 +19,8 @@ raw="$(mktemp)"
 trace="$(mktemp)"
 prof="$(mktemp)"
 tenants_out="$(mktemp)"
-trap 'rm -f "$raw" "$trace" "$prof" "$tenants_out"' EXIT
+cluster_out="$(mktemp)"
+trap 'rm -f "$raw" "$trace" "$prof" "$tenants_out" "$cluster_out"' EXIT
 
 cargo bench -p nds-bench --bench stl --bench microbench 2>/dev/null \
     | grep '^bench: ' | tee "$raw"
@@ -33,8 +34,18 @@ echo "== multi-tenant saturation (tenants, 16 mixed open/closed)"
 cargo build --quiet --release -p nds-bench --bin tenants
 ./target/release/tenants --seed 42 > "$tenants_out"
 
-RAW="$raw" PROF="$prof" TENANTS="$tenants_out" OUT="$out" python3 - <<'PY'
+echo "== cluster degraded-vs-healthy (4 devices, k=2, device-kill plan)"
+cargo build --quiet --release -p nds-bench --bin cluster
+cluster_start_ns="$(date +%s%N)"
+./target/release/cluster --seed 7 > "$cluster_out"
+cluster_wall_ns="$(( $(date +%s%N) - cluster_start_ns ))"
+
+RAW="$raw" PROF="$prof" TENANTS="$tenants_out" CLUSTER="$cluster_out" \
+    CLUSTER_WALL_NS="$cluster_wall_ns" OUT="$out" python3 - <<'PY'
 import json, os, subprocess, time
+
+def fail(msg):
+    raise SystemExit(f"FAIL: {msg}")
 
 records = []
 with open(os.environ["RAW"]) as f:
@@ -43,6 +54,8 @@ with open(os.environ["RAW"]) as f:
         _, name, _, ns = line.split()
         records.append({"name": name, "value": int(ns), "unit": "ns",
                         "direction": "smaller-is-better"})
+if not records:
+    fail("criterion benches emitted no 'bench:' records — harness broken?")
 
 by_name = {r["name"]: r["value"] for r in records}
 speedup = {}
@@ -82,6 +95,56 @@ with open(os.environ["TENANTS"]) as f:
                 "jain": float(parts[-1]),
             }
 
+# cluster bench summary lines:
+#   "healthy: ops=<N> bytes=<N> io_ns=<N> mib_s=<F>"
+#   "degraded: ops=<N> bytes=<N> io_ns=<N> mib_s=<F> rereplicated_bytes=<N>"
+cluster = {}
+with open(os.environ["CLUSTER"]) as f:
+    for line in f:
+        for run in ("healthy", "degraded"):
+            if line.startswith(f"{run}: "):
+                fields = dict(p.split("=", 1) for p in line.split()[1:])
+                cluster[run] = {
+                    "ops": int(fields["ops"]),
+                    "bytes": int(fields["bytes"]),
+                    "io_ns": int(fields["io_ns"]),
+                    "throughput_mib_s": float(fields["mib_s"]),
+                }
+                if "rereplicated_bytes" in fields:
+                    cluster[run]["rereplicated_bytes"] = int(fields["rereplicated_bytes"])
+if set(cluster) != {"healthy", "degraded"}:
+    fail(f"cluster bench summary incomplete: found {sorted(cluster)}")
+if cluster["degraded"]["bytes"] != cluster["healthy"]["bytes"]:
+    fail("cluster degraded run moved different app bytes than healthy — "
+         "the fault plan changed the acknowledged-write set")
+
+# Wall-clock command rate of the cluster bench (both runs, build excluded):
+# a coarse end-to-end simulator-throughput series, larger is better.
+wall_ns = int(os.environ["CLUSTER_WALL_NS"])
+total_ops = cluster["healthy"]["ops"] + cluster["degraded"]["ops"]
+if wall_ns > 0:
+    records.append({"name": "cluster/commands_per_wall_second",
+                    "value": int(total_ops * 1_000_000_000 / wall_ns),
+                    "unit": "ops/s", "direction": "larger-is-better"})
+
+def validate_trajectory(trajectory):
+    if not isinstance(trajectory, list) or not trajectory:
+        fail("trajectory must be a non-empty list")
+    for i, e in enumerate(trajectory):
+        if not isinstance(e, dict):
+            fail(f"trajectory[{i}] is not an object")
+        recs = e.get("records")
+        if not isinstance(recs, list) or not recs:
+            fail(f"trajectory[{i}].records missing or empty")
+        for r in recs:
+            if not (isinstance(r, dict)
+                    and isinstance(r.get("name"), str)
+                    and isinstance(r.get("value"), int)
+                    and isinstance(r.get("unit"), str)
+                    and r.get("direction") in ("smaller-is-better",
+                                               "larger-is-better")):
+                fail(f"trajectory[{i}] has a malformed record: {r!r}")
+
 commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
                         capture_output=True, text=True).stdout.strip() or None
 entry = {
@@ -91,14 +154,24 @@ entry = {
     "speedup": speedup,
     "attribution": attribution,
     "multi_tenant": multi_tenant,
+    "cluster": cluster,
 }
 
 out = os.environ["OUT"]
 trajectory = []
 if os.path.exists(out):
-    with open(out) as f:
-        trajectory = json.load(f).get("trajectory", [])
+    # Fail loudly on a malformed history rather than silently replacing it.
+    try:
+        with open(out) as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        fail(f"{out} is not valid JSON ({e}); refusing to clobber it")
+    if not isinstance(doc, dict) or doc.get("bench") != "stl":
+        fail(f"{out} is not a BENCH_stl document (bench={doc.get('bench')!r})")
+    trajectory = doc.get("trajectory", [])
+    validate_trajectory(trajectory)
 trajectory.append(entry)
+validate_trajectory(trajectory)
 with open(out, "w") as f:
     json.dump({"bench": "stl", "trajectory": trajectory}, f, indent=2)
     f.write("\n")
@@ -113,6 +186,9 @@ for system, stages in attribution.items():
 if multi_tenant:
     print(f"  multi-tenant: {multi_tenant['throughput_mib_s']} MiB/s aggregate, "
           f"jain {multi_tenant['jain']}")
+print(f"  cluster: healthy {cluster['healthy']['throughput_mib_s']} MiB/s vs "
+      f"degraded {cluster['degraded']['throughput_mib_s']} MiB/s "
+      f"({cluster['degraded'].get('rereplicated_bytes', 0)} bytes re-replicated)")
 if worst < 1.3:
     raise SystemExit(f"FAIL: plan-cache speedup {worst} < 1.3x")
 if multi_tenant and multi_tenant["jain"] < 0.9:

@@ -75,6 +75,23 @@ if [[ "${1:-}" != "--no-test" ]]; then
         || { echo "check.sh: tenants run reports differ between identical runs" >&2; exit 1; }
     cmp "$report_dir/tenants1.trace.json" "$report_dir/tenants2.trace.json" \
         || { echo "check.sh: tenants chrome traces differ between identical runs" >&2; exit 1; }
+
+    # Cluster determinism: the sharded multi-device bench replays the same
+    # seeded mix healthy and with a device-kill fault plan; both runs' merged
+    # reports (cluster + every device, `healthy.`/`degraded.` prefixes) and
+    # the degraded run's per-device causal traces must be byte-identical
+    # across two identical invocations — failover, re-replication and read
+    # steering are all pure functions of (seed, plan).
+    echo "== cluster determinism (cluster --seed 7 --report/--trace, twice)"
+    cargo build --quiet --release -p nds-bench --bin cluster
+    ./target/release/cluster --seed 7 \
+        --report "$report_dir/cluster1.json" --trace "$report_dir/cluster1.trace.json" > /dev/null
+    ./target/release/cluster --seed 7 \
+        --report "$report_dir/cluster2.json" --trace "$report_dir/cluster2.trace.json" > /dev/null
+    cmp "$report_dir/cluster1.json" "$report_dir/cluster2.json" \
+        || { echo "check.sh: cluster run reports differ between identical runs" >&2; exit 1; }
+    cmp "$report_dir/cluster1.trace.json" "$report_dir/cluster2.trace.json" \
+        || { echo "check.sh: cluster chrome traces differ between identical runs" >&2; exit 1; }
 fi
 
 echo "check.sh: all green"
