@@ -19,8 +19,8 @@
 // data path: panicking on a malformed run is the right behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use nds_bench::{
-    collect_trace, header, obs_for, row, take_report_path, take_trace_path, write_report,
-    write_trace,
+    collect_trace, header, obs_for_run, row, take_dashboard_path, take_metrics_path,
+    take_report_path, take_trace_path, write_report, write_telemetry, write_trace, WallClock,
 };
 use nds_core::{AllocationPolicy, ElementType, Shape};
 use nds_flash::FlashTiming;
@@ -187,8 +187,16 @@ fn transfer_chunk_ablation(
 
 fn main() {
     let (report_path, rest) = take_report_path(std::env::args().skip(1).collect());
-    let (trace_path, _rest) = take_trace_path(rest);
-    let obs = obs_for(report_path.as_ref(), trace_path.as_ref());
+    let (trace_path, rest) = take_trace_path(rest);
+    let (metrics_path, rest) = take_metrics_path(rest);
+    let (dashboard_path, _rest) = take_dashboard_path(rest);
+    let obs = obs_for_run(
+        report_path.as_ref(),
+        trace_path.as_ref(),
+        metrics_path.as_ref(),
+        dashboard_path.as_ref(),
+    );
+    let clock = WallClock::start();
     let mut report = RunReport::new();
     let mut traces = Vec::new();
     report.set_meta("bench", "ablation");
@@ -197,6 +205,9 @@ fn main() {
     multiplier_ablation(obs, &mut report, &mut traces);
     fast_nvm_ablation(obs, &mut report, &mut traces);
     transfer_chunk_ablation(obs, &mut report, &mut traces);
+    // 2 + 4 tile sweeps × (create+write+read), 2 NVM media × 2 systems ×
+    // (create+write), 5 chunk points × (create+write+read).
+    clock.print_rate(6 * 3 + 4 * 2 + 5 * 3);
     if let Some(path) = report_path {
         write_report(&path, &report).expect("write report");
         eprintln!("run report written to {}", path.display());
@@ -205,4 +216,5 @@ fn main() {
         write_trace(&path, &traces).expect("write trace");
         eprintln!("chrome trace written to {}", path.display());
     }
+    write_telemetry(metrics_path.as_ref(), dashboard_path.as_ref(), &report).expect("telemetry");
 }

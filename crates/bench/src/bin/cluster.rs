@@ -22,7 +22,8 @@
 // data path: panicking on a malformed run is the right behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use nds_bench::{
-    header, obs_for, row, take_report_path, take_trace_path, write_report, write_trace,
+    header, obs_for_run, row, take_dashboard_path, take_metrics_path, take_report_path,
+    take_trace_path, write_report, write_telemetry, write_trace, WallClock,
 };
 use nds_faults::ClusterFaultPlan;
 use nds_sim::RunReport;
@@ -108,8 +109,16 @@ fn main() {
     let (ops, args) = take_u64_flag("--ops", 96, args);
     let (seed, args) = take_u64_flag("--seed", 7, args);
     let (shard_rows, args) = take_u64_flag("--shard-rows", 24, args);
+    let (metrics_path, args) = take_metrics_path(args);
+    let (dashboard_path, args) = take_dashboard_path(args);
     let (kill, _args) = take_u64_flag("--kill", 0, args);
-    let obs = obs_for(report_path.as_ref(), trace_path.as_ref());
+    let obs = obs_for_run(
+        report_path.as_ref(),
+        trace_path.as_ref(),
+        metrics_path.as_ref(),
+        dashboard_path.as_ref(),
+    );
+    let clock = WallClock::start();
 
     let mix = cluster_mix(seed, ops as usize, 60);
     let base = ClusterConfig::new(devices as usize, replicas as usize)
@@ -174,14 +183,19 @@ fn main() {
         mib_s(d.bytes, d.io_ns),
         ds.get("cluster.rereplicated_bytes")
     );
+    clock.print_rate(h.commands + d.commands);
 
-    if let Some(path) = &report_path {
+    if report_path.is_some() || metrics_path.is_some() || dashboard_path.is_some() {
         let mut report = RunReport::new();
         report.set_meta("bench", "cluster");
         report.merge_prefixed("healthy.", &healthy.full_report());
         report.merge_prefixed("degraded.", &degraded.full_report());
-        write_report(path, &report).expect("write report");
-        println!("report written to {}", path.display());
+        if let Some(path) = &report_path {
+            write_report(path, &report).expect("write report");
+            println!("report written to {}", path.display());
+        }
+        write_telemetry(metrics_path.as_ref(), dashboard_path.as_ref(), &report)
+            .expect("telemetry");
     }
     if let Some(path) = &trace_path {
         let exports = degraded.device_trace_exports();

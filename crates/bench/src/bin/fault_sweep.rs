@@ -21,8 +21,8 @@
 // data path: panicking on a malformed run is the right behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use nds_bench::{
-    collect_trace, header, obs_for, row, take_report_path, take_trace_path, write_report,
-    write_trace,
+    collect_trace, header, obs_for_run, row, take_dashboard_path, take_metrics_path,
+    take_report_path, take_trace_path, write_report, write_telemetry, write_trace, WallClock,
 };
 use nds_core::{ElementType, Shape};
 use nds_faults::FaultConfig;
@@ -74,10 +74,22 @@ fn run_script(sys: &mut dyn StorageFrontEnd) -> SimDuration {
     modeled
 }
 
+/// Front-end commands issued per `run_script` call: create, two writes,
+/// four tile reads, one full read.
+const SCRIPT_COMMANDS: u64 = 8;
+
 fn main() {
     let (report_path, rest) = take_report_path(std::env::args().skip(1).collect());
     let (trace_path, rest) = take_trace_path(rest);
-    let obs = obs_for(report_path.as_ref(), trace_path.as_ref());
+    let (metrics_path, rest) = take_metrics_path(rest);
+    let (dashboard_path, rest) = take_dashboard_path(rest);
+    let obs = obs_for_run(
+        report_path.as_ref(),
+        trace_path.as_ref(),
+        metrics_path.as_ref(),
+        dashboard_path.as_ref(),
+    );
+    let clock = WallClock::start();
     let seed: u64 = rest
         .first()
         .map(|s| s.parse().expect("seed must be a u64"))
@@ -146,6 +158,7 @@ fn main() {
         }
     }
     println!("\nAll rows recovered every injected fault (injected == recovered).");
+    clock.print_rate((4 + RATES.len() as u64 * 4) * SCRIPT_COMMANDS);
     if let Some(path) = report_path {
         write_report(&path, &report).expect("write report");
         eprintln!("run report written to {}", path.display());
@@ -154,4 +167,5 @@ fn main() {
         write_trace(&path, &traces).expect("write trace");
         eprintln!("chrome trace written to {}", path.display());
     }
+    write_telemetry(metrics_path.as_ref(), dashboard_path.as_ref(), &report).expect("telemetry");
 }

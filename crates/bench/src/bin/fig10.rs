@@ -15,8 +15,8 @@
 // data path: panicking on a malformed run is the right behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use nds_bench::{
-    collect_trace, geomean, header, obs_for, row, take_report_path, take_trace_path, write_report,
-    write_trace,
+    collect_trace, geomean, header, obs_for_run, row, take_dashboard_path, take_metrics_path,
+    take_report_path, take_trace_path, write_report, write_telemetry, write_trace, WallClock,
 };
 use nds_sim::{ObsConfig, RunReport, TraceExport};
 use nds_system::{
@@ -88,7 +88,16 @@ fn run_all(
 fn main() {
     let (report_path, rest) = take_report_path(std::env::args().skip(1).collect());
     let (trace_path, rest) = take_trace_path(rest);
-    let obs = obs_for(report_path.as_ref(), trace_path.as_ref());
+    let (metrics_path, rest) = take_metrics_path(rest);
+    let (dashboard_path, rest) = take_dashboard_path(rest);
+    let obs = obs_for_run(
+        report_path.as_ref(),
+        trace_path.as_ref(),
+        metrics_path.as_ref(),
+        dashboard_path.as_ref(),
+    );
+    let clock = WallClock::start();
+    let mut commands = 0u64;
     let (params, cost_scale) = parse_args(&rest);
     let config = config(cost_scale, obs);
     println!(
@@ -126,6 +135,7 @@ fn main() {
     for workload in all_workloads(params) {
         let [baseline, oracle, software, hardware] =
             run_all(workload.as_ref(), &config, &mut report, &mut traces);
+        commands += baseline.commands + oracle.commands + software.commands + hardware.commands;
         assert_eq!(baseline.checksum, workload.reference_checksum());
         assert_eq!(software.checksum, baseline.checksum);
         assert_eq!(hardware.checksum, baseline.checksum);
@@ -180,6 +190,7 @@ fn main() {
         format!("{:.0}%", avg(&sw_red) * 100.0),
         format!("{:.0}%", avg(&hw_red) * 100.0),
     ]);
+    clock.print_rate(commands);
     if let Some(path) = report_path {
         write_report(&path, &report).expect("write report");
         eprintln!("run report written to {}", path.display());
@@ -188,4 +199,5 @@ fn main() {
         write_trace(&path, &traces).expect("write trace");
         eprintln!("chrome trace written to {}", path.display());
     }
+    write_telemetry(metrics_path.as_ref(), dashboard_path.as_ref(), &report).expect("telemetry");
 }

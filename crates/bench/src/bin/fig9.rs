@@ -21,8 +21,9 @@
 // data path: panicking on a malformed run is the right behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use nds_bench::{
-    collect_trace, header, obs_for, row, setup_matrix_f64, take_report_path, take_trace_path,
-    write_report, write_trace,
+    collect_trace, header, obs_for_run, row, setup_matrix_f64, take_dashboard_path,
+    take_metrics_path, take_report_path, take_trace_path, write_report, write_telemetry,
+    write_trace, WallClock,
 };
 use nds_core::{ElementType, Shape};
 use nds_sim::{ObsConfig, RunReport, TraceExport};
@@ -62,6 +63,7 @@ fn absorb_systems(
 }
 
 /// Runs one read sweep over all three systems and prints MiB/s per point.
+/// Returns the number of front-end commands issued.
 fn read_sweep(
     label: &str,
     panel: &str,
@@ -69,7 +71,7 @@ fn read_sweep(
     report: &mut RunReport,
     traces: &mut Vec<(String, TraceExport)>,
     requests: &[(String, Vec<u64>, Vec<u64>)],
-) {
+) -> u64 {
     println!("\n## ({label})\n");
     let shape = Shape::new([N, N]);
     let (mut base, mut sw, mut hw) = fresh_systems(obs);
@@ -96,9 +98,11 @@ fn read_sweep(
         ]);
     }
     absorb_systems(report, traces, panel, (&base, &sw, &hw));
+    // 3 × (create + setup write) + one read per system per request.
+    6 + 3 * requests.len() as u64
 }
 
-fn fig_a(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, TraceExport)>) {
+fn fig_a(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, TraceExport)>) -> u64 {
     // Row panels of 512..4096 rows (full width), as in Fig. 9(a).
     let requests = [512u64, 1024, 2048, 4096]
         .iter()
@@ -111,10 +115,10 @@ fn fig_a(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, Trace
         report,
         traces,
         &requests,
-    );
+    )
 }
 
-fn fig_b(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, TraceExport)>) {
+fn fig_b(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, TraceExport)>) -> u64 {
     // Column panels of 512..4096 columns (full height).
     println!("\n## (b — column fetches; paper: row-store baseline ≤600 MB/s-class, NDS ≈ col-store baseline)\n");
     let shape = Shape::new([N, N]);
@@ -157,9 +161,11 @@ fn fig_b(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, Trace
     absorb_systems(report, traces, "b", (&base, &sw, &hw));
     report.merge_prefixed("b.baseline-col-store.", &col_store.run_report());
     collect_trace(traces, "b.baseline-col-store", &col_store);
+    // 4 × (create + setup write) + 4 reads per system per point.
+    8 + 4 * 4
 }
 
-fn fig_c(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, TraceExport)>) {
+fn fig_c(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, TraceExport)>) -> u64 {
     // Square submatrices 512²..4096² at an unaligned-ish tile position.
     let requests = [512u64, 1024, 2048, 4096]
         .iter()
@@ -172,10 +178,10 @@ fn fig_c(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, Trace
         report,
         traces,
         &requests,
-    );
+    )
 }
 
-fn fig_d(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, TraceExport)>) {
+fn fig_d(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, TraceExport)>) -> u64 {
     println!(
         "\n## (d — whole-matrix write; paper: baseline ~281 MB/s, software −30%, hardware −17%)\n"
     );
@@ -207,29 +213,40 @@ fn fig_d(obs: ObsConfig, report: &mut RunReport, traces: &mut Vec<(String, Trace
         ]);
     }
     absorb_systems(report, traces, "d", (&base, &sw, &hw));
+    // 3 creates + 3 whole-matrix writes.
+    6
 }
 
 fn main() {
     let (report_path, rest) = take_report_path(std::env::args().skip(1).collect());
     let (trace_path, rest) = take_trace_path(rest);
-    let obs = obs_for(report_path.as_ref(), trace_path.as_ref());
+    let (metrics_path, rest) = take_metrics_path(rest);
+    let (dashboard_path, rest) = take_dashboard_path(rest);
+    let obs = obs_for_run(
+        report_path.as_ref(),
+        trace_path.as_ref(),
+        metrics_path.as_ref(),
+        dashboard_path.as_ref(),
+    );
     let which = rest.first().map(String::as_str);
+    let clock = WallClock::start();
     let mut report = RunReport::new();
     let mut traces = Vec::new();
     report.set_meta("bench", "fig9");
     println!("# Fig. 9 — §7.1 microbenchmarks ({N}×{N} f64, 256×256 f64 building blocks)");
-    match which {
+    let commands = match which {
         Some("a") => fig_a(obs, &mut report, &mut traces),
         Some("b") => fig_b(obs, &mut report, &mut traces),
         Some("c") => fig_c(obs, &mut report, &mut traces),
         Some("d") => fig_d(obs, &mut report, &mut traces),
         _ => {
-            fig_a(obs, &mut report, &mut traces);
-            fig_b(obs, &mut report, &mut traces);
-            fig_c(obs, &mut report, &mut traces);
-            fig_d(obs, &mut report, &mut traces);
+            fig_a(obs, &mut report, &mut traces)
+                + fig_b(obs, &mut report, &mut traces)
+                + fig_c(obs, &mut report, &mut traces)
+                + fig_d(obs, &mut report, &mut traces)
         }
-    }
+    };
+    clock.print_rate(commands);
     if let Some(path) = report_path {
         write_report(&path, &report).expect("write report");
         eprintln!("run report written to {}", path.display());
@@ -238,4 +255,5 @@ fn main() {
         write_trace(&path, &traces).expect("write trace");
         eprintln!("chrome trace written to {}", path.display());
     }
+    write_telemetry(metrics_path.as_ref(), dashboard_path.as_ref(), &report).expect("telemetry");
 }

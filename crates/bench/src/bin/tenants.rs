@@ -20,7 +20,8 @@
 // data path: panicking on a malformed run is the right behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use nds_bench::{
-    header, obs_for, row, take_report_path, take_trace_path, write_report, write_trace,
+    header, obs_for_run, row, take_dashboard_path, take_metrics_path, take_report_path,
+    take_trace_path, write_report, write_telemetry, write_trace, WallClock,
 };
 use nds_system::{Arrival, HardwareNds, SystemConfig, TrafficEngine};
 use nds_workloads::tenants::mixed_open_closed;
@@ -46,14 +47,23 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (report_path, args) = take_report_path(args);
     let (trace_path, args) = take_trace_path(args);
+    let (metrics_path, args) = take_metrics_path(args);
+    let (dashboard_path, args) = take_dashboard_path(args);
     let (tenants, args) = take_u64_flag("--tenants", 16, args);
     let (ops, args) = take_u64_flag("--ops", 32, args);
     let (seed, _args) = take_u64_flag("--seed", 42, args);
-    let obs = obs_for(report_path.as_ref(), trace_path.as_ref());
+    let obs = obs_for_run(
+        report_path.as_ref(),
+        trace_path.as_ref(),
+        metrics_path.as_ref(),
+        dashboard_path.as_ref(),
+    );
+    let clock = WallClock::start();
 
     let set = mixed_open_closed(seed, tenants as u32, ops);
     let sys = HardwareNds::new(SystemConfig::small_test().with_observability(obs));
     let mut engine = TrafficEngine::new(sys, &set).expect("tenant setup");
+    engine.configure_metrics(&obs);
     engine.run().expect("engine run");
 
     println!("# tenants — {tenants} tenants (mixed open/closed), {ops} ops each, seed {seed}\n");
@@ -70,6 +80,7 @@ fn main() {
         "depth max",
     ]);
     let mut per_tenant_bytes = Vec::new();
+    let mut total_commands = 0u64;
     for (t, spec) in set.tenants.iter().enumerate() {
         let scope = format!("tenant[{t}]");
         let arrival = match spec.arrival {
@@ -77,6 +88,7 @@ fn main() {
             Arrival::Open { mean_gap } => format!("open({} ns)", mean_gap.as_nanos()),
         };
         per_tenant_bytes.push(counter(&format!("{scope}.bytes")));
+        total_commands += counter(&format!("{scope}.commands"));
         row(&[
             t.to_string(),
             arrival,
@@ -100,10 +112,15 @@ fn main() {
          tenant jain {:.3}",
         nds_prof::jain_milli(&per_tenant_bytes) as f64 / 1000.0
     );
+    clock.print_rate(total_commands);
 
-    if let Some(path) = &report_path {
-        write_report(path, &engine.full_report()).expect("write report");
-        println!("report written to {}", path.display());
+    if report_path.is_some() || metrics_path.is_some() || dashboard_path.is_some() {
+        let full = engine.full_report();
+        if let Some(path) = &report_path {
+            write_report(path, &full).expect("write report");
+            println!("report written to {}", path.display());
+        }
+        write_telemetry(metrics_path.as_ref(), dashboard_path.as_ref(), &full).expect("telemetry");
     }
     if let Some(path) = &trace_path {
         let export = engine.trace_export().expect("tracing was on");

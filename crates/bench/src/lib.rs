@@ -55,6 +55,20 @@ pub fn take_trace_path(args: Vec<String>) -> (Option<PathBuf>, Vec<String>) {
     take_path_flag("--trace", args)
 }
 
+/// Splits `--metrics <path>` (or `--metrics=<path>`) out of a raw
+/// argument list: the destination for the run's windowed-telemetry JSON
+/// ([`RunReport::metrics_json`]).
+pub fn take_metrics_path(args: Vec<String>) -> (Option<PathBuf>, Vec<String>) {
+    take_path_flag("--metrics", args)
+}
+
+/// Splits `--dashboard <path>` (or `--dashboard=<path>`) out of a raw
+/// argument list: the destination for the run's static HTML telemetry
+/// dashboard (a sibling `<stem>.data.js` is written next to it).
+pub fn take_dashboard_path(args: Vec<String>) -> (Option<PathBuf>, Vec<String>) {
+    take_path_flag("--dashboard", args)
+}
+
 /// The observability configuration a bench run should build its systems
 /// with: causal tracing on top of full instrumentation when a trace was
 /// requested, full instrumentation for a report alone, disabled (one dead
@@ -66,6 +80,27 @@ pub fn obs_for(report: Option<&PathBuf>, trace: Option<&PathBuf>) -> ObsConfig {
         ObsConfig::full()
     } else {
         ObsConfig::disabled()
+    }
+}
+
+/// [`obs_for`] extended with the windowed metric sampler: when `--metrics`
+/// or `--dashboard` was requested the sampler rides on full (or traced)
+/// instrumentation, since the standard series derive from journal events.
+pub fn obs_for_run(
+    report: Option<&PathBuf>,
+    trace: Option<&PathBuf>,
+    metrics: Option<&PathBuf>,
+    dashboard: Option<&PathBuf>,
+) -> ObsConfig {
+    let base = if trace.is_some() || report.is_some() || metrics.is_some() || dashboard.is_some() {
+        obs_for(report.or(metrics).or(dashboard), trace)
+    } else {
+        ObsConfig::disabled()
+    };
+    if metrics.is_some() || dashboard.is_some() {
+        base.with_metrics()
+    } else {
+        base
     }
 }
 
@@ -102,6 +137,96 @@ pub fn write_report(path: &Path, report: &RunReport) -> std::io::Result<()> {
     let mut json = report.to_json();
     json.push('\n');
     std::fs::write(path, json)
+}
+
+/// Writes the run's windowed-telemetry JSON
+/// ([`RunReport::metrics_json`]) to `path` — the `--metrics` artifact,
+/// byte-identical across repeated runs.
+///
+/// # Errors
+///
+/// I/O errors from creating or writing the file.
+pub fn write_metrics(path: &Path, report: &RunReport) -> std::io::Result<()> {
+    std::fs::write(path, report.metrics_json())
+}
+
+/// Writes the run's telemetry dashboard: the static page to `path` and
+/// the verbatim-embedded metrics JSON to a sibling `<stem>.data.js` the
+/// page references relatively — the `--dashboard` artifact, both files
+/// byte-identical across repeated runs.
+///
+/// # Errors
+///
+/// I/O errors from creating or writing either file.
+pub fn write_dashboard(path: &Path, report: &RunReport) -> std::io::Result<()> {
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("dashboard");
+    let data_name = format!("{stem}.data.js");
+    let data_path = path.with_file_name(&data_name);
+    std::fs::write(path, nds_prof::html_page(&data_name))?;
+    std::fs::write(data_path, nds_prof::run_data_js(&report.metrics_json()))
+}
+
+/// Emits `--metrics` / `--dashboard` artifacts for a finished run, if
+/// requested. Call once per bench binary after assembling the combined
+/// [`RunReport`].
+///
+/// # Errors
+///
+/// I/O errors from writing either artifact.
+pub fn write_telemetry(
+    metrics: Option<&PathBuf>,
+    dashboard: Option<&PathBuf>,
+    report: &RunReport,
+) -> std::io::Result<()> {
+    if let Some(path) = metrics {
+        write_metrics(path, report)?;
+    }
+    if let Some(path) = dashboard {
+        write_dashboard(path, report)?;
+    }
+    Ok(())
+}
+
+/// A wall-clock stopwatch for the `commands_per_wall_second` trend line
+/// every bench binary prints. Wall time never enters modeled artifacts —
+/// it only feeds the parseable stdout summary `bench_snapshot.sh` scrapes
+/// into the BENCH trajectory.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    // nds-lint: allow(D1, wall-clock trend measurement never enters modeled time or artifacts)
+    start: std::time::Instant,
+}
+
+impl WallClock {
+    /// Starts the stopwatch.
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> Self {
+        WallClock {
+            // nds-lint: allow(D1, wall-clock trend measurement never enters modeled time or artifacts)
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Whole commands simulated per elapsed wall second (0 when no time
+    /// has passed is impossible: the divisor is clamped to 1 ns).
+    pub fn commands_per_second(&self, commands: u64) -> u64 {
+        // nds-lint: allow(D1, wall-clock trend measurement never enters modeled time or artifacts)
+        let nanos = self.start.elapsed().as_nanos().max(1);
+        (u128::from(commands) * 1_000_000_000u128 / nanos) as u64
+    }
+
+    /// Prints the parseable wall-clock trend line:
+    /// `commands_per_wall_second=<rate> commands=<n>`.
+    pub fn print_rate(&self, commands: u64) {
+        println!(
+            "commands_per_wall_second={} commands={}",
+            self.commands_per_second(commands),
+            commands
+        );
+    }
 }
 
 /// Prints a markdown-ish table row.
@@ -204,6 +329,31 @@ mod tests {
     }
 
     #[test]
+    fn metrics_and_dashboard_flags_enable_the_sampler() {
+        let (metrics, rest) =
+            take_metrics_path(["--metrics", "m.json", "x"].map(String::from).to_vec());
+        assert_eq!(metrics.as_deref(), Some(std::path::Path::new("m.json")));
+        assert_eq!(rest, ["x"]);
+        let (dash, _) = take_dashboard_path(["--dashboard=d.html"].map(String::from).to_vec());
+        assert_eq!(dash.as_deref(), Some(std::path::Path::new("d.html")));
+
+        let obs = obs_for_run(None, None, metrics.as_ref(), None);
+        assert!(obs.metrics && obs.journal, "metrics ride on full obs");
+        let obs = obs_for_run(None, None, None, dash.as_ref());
+        assert!(obs.metrics);
+        let obs = obs_for_run(None, Some(&PathBuf::from("t.json")), metrics.as_ref(), None);
+        assert!(obs.metrics && obs.tracing);
+        assert!(!obs_for_run(None, None, None, None).any_enabled());
+    }
+
+    #[test]
+    fn wall_clock_rate_is_finite_and_parseable() {
+        let clock = WallClock::start();
+        let rate = clock.commands_per_second(1000);
+        assert!(rate > 0, "clamped divisor keeps the rate positive");
+    }
+
+    #[test]
     fn setup_matrix_round_trips() {
         use nds_system::{BaselineSystem, SystemConfig};
         let mut sys = BaselineSystem::new(SystemConfig::small_test());
@@ -212,5 +362,33 @@ mod tests {
         let out = sys.read(id, &shape, &[0, 0], &[32, 32]).unwrap();
         assert_eq!(out.data[0], 0);
         assert_eq!(out.data[1], 1);
+    }
+
+    #[test]
+    fn dashboard_artifacts_are_byte_identical_across_runs() {
+        use nds_system::{SoftwareNds, SystemConfig};
+        // End to end: instrumented run → metrics JSON → dashboard page and
+        // data payload, twice; every byte must match.
+        let run_once = || {
+            let obs = ObsConfig::full().with_metrics();
+            let mut sys = SoftwareNds::new(SystemConfig::small_test().with_observability(obs));
+            let id = setup_matrix_f64(&mut sys, 64).unwrap();
+            let shape = Shape::new([64, 64]);
+            sys.read(id, &shape, &[1, 1], &[16, 16]).unwrap();
+            let report = sys.run_report();
+            let metrics = report.metrics_json();
+            (
+                nds_prof::html_page("run.data.js"),
+                nds_prof::run_data_js(&metrics),
+                metrics,
+            )
+        };
+        let (page_a, data_a, metrics_a) = run_once();
+        let (page_b, data_b, metrics_b) = run_once();
+        assert_eq!(metrics_a, metrics_b, "metrics JSON drifted between runs");
+        assert_eq!(page_a, page_b, "dashboard HTML drifted between runs");
+        assert_eq!(data_a, data_b, "dashboard data payload drifted");
+        assert!(data_a.starts_with("const RUN = {"));
+        assert!(metrics_a.contains("\"host.ops\""));
     }
 }

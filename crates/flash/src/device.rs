@@ -574,6 +574,7 @@ impl FlashDevice {
     pub fn fold_timing_epoch(&mut self, span: nds_sim::SimDuration) {
         self.channels.fold_epoch(span);
         self.banks.fold_epoch(span);
+        self.obs.fold_metrics_epoch(span);
     }
 
     /// Channel resources (for utilization reporting).

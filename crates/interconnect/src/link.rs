@@ -331,6 +331,7 @@ impl Link {
     /// [`Resource::fold_epoch`](nds_sim::Resource::fold_epoch).
     pub fn fold_timing_epoch(&mut self, span: SimDuration) {
         self.wire.fold_epoch(span);
+        self.obs.fold_metrics_epoch(span);
     }
 }
 

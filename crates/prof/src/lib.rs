@@ -28,8 +28,10 @@
 
 pub mod analysis;
 pub mod chrome;
+pub mod dashboard;
 
 pub use analysis::{
     analyze, format_report, jain_milli, parse, CommandProfile, SystemAnalysis, SystemProfile,
 };
 pub use chrome::render;
+pub use dashboard::{html_page, run_data_js, trajectory_data_js};

@@ -47,8 +47,9 @@ mod trace;
 
 pub use obs::{
     record_command_partition, BusyTimeline, CommandTracer, ComponentId, Event, EventKind,
-    Histograms, Journal, JournalSummary, LatencyHistogram, ObsConfig, Observability, RunReport,
-    TimelineSnapshot, TraceContext, TraceExport, TraceStage,
+    Histograms, Journal, JournalSummary, LatencyHistogram, Mark, MetricSet, ObsConfig,
+    Observability, RunReport, SeriesKind, SeriesSnapshot, TimelineSnapshot, TraceContext,
+    TraceExport, TraceStage,
 };
 pub use resource::{Resource, ResourceSet};
 pub use stats::Stats;

@@ -28,10 +28,14 @@
 //! only — no floats, no pointer-keyed maps — so two identical runs emit
 //! byte-identical JSON.
 
+pub mod timeseries;
+
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use crate::{SimDuration, SimTime, Stats};
+
+pub use timeseries::{Mark, MetricSet, SeriesKind, SeriesSnapshot};
 
 /// Stable identity of a simulated component inside the journal: a static
 /// group name plus an instance index (e.g. `flash.ch[3]`).
@@ -283,6 +287,7 @@ pub struct Journal {
     recorded: u64,
     dropped: u64,
     by_kind: BTreeMap<&'static str, u64>,
+    dropped_by_kind: BTreeMap<&'static str, u64>,
     trace: u64,
     origin: SimDuration,
 }
@@ -306,6 +311,7 @@ impl Journal {
             recorded: 0,
             dropped: 0,
             by_kind: BTreeMap::new(),
+            dropped_by_kind: BTreeMap::new(),
             trace: 0,
             origin: SimDuration::ZERO,
         }
@@ -340,11 +346,22 @@ impl Journal {
         if !self.enabled {
             return;
         }
-        let kind = kind();
+        self.record_built(at, component, kind());
+    }
+
+    /// Records an already-built event. One branch when disabled — used by
+    /// [`Observability::event`] when another collector (the metric
+    /// sampler) forced payload construction anyway.
+    pub fn record_built(&mut self, at: SimTime, component: ComponentId, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
         self.recorded += 1;
         *self.by_kind.entry(kind.name()).or_insert(0) += 1;
         if self.events.len() == self.capacity {
-            self.events.pop_front();
+            if let Some(evicted) = self.events.pop_front() {
+                *self.dropped_by_kind.entry(evicted.kind.name()).or_insert(0) += 1;
+            }
             self.dropped += 1;
         }
         self.events.push_back(Event {
@@ -413,6 +430,7 @@ impl Journal {
         self.recorded = 0;
         self.dropped = 0;
         self.by_kind.clear();
+        self.dropped_by_kind.clear();
     }
 
     /// The journal's aggregate view for a [`RunReport`].
@@ -423,6 +441,11 @@ impl Journal {
             dropped: self.dropped,
             by_kind: self
                 .by_kind
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+            dropped_by_kind: self
+                .dropped_by_kind
                 .iter()
                 .map(|(k, v)| ((*k).to_owned(), *v))
                 .collect(),
@@ -441,6 +464,9 @@ pub struct JournalSummary {
     pub dropped: u64,
     /// Recorded events per [`EventKind::name`].
     pub by_kind: BTreeMap<String, u64>,
+    /// Evicted events per [`EventKind::name`] — which kinds the ring
+    /// silently truncated (surfaced in the report's `obs.health`).
+    pub dropped_by_kind: BTreeMap<String, u64>,
 }
 
 impl JournalSummary {
@@ -451,6 +477,9 @@ impl JournalSummary {
         self.dropped += other.dropped;
         for (kind, count) in &other.by_kind {
             *self.by_kind.entry(kind.clone()).or_insert(0) += count;
+        }
+        for (kind, count) in &other.dropped_by_kind {
+            *self.dropped_by_kind.entry(kind.clone()).or_insert(0) += count;
         }
     }
 }
@@ -936,6 +965,9 @@ pub struct ObsConfig {
     /// Thread causal per-command trace ids through the journals
     /// (front-ends allocate a [`CommandTracer`] when set).
     pub tracing: bool,
+    /// Collect windowed per-window metric series and event marks
+    /// ([`MetricSet`]), sharing the timeline window width and bucket cap.
+    pub metrics: bool,
 }
 
 impl ObsConfig {
@@ -949,6 +981,7 @@ impl ObsConfig {
             timeline_window: SimDuration::from_micros(100),
             timeline_buckets: 4096,
             tracing: false,
+            metrics: false,
         }
     }
 
@@ -973,9 +1006,16 @@ impl ObsConfig {
         }
     }
 
+    /// Turns on the windowed metric sampler on top of this configuration
+    /// (window width and bucket cap follow the timeline settings).
+    pub const fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
     /// True if any collector is enabled.
     pub const fn any_enabled(&self) -> bool {
-        self.journal || self.histograms || self.timelines
+        self.journal || self.histograms || self.timelines || self.metrics
     }
 }
 
@@ -991,6 +1031,7 @@ impl Default for ObsConfig {
 pub struct Observability {
     journal: Journal,
     histograms: Histograms,
+    metrics: MetricSet,
 }
 
 impl Observability {
@@ -1000,7 +1041,8 @@ impl Observability {
     }
 
     /// Applies `config`: replaces the journal (sized to the configured
-    /// capacity) and flips histogram recording.
+    /// capacity), flips histogram recording, and replaces the metric
+    /// sampler (windowed to the timeline settings).
     pub fn configure(&mut self, config: &ObsConfig) {
         self.journal = if config.journal {
             Journal::enabled(config.journal_capacity)
@@ -1011,17 +1053,64 @@ impl Observability {
         if !config.histograms {
             self.histograms.clear();
         }
+        self.metrics = if config.metrics {
+            MetricSet::enabled(config.timeline_window, config.timeline_buckets)
+        } else {
+            MetricSet::disabled()
+        };
     }
 
-    /// Records a typed event (one branch when the journal is disabled).
+    /// Records a typed event (one branch when both the journal and the
+    /// metric sampler are disabled). The metric sampler derives its
+    /// standard throughput/fault/GC/cluster series from the same event,
+    /// so instrumented layers need no extra metric hooks.
     pub fn event(&mut self, at: SimTime, component: ComponentId, kind: impl FnOnce() -> EventKind) {
-        self.journal.record(at, component, kind);
+        if !self.journal.is_enabled() && !self.metrics.is_enabled() {
+            return;
+        }
+        let kind = kind();
+        self.metrics.observe_event(at, component, &kind);
+        self.journal.record_built(at, component, kind);
     }
 
     /// Records a latency sample (one branch when histograms are
     /// disabled).
     pub fn latency(&mut self, name: &'static str, sample: SimDuration) {
         self.histograms.record(name, sample);
+    }
+
+    /// Adds `value` to the counter metric series `name` at epoch-local
+    /// instant `at`. One branch when the metric sampler is disabled.
+    pub fn metric_add(&mut self, at: SimTime, name: &str, value: u64) {
+        self.metrics.add(at, name, value);
+    }
+
+    /// Records a gauge sample into the metric series `name` (the window
+    /// keeps its maximum). One branch when the metric sampler is disabled.
+    pub fn metric_sample(&mut self, at: SimTime, name: &str, value: u64) {
+        self.metrics.sample(at, name, value);
+    }
+
+    /// Records a labelled event mark; the label closure never runs while
+    /// the metric sampler is disabled.
+    pub fn metric_mark(&mut self, at: SimTime, label: impl FnOnce() -> String) {
+        self.metrics.mark(at, label);
+    }
+
+    /// Folds a finished epoch's span into the metric sampler's run-long
+    /// clock (call next to the component's `fold_timing_epoch`).
+    pub fn fold_metrics_epoch(&mut self, span: SimDuration) {
+        self.metrics.fold_epoch(span);
+    }
+
+    /// The windowed metric sampler.
+    pub fn metrics(&self) -> &MetricSet {
+        &self.metrics
+    }
+
+    /// Mutable access to the windowed metric sampler.
+    pub fn metrics_mut(&mut self) -> &mut MetricSet {
+        &mut self.metrics
     }
 
     /// Tags subsequent journal events with a command's trace context
@@ -1057,7 +1146,7 @@ impl Observability {
 
     /// True if any collector is recording.
     pub fn is_enabled(&self) -> bool {
-        self.journal.is_enabled() || self.histograms.is_enabled()
+        self.journal.is_enabled() || self.histograms.is_enabled() || self.metrics.is_enabled()
     }
 }
 
@@ -1079,6 +1168,16 @@ pub struct RunReport {
     pub histograms: BTreeMap<String, LatencyHistogram>,
     /// Utilization timelines by resource name.
     pub timelines: BTreeMap<String, TimelineSnapshot>,
+    /// Windowed metric series by name (window width in
+    /// [`series_window`](Self::series_window)).
+    pub series: BTreeMap<String, SeriesSnapshot>,
+    /// Window width shared by every absorbed series (zero until a metric
+    /// sampler is absorbed).
+    pub series_window: SimDuration,
+    /// Event marks on the run-long folded clock, sorted by instant.
+    pub marks: Vec<Mark>,
+    /// Marks discarded after per-component retention caps filled.
+    pub marks_dropped: u64,
     /// Aggregated journal statistics.
     pub journal: JournalSummary,
 }
@@ -1116,7 +1215,8 @@ impl RunReport {
         self.timelines.insert(name.into(), timeline);
     }
 
-    /// Folds a component's journal and histograms into the report.
+    /// Folds a component's journal, histograms, and metric series into
+    /// the report.
     pub fn absorb(&mut self, obs: &Observability) {
         self.journal.merge(&obs.journal().summary());
         for (name, histogram) in obs.histograms().iter() {
@@ -1125,6 +1225,27 @@ impl RunReport {
                 .or_default()
                 .merge(histogram);
         }
+        self.absorb_metrics(obs.metrics());
+    }
+
+    /// Folds a standalone metric sampler into the report — used directly
+    /// by components (like the traffic engine) that own a [`MetricSet`]
+    /// outside an [`Observability`] bundle.
+    pub fn absorb_metrics(&mut self, metrics: &MetricSet) {
+        if metrics.is_enabled() && self.series_window.is_zero() {
+            self.series_window = metrics.window();
+        }
+        for (name, snapshot) in metrics.snapshots() {
+            match self.series.get_mut(name) {
+                Some(existing) => existing.merge(&snapshot),
+                None => {
+                    self.series.insert(name.to_owned(), snapshot);
+                }
+            }
+        }
+        self.marks.extend_from_slice(metrics.marks());
+        self.marks.sort_by_key(|m| m.at);
+        self.marks_dropped += metrics.marks_dropped();
     }
 
     /// Merges `other` into this report with every key prefixed — how the
@@ -1153,6 +1274,25 @@ impl RunReport {
         for (k, v) in &other.timelines {
             self.timelines.insert(format!("{prefix}{k}"), v.clone());
         }
+        for (k, v) in &other.series {
+            match self.series.get_mut(&format!("{prefix}{k}")) {
+                Some(existing) => existing.merge(v),
+                None => {
+                    self.series.insert(format!("{prefix}{k}"), v.clone());
+                }
+            }
+        }
+        if self.series_window.is_zero() {
+            self.series_window = other.series_window;
+        }
+        for m in &other.marks {
+            self.marks.push(Mark {
+                at: m.at,
+                label: format!("{prefix}{}", m.label),
+            });
+        }
+        self.marks.sort_by_key(|m| m.at);
+        self.marks_dropped += other.marks_dropped;
         self.journal.merge(&other.journal);
     }
 
@@ -1213,27 +1353,13 @@ impl RunReport {
         }
         close_map(&mut out, first);
         out.push_str(",\n  \"timelines\": {");
-        let mut first = true;
-        for (name, t) in &self.timelines {
-            push_sep(&mut out, &mut first);
-            out.push_str("    ");
-            push_json_string(&mut out, name);
-            out.push_str(": { \"window_ns\": ");
-            push_u64(&mut out, t.window.as_nanos());
-            out.push_str(", \"overflow_ns\": ");
-            push_u64(&mut out, t.overflow.as_nanos());
-            out.push_str(", \"busy_ns\": [");
-            let mut first_bucket = true;
-            for b in &t.buckets {
-                if !first_bucket {
-                    out.push_str(", ");
-                }
-                first_bucket = false;
-                push_u64(&mut out, b.as_nanos());
-            }
-            out.push_str("] }");
-        }
-        close_map(&mut out, first);
+        self.write_timeline_entries(&mut out);
+        out.push_str(",\n  \"series_window_ns\": ");
+        push_u64(&mut out, self.series_window.as_nanos());
+        out.push_str(",\n  \"series\": {");
+        self.write_series_entries(&mut out);
+        out.push_str(",\n  \"marks\": ");
+        self.write_marks_array(&mut out);
         out.push_str(",\n  \"journal\": { \"recorded\": ");
         push_u64(&mut out, self.journal.recorded);
         out.push_str(", \"retained\": ");
@@ -1245,8 +1371,138 @@ impl RunReport {
             &mut out,
             self.journal.by_kind.iter().map(|(k, v)| (k.as_str(), *v)),
         );
-        out.push_str("} }\n}\n");
+        out.push_str("} },\n  \"obs\": { \"health\": ");
+        self.write_health_object(&mut out);
+        out.push_str(" }\n}\n");
         out
+    }
+
+    /// Serializes just the windowed-telemetry view — meta, window width,
+    /// metric series, event marks, utilization timelines, and the health
+    /// section — as the `--metrics` artifact next to the full report.
+    /// Deterministic for the same reasons as [`to_json`](Self::to_json).
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"version\": 1,\n  \"meta\": {");
+        write_string_map(&mut out, &self.meta);
+        out.push_str("},\n  \"window_ns\": ");
+        push_u64(&mut out, self.series_window.as_nanos());
+        out.push_str(",\n  \"series\": {");
+        self.write_series_entries(&mut out);
+        out.push_str(",\n  \"marks\": ");
+        self.write_marks_array(&mut out);
+        out.push_str(",\n  \"timelines\": {");
+        self.write_timeline_entries(&mut out);
+        out.push_str(",\n  \"health\": ");
+        self.write_health_object(&mut out);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Writes the timeline map entries plus the closing brace (the caller
+    /// opened the map).
+    fn write_timeline_entries(&self, out: &mut String) {
+        let mut first = true;
+        for (name, t) in &self.timelines {
+            push_sep(out, &mut first);
+            out.push_str("    ");
+            push_json_string(out, name);
+            out.push_str(": { \"window_ns\": ");
+            push_u64(out, t.window.as_nanos());
+            out.push_str(", \"overflow_ns\": ");
+            push_u64(out, t.overflow.as_nanos());
+            out.push_str(", \"busy_ns\": [");
+            let mut first_bucket = true;
+            for b in &t.buckets {
+                if !first_bucket {
+                    out.push_str(", ");
+                }
+                first_bucket = false;
+                push_u64(out, b.as_nanos());
+            }
+            out.push_str("] }");
+        }
+        close_map(out, first);
+    }
+
+    /// Writes the metric-series map entries plus the closing brace.
+    fn write_series_entries(&self, out: &mut String) {
+        let mut first = true;
+        for (name, s) in &self.series {
+            push_sep(out, &mut first);
+            out.push_str("    ");
+            push_json_string(out, name);
+            out.push_str(": { \"kind\": ");
+            push_json_string(out, s.kind.name());
+            out.push_str(", \"total\": ");
+            push_u64(out, s.total);
+            out.push_str(", \"overflow\": ");
+            push_u64(out, s.overflow);
+            out.push_str(", \"values\": [");
+            let mut first_bucket = true;
+            for v in &s.buckets {
+                if !first_bucket {
+                    out.push_str(", ");
+                }
+                first_bucket = false;
+                push_u64(out, *v);
+            }
+            out.push_str("] }");
+        }
+        close_map(out, first);
+    }
+
+    /// Writes the event-mark array (including brackets).
+    fn write_marks_array(&self, out: &mut String) {
+        if self.marks.is_empty() {
+            out.push_str("[]");
+            return;
+        }
+        out.push('[');
+        let mut first = true;
+        for m in &self.marks {
+            push_sep(out, &mut first);
+            out.push_str("    { \"at_ns\": ");
+            push_u64(out, m.at.as_nanos());
+            out.push_str(", \"label\": ");
+            push_json_string(out, &m.label);
+            out.push_str(" }");
+        }
+        out.push_str("\n  ]");
+    }
+
+    /// Writes the `health` object: which collectors silently truncated —
+    /// journal ring evictions per kind, saturated histograms (samples in
+    /// the top log2 bucket), series overflow past the window cap, and
+    /// dropped marks.
+    fn write_health_object(&self, out: &mut String) {
+        out.push_str("{ \"journal_dropped_by_kind\": {");
+        write_u64_map(
+            out,
+            self.journal
+                .dropped_by_kind
+                .iter()
+                .map(|(k, v)| (k.as_str(), *v)),
+        );
+        out.push_str("}, \"histogram_saturated\": {");
+        write_u64_map(
+            out,
+            self.histograms
+                .iter()
+                .filter(|(_, h)| h.buckets()[HISTOGRAM_BUCKETS - 1] > 0)
+                .map(|(k, h)| (k.as_str(), h.buckets()[HISTOGRAM_BUCKETS - 1])),
+        );
+        out.push_str("}, \"series_overflow\": {");
+        write_u64_map(
+            out,
+            self.series
+                .iter()
+                .filter(|(_, s)| s.overflow > 0)
+                .map(|(k, s)| (k.as_str(), s.overflow)),
+        );
+        out.push_str("}, \"marks_dropped\": ");
+        push_u64(out, self.marks_dropped);
+        out.push_str(" }");
     }
 }
 

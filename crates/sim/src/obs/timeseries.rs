@@ -1,0 +1,526 @@
+//! Windowed time-series telemetry on modeled time (ISSUE 10).
+//!
+//! [`MetricSet`] is the per-component sampler: named series of per-window
+//! values over fixed-width windows of modeled time, plus point-in-time
+//! [`Mark`]s for discrete events (faults, failovers). Like
+//! [`BusyTimeline`](super::BusyTimeline), it lives on the *epoch-folded*
+//! run clock: front-ends model every command in its own epoch anchored at
+//! [`SimTime::ZERO`] and call [`MetricSet::fold_epoch`] with the finished
+//! epoch's span, so consecutive operations land in consecutive windows
+//! instead of all piling into window 0.
+//!
+//! Two series kinds exist:
+//!
+//! * **Counter** — per-window values *sum* (ops, bytes, faults). The sum
+//!   over all windows plus the overflow tail equals the run total exactly;
+//!   `crates/sim` property tests pin this window-fold invariant.
+//! * **Gauge** — per-window values take the *maximum* observed sample
+//!   (queue depth, backlog, devices up). The run-level aggregate is the
+//!   high-water mark.
+//!
+//! The sampler obeys the same contract as every other collector here:
+//! one branch when disabled, observe-only (nothing in the schedule reads
+//! it back), and all-integer so snapshots serialize deterministically.
+
+use std::collections::BTreeMap;
+
+use super::{ComponentId, EventKind};
+use crate::{SimDuration, SimTime};
+
+/// How a series aggregates multiple observations inside one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SeriesKind {
+    /// Values within a window sum; window sums plus overflow equal the
+    /// run total.
+    Counter,
+    /// A window keeps the maximum sample it saw (high-water gauge).
+    Gauge,
+}
+
+impl SeriesKind {
+    /// Stable lower-case name used in exported artifacts.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One named series: per-window values over the run-long folded clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Series {
+    kind: SeriesKind,
+    buckets: Vec<u64>,
+    /// Counter weight (or gauge high-water) observed past the window cap.
+    overflow: u64,
+    /// Run total (counters) or run high-water mark (gauges).
+    total: u64,
+}
+
+impl Series {
+    fn new(kind: SeriesKind) -> Self {
+        Series {
+            kind,
+            buckets: Vec::new(),
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    fn observe(&mut self, index: Option<usize>, value: u64) {
+        match self.kind {
+            SeriesKind::Counter => {
+                self.total += value;
+                match index {
+                    Some(idx) => {
+                        if self.buckets.len() <= idx {
+                            self.buckets.resize(idx + 1, 0);
+                        }
+                        if let Some(slot) = self.buckets.get_mut(idx) {
+                            *slot += value;
+                        }
+                    }
+                    None => self.overflow += value,
+                }
+            }
+            SeriesKind::Gauge => {
+                self.total = self.total.max(value);
+                match index {
+                    Some(idx) => {
+                        if self.buckets.len() <= idx {
+                            self.buckets.resize(idx + 1, 0);
+                        }
+                        if let Some(slot) = self.buckets.get_mut(idx) {
+                            *slot = (*slot).max(value);
+                        }
+                    }
+                    None => self.overflow = self.overflow.max(value),
+                }
+            }
+        }
+    }
+
+    fn snapshot(&self) -> SeriesSnapshot {
+        SeriesSnapshot {
+            kind: self.kind,
+            buckets: self.buckets.clone(),
+            overflow: self.overflow,
+            total: self.total,
+        }
+    }
+}
+
+/// A serialized series inside a [`RunReport`](super::RunReport).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesSnapshot {
+    /// Aggregation kind of the series.
+    pub kind: SeriesKind,
+    /// Per-window values, from the start of the run.
+    pub buckets: Vec<u64>,
+    /// Counter weight (or gauge high-water) past the retained horizon.
+    pub overflow: u64,
+    /// Run total (counters) or run high-water mark (gauges).
+    pub total: u64,
+}
+
+impl SeriesSnapshot {
+    /// Folds another snapshot of the same series into this one — counters
+    /// sum element-wise, gauges take the element-wise maximum.
+    pub fn merge(&mut self, other: &SeriesSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        match self.kind {
+            SeriesKind::Counter => {
+                for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+                    *mine += theirs;
+                }
+                self.overflow += other.overflow;
+                self.total += other.total;
+            }
+            SeriesKind::Gauge => {
+                for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+                    *mine = (*mine).max(*theirs);
+                }
+                self.overflow = self.overflow.max(other.overflow);
+                self.total = self.total.max(other.total);
+            }
+        }
+    }
+}
+
+/// A labelled instant on the run-long folded clock — fault injections,
+/// device kills, link transitions. The dashboard draws these as vertical
+/// event markers over the series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mark {
+    /// Instant on the run-long clock (epoch offset included).
+    pub at: SimDuration,
+    /// Event label, e.g. `"kill device[2]"`.
+    pub label: String,
+}
+
+/// Upper bound on retained marks per component (excess is counted, not
+/// stored — a runaway fault plan must not grow the artifact unboundedly).
+const MAX_MARKS: usize = 1024;
+
+/// The windowed sampler: named [`SeriesKind::Counter`]/[`SeriesKind::Gauge`]
+/// series plus event [`Mark`]s, all on the epoch-folded modeled clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSet {
+    enabled: bool,
+    window: SimDuration,
+    max_windows: usize,
+    epoch_offset: SimDuration,
+    series: BTreeMap<String, Series>,
+    marks: Vec<Mark>,
+    marks_dropped: u64,
+}
+
+impl Default for MetricSet {
+    fn default() -> Self {
+        MetricSet::disabled()
+    }
+}
+
+impl MetricSet {
+    /// A disabled sampler (records nothing until configured on).
+    pub fn disabled() -> Self {
+        MetricSet {
+            enabled: false,
+            window: SimDuration::from_micros(100),
+            max_windows: 4096,
+            epoch_offset: SimDuration::ZERO,
+            series: BTreeMap::new(),
+            marks: Vec::new(),
+            marks_dropped: 0,
+        }
+    }
+
+    /// An enabled sampler with `window`-wide buckets, keeping at most
+    /// `max_windows` of them per series (the tail accumulates into a
+    /// per-series overflow slot, never silently lost).
+    pub fn enabled(window: SimDuration, max_windows: usize) -> Self {
+        let mut m = MetricSet::disabled();
+        m.enabled = true;
+        if !window.is_zero() {
+            m.window = window;
+        }
+        m.max_windows = max_windows.max(1);
+        m
+    }
+
+    /// Whether samples are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The window width.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// The run-long instant of an epoch-local `at`.
+    fn folded(&self, at: SimTime) -> SimDuration {
+        self.epoch_offset + at.saturating_since(SimTime::ZERO)
+    }
+
+    /// The window index of a run-long instant, or `None` past the cap.
+    fn window_index(&self, folded: SimDuration) -> Option<usize> {
+        let idx = (folded.as_nanos() / self.window.as_nanos()) as usize;
+        (idx < self.max_windows).then_some(idx)
+    }
+
+    fn observe_named(&mut self, at: SimTime, name: &str, kind: SeriesKind, value: u64) {
+        let index = self.window_index(self.folded(at));
+        if let Some(series) = self.series.get_mut(name) {
+            series.observe(index, value);
+            return;
+        }
+        let mut series = Series::new(kind);
+        series.observe(index, value);
+        self.series.insert(name.to_owned(), series);
+    }
+
+    /// Adds `value` to the counter series `name` at epoch-local instant
+    /// `at`. One branch when disabled.
+    pub fn add(&mut self, at: SimTime, name: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.observe_named(at, name, SeriesKind::Counter, value);
+    }
+
+    /// Records a gauge sample: window `at` falls into keeps the maximum
+    /// sample seen. One branch when disabled.
+    pub fn sample(&mut self, at: SimTime, name: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.observe_named(at, name, SeriesKind::Gauge, value);
+    }
+
+    /// Records a labelled event mark at epoch-local instant `at`. The
+    /// label closure never runs while disabled.
+    pub fn mark(&mut self, at: SimTime, label: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.marks.len() >= MAX_MARKS {
+            self.marks_dropped += 1;
+            return;
+        }
+        let at = self.folded(at);
+        self.marks.push(Mark { at, label: label() });
+    }
+
+    /// Advances the epoch offset by the span of a finished epoch, so the
+    /// next operation's samples continue the run-long axis (the
+    /// [`BusyTimeline::fold_epoch`](super::BusyTimeline::fold_epoch)
+    /// discipline).
+    pub fn fold_epoch(&mut self, span: SimDuration) {
+        if !self.enabled {
+            return;
+        }
+        self.epoch_offset += span;
+    }
+
+    /// Derives the standard series from a typed journal event — the single
+    /// choke point every instrumented layer already routes through
+    /// [`Observability::event`](super::Observability::event), so
+    /// throughput, fault, GC, and cluster series need no extra hooks.
+    pub fn observe_event(&mut self, at: SimTime, component: ComponentId, kind: &EventKind) {
+        if !self.enabled {
+            return;
+        }
+        match *kind {
+            EventKind::CommandIssued { bytes } => {
+                if component.group == "nvme.queue" {
+                    self.add(at, "nvme.commands", 1);
+                    self.add(at, "nvme.bytes", bytes);
+                } else {
+                    self.add(at, "link.commands", 1);
+                    self.add(at, "link.bytes", bytes);
+                }
+            }
+            EventKind::CommandCompleted { .. } => {}
+            EventKind::PageRead { .. } => self.add(at, "flash.page_reads", 1),
+            EventKind::PageProgrammed { .. } => self.add(at, "flash.page_programs", 1),
+            EventKind::BlockErased { .. } => self.add(at, "flash.block_erases", 1),
+            EventKind::GcVictimPicked { valid, .. } => {
+                self.add(at, "gc.victims", 1);
+                self.add(at, "gc.valid_moved", u64::from(valid));
+            }
+            EventKind::FaultInjected { .. } => self.add(at, "faults.injected", 1),
+            EventKind::RetryScheduled { .. } => self.add(at, "faults.retries", 1),
+            EventKind::ReplicaRead { .. } => self.add(at, "cluster.replica_reads", 1),
+            EventKind::ReplicaCopied { bytes, .. } => {
+                self.add(at, "cluster.replica_copies", 1);
+                self.add(at, "cluster.replica_copy_bytes", bytes);
+            }
+            EventKind::DeviceDown { device } => {
+                self.add(at, "cluster.failover_events", 1);
+                self.mark(at, || format!("device[{device}] down"));
+            }
+            EventKind::DeviceUp { device } => {
+                self.add(at, "cluster.failover_events", 1);
+                self.mark(at, || format!("device[{device}] up"));
+            }
+            EventKind::SpanBegin { .. }
+            | EventKind::SpanEnd { .. }
+            | EventKind::TraceBegin { .. }
+            | EventKind::TraceEnd { .. }
+            | EventKind::StageSpan { .. } => {}
+        }
+    }
+
+    /// Snapshots of every series, sorted by name.
+    pub fn snapshots(&self) -> impl Iterator<Item = (&str, SeriesSnapshot)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v.snapshot()))
+    }
+
+    /// The run-level total of series `name` (counter sum or gauge
+    /// high-water), if recorded.
+    pub fn total(&self, name: &str) -> Option<u64> {
+        self.series.get(name).map(|s| s.total)
+    }
+
+    /// The retained event marks, in record order.
+    pub fn marks(&self) -> &[Mark] {
+        &self.marks
+    }
+
+    /// Marks discarded after the retention cap filled.
+    pub fn marks_dropped(&self) -> u64 {
+        self.marks_dropped
+    }
+
+    /// True when no series or marks were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty() && self.marks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    fn at(n: u64) -> SimTime {
+        SimTime::ZERO + us(n)
+    }
+
+    #[test]
+    fn disabled_sampler_records_nothing_and_skips_label_closure() {
+        let mut m = MetricSet::disabled();
+        let mut ran = false;
+        m.add(at(0), "ops", 1);
+        m.sample(at(0), "depth", 4);
+        m.mark(at(0), || {
+            ran = true;
+            "boom".to_owned()
+        });
+        assert!(!ran, "mark label must not build while disabled");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn counter_windows_sum_to_run_total() {
+        let mut m = MetricSet::enabled(us(10), 8);
+        m.add(at(1), "bytes", 100);
+        m.add(at(12), "bytes", 50);
+        m.add(at(12), "bytes", 25);
+        let (name, snap) = m.snapshots().next().expect("series recorded");
+        assert_eq!(name, "bytes");
+        assert_eq!(snap.kind, SeriesKind::Counter);
+        assert_eq!(snap.buckets, [100, 75]);
+        assert_eq!(snap.total, 175);
+        assert_eq!(
+            snap.buckets.iter().sum::<u64>() + snap.overflow,
+            snap.total,
+            "window-fold invariant"
+        );
+    }
+
+    #[test]
+    fn gauge_windows_keep_high_water() {
+        let mut m = MetricSet::enabled(us(10), 8);
+        m.sample(at(1), "depth", 3);
+        m.sample(at(2), "depth", 9);
+        m.sample(at(3), "depth", 5);
+        m.sample(at(15), "depth", 2);
+        let (_, snap) = m.snapshots().next().expect("series recorded");
+        assert_eq!(snap.kind, SeriesKind::Gauge);
+        assert_eq!(snap.buckets, [9, 2]);
+        assert_eq!(snap.total, 9);
+    }
+
+    #[test]
+    fn fold_epoch_moves_later_ops_into_later_windows() {
+        let mut m = MetricSet::enabled(us(10), 8);
+        m.add(at(0), "ops", 1);
+        m.fold_epoch(us(10));
+        m.add(at(0), "ops", 1);
+        m.mark(at(5), || "fault".to_owned());
+        let (_, snap) = m.snapshots().next().expect("series recorded");
+        assert_eq!(snap.buckets, [1, 1]);
+        assert_eq!(m.marks().len(), 1);
+        assert_eq!(m.marks()[0].at, us(15), "marks fold like samples");
+    }
+
+    #[test]
+    fn overflow_keeps_totals_exact_past_the_window_cap() {
+        let mut m = MetricSet::enabled(us(10), 2);
+        m.add(at(5), "ops", 1);
+        m.add(at(500), "ops", 41);
+        let (_, snap) = m.snapshots().next().expect("series recorded");
+        assert_eq!(snap.buckets, [1]);
+        assert_eq!(snap.overflow, 41);
+        assert_eq!(snap.total, 42);
+    }
+
+    #[test]
+    fn derived_series_cover_the_event_taxonomy() {
+        let mut m = MetricSet::enabled(us(10), 8);
+        let flash = ComponentId::singleton("flash");
+        let queue = ComponentId::singleton("nvme.queue");
+        let link = ComponentId::singleton("link");
+        let cluster = ComponentId::singleton("cluster");
+        m.observe_event(at(0), queue, &EventKind::CommandIssued { bytes: 64 });
+        m.observe_event(at(0), link, &EventKind::CommandIssued { bytes: 32 });
+        m.observe_event(
+            at(0),
+            flash,
+            &EventKind::PageRead {
+                channel: 0,
+                bank: 0,
+            },
+        );
+        m.observe_event(
+            at(0),
+            flash,
+            &EventKind::FaultInjected {
+                kind: "flash.read_transient",
+            },
+        );
+        m.observe_event(at(0), flash, &EventKind::RetryScheduled { attempt: 1 });
+        m.observe_event(at(0), cluster, &EventKind::DeviceDown { device: 2 });
+        assert_eq!(m.total("nvme.bytes"), Some(64));
+        assert_eq!(m.total("link.bytes"), Some(32));
+        assert_eq!(m.total("flash.page_reads"), Some(1));
+        assert_eq!(m.total("faults.injected"), Some(1));
+        assert_eq!(m.total("faults.retries"), Some(1));
+        assert_eq!(m.total("cluster.failover_events"), Some(1));
+        assert_eq!(m.marks().len(), 1);
+        assert_eq!(m.marks()[0].label, "device[2] down");
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_maxes_gauges() {
+        let mut a = SeriesSnapshot {
+            kind: SeriesKind::Counter,
+            buckets: vec![1, 2],
+            overflow: 3,
+            total: 6,
+        };
+        let b = SeriesSnapshot {
+            kind: SeriesKind::Counter,
+            buckets: vec![10, 10, 10],
+            overflow: 1,
+            total: 31,
+        };
+        a.merge(&b);
+        assert_eq!(a.buckets, [11, 12, 10]);
+        assert_eq!(a.overflow, 4);
+        assert_eq!(a.total, 37);
+
+        let mut g = SeriesSnapshot {
+            kind: SeriesKind::Gauge,
+            buckets: vec![5],
+            overflow: 0,
+            total: 5,
+        };
+        g.merge(&SeriesSnapshot {
+            kind: SeriesKind::Gauge,
+            buckets: vec![2, 7],
+            overflow: 1,
+            total: 7,
+        });
+        assert_eq!(g.buckets, [5, 7]);
+        assert_eq!(g.total, 7);
+    }
+
+    #[test]
+    fn marks_cap_counts_drops() {
+        let mut m = MetricSet::enabled(us(10), 2);
+        for i in 0..(MAX_MARKS as u64 + 5) {
+            m.mark(at(0), || format!("m{i}"));
+        }
+        assert_eq!(m.marks().len(), MAX_MARKS);
+        assert_eq!(m.marks_dropped(), 5);
+    }
+}

@@ -379,6 +379,9 @@ impl StorageFrontEnd for BaselineSystem {
         self.stats
             .add("system.write_commands", commands.len() as u64);
         self.stats.add("system.write_bytes", total_bytes);
+        self.obs.metric_add(SimTime::ZERO, "host.ops", 1);
+        self.obs
+            .metric_add(SimTime::ZERO, "host.bytes", total_bytes);
         self.obs
             .journal_mut()
             .begin_span(SimTime::ZERO, SYSTEM_COMPONENT, "write");
@@ -391,6 +394,7 @@ impl StorageFrontEnd for BaselineSystem {
         // have drained long before the program tail finished).
         self.ftl.device_mut().fold_timing_epoch(latency);
         self.link.fold_timing_epoch(latency);
+        self.obs.fold_metrics_epoch(latency);
         Ok(WriteOutcome {
             latency,
             commands: commands.len() as u64,
@@ -505,6 +509,9 @@ impl StorageFrontEnd for BaselineSystem {
         self.stats
             .add("system.read_commands", commands.len() as u64);
         self.stats.add("system.read_bytes", total_bytes);
+        self.obs.metric_add(SimTime::ZERO, "host.ops", 1);
+        self.obs
+            .metric_add(SimTime::ZERO, "host.bytes", total_bytes);
         self.obs
             .journal_mut()
             .begin_span(SimTime::ZERO, SYSTEM_COMPONENT, "read");
@@ -519,6 +526,7 @@ impl StorageFrontEnd for BaselineSystem {
             .device_mut()
             .fold_timing_epoch(io_latency + restructure);
         self.link.fold_timing_epoch(io_latency + restructure);
+        self.obs.fold_metrics_epoch(io_latency + restructure);
         Ok(ReadMetrics {
             io_latency,
             io_occupancy,

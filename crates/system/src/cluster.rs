@@ -952,6 +952,31 @@ impl<S: StorageFrontEnd> NdsCluster<S> {
             m.io_latency.as_nanos(),
             m.bytes
         ));
+        self.observe_cluster_op(m.bytes, m.latency());
+    }
+
+    /// Samples the cluster health gauges (reachable devices, stale
+    /// replicas) and throughput counters for one finished operation, then
+    /// folds the operation's span into the metric clock so the next op
+    /// lands in later windows. One branch when metrics are disabled.
+    fn observe_cluster_op(&mut self, bytes: u64, span: SimDuration) {
+        if self.obs.metrics().is_enabled() {
+            let up = self.devices.iter().filter(|d| d.alive && d.link_up).count() as u64;
+            let stale = self
+                .datasets
+                .values()
+                .flat_map(|d| d.shards.iter())
+                .flat_map(|s| s.replicas.iter())
+                .filter(|r| r.stale)
+                .count() as u64;
+            self.obs.metric_add(SimTime::ZERO, "cluster.ops", 1);
+            self.obs.metric_add(SimTime::ZERO, "cluster.bytes", bytes);
+            self.obs
+                .metric_sample(SimTime::ZERO, "cluster.devices_up", up);
+            self.obs
+                .metric_sample(SimTime::ZERO, "cluster.stale_replicas", stale);
+        }
+        self.obs.fold_metrics_epoch(span);
     }
 
     /// The shared write path: every fresh reachable replica of every
@@ -1131,6 +1156,7 @@ impl<S: StorageFrontEnd> NdsCluster<S> {
             latency.as_nanos(),
             bytes
         ));
+        self.observe_cluster_op(bytes, latency);
         Ok(outcome)
     }
 }

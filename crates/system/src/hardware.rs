@@ -129,6 +129,11 @@ impl HardwareNds {
             EventKind::CommandIssued { bytes: wire_bytes }
         });
         self.queue.submit(cmd)?;
+        if self.obs.metrics().is_enabled() {
+            let depth = self.queue.in_flight() as u64;
+            self.obs
+                .metric_sample(SimTime::ZERO, "nvme.queue_depth", depth);
+        }
         let popped = self
             .queue
             .device_pop()
@@ -266,6 +271,9 @@ impl StorageFrontEnd for HardwareNds {
 
         self.stats.add("system.write_commands", 1);
         self.stats.add("system.write_bytes", report.access.bytes);
+        self.obs.metric_add(SimTime::ZERO, "host.ops", 1);
+        self.obs
+            .metric_add(SimTime::ZERO, "host.bytes", report.access.bytes);
         self.obs
             .journal_mut()
             .begin_span(SimTime::ZERO, SYSTEM_COMPONENT, "write");
@@ -293,6 +301,7 @@ impl StorageFrontEnd for HardwareNds {
             .device_mut()
             .fold_timing_epoch(latency);
         self.link.fold_timing_epoch(latency);
+        self.obs.fold_metrics_epoch(latency);
         Ok(WriteOutcome {
             latency,
             commands: 1,
@@ -381,6 +390,9 @@ impl StorageFrontEnd for HardwareNds {
 
         self.stats.add("system.read_commands", 1);
         self.stats.add("system.read_bytes", report.bytes);
+        self.obs.metric_add(SimTime::ZERO, "host.ops", 1);
+        self.obs
+            .metric_add(SimTime::ZERO, "host.bytes", report.bytes);
         self.obs
             .journal_mut()
             .begin_span(SimTime::ZERO, SYSTEM_COMPONENT, "read");
@@ -413,6 +425,7 @@ impl StorageFrontEnd for HardwareNds {
             .device_mut()
             .fold_timing_epoch(io_latency);
         self.link.fold_timing_epoch(io_latency);
+        self.obs.fold_metrics_epoch(io_latency);
         Ok(ReadMetrics {
             io_latency,
             io_occupancy,

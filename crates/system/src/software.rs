@@ -216,6 +216,9 @@ impl StorageFrontEnd for SoftwareNds {
 
         self.stats.add("system.write_commands", unit_commands);
         self.stats.add("system.write_bytes", report.access.bytes);
+        self.obs.metric_add(SimTime::ZERO, "host.ops", 1);
+        self.obs
+            .metric_add(SimTime::ZERO, "host.bytes", report.access.bytes);
         self.obs
             .journal_mut()
             .begin_span(SimTime::ZERO, SYSTEM_COMPONENT, "write");
@@ -230,6 +233,7 @@ impl StorageFrontEnd for SoftwareNds {
             .device_mut()
             .fold_timing_epoch(latency);
         self.link.fold_timing_epoch(latency);
+        self.obs.fold_metrics_epoch(latency);
         Ok(WriteOutcome {
             latency,
             commands: unit_commands,
@@ -354,6 +358,9 @@ impl StorageFrontEnd for SoftwareNds {
 
         self.stats.add("system.read_commands", commands);
         self.stats.add("system.read_bytes", report.bytes);
+        self.obs.metric_add(SimTime::ZERO, "host.ops", 1);
+        self.obs
+            .metric_add(SimTime::ZERO, "host.bytes", report.bytes);
         self.obs
             .journal_mut()
             .begin_span(SimTime::ZERO, SYSTEM_COMPONENT, "read");
@@ -367,6 +374,7 @@ impl StorageFrontEnd for SoftwareNds {
             .device_mut()
             .fold_timing_epoch(io_latency);
         self.link.fold_timing_epoch(io_latency);
+        self.obs.fold_metrics_epoch(io_latency);
         Ok(ReadMetrics {
             io_latency,
             io_occupancy,

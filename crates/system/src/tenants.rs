@@ -37,7 +37,9 @@ use std::collections::{BTreeMap, VecDeque};
 
 use nds_core::{ElementType, Region, Shape};
 use nds_interconnect::WfqScheduler;
-use nds_sim::{LatencyHistogram, RunReport, SimDuration, SimTime, TraceExport};
+use nds_sim::{
+    LatencyHistogram, MetricSet, ObsConfig, RunReport, SimDuration, SimTime, TraceExport,
+};
 
 use crate::error::SystemError;
 use crate::frontend::{DatasetId, ReadMetrics, StorageFrontEnd, WriteOutcome};
@@ -276,6 +278,11 @@ pub struct TrafficEngine<S> {
     /// Trace-cursor ranges of the setup writes, per tenant.
     setup_traces: Vec<(u64, u64, u32)>,
     scratch: Vec<u8>,
+    /// Engine-owned windowed telemetry on the engine's absolute clock
+    /// (per-tenant achieved bytes and backlog). Disabled by default;
+    /// surfaces only through [`full_report`](TrafficEngine::full_report),
+    /// keeping [`report`](TrafficEngine::report) obs-invariant.
+    metrics: MetricSet,
 }
 
 impl<S: StorageFrontEnd> TrafficEngine<S> {
@@ -367,7 +374,20 @@ impl<S: StorageFrontEnd> TrafficEngine<S> {
             completions: Vec::new(),
             setup_traces,
             scratch: Vec::new(),
+            metrics: MetricSet::disabled(),
         })
+    }
+
+    /// Enables the engine's own windowed telemetry when `config.metrics`
+    /// is set (window width and cap follow the timeline settings). The
+    /// sampler runs on the engine's absolute clock — no epoch folding —
+    /// and is observe-only: it never influences admission or scheduling.
+    pub fn configure_metrics(&mut self, config: &ObsConfig) {
+        self.metrics = if config.metrics {
+            MetricSet::enabled(config.timeline_window, config.timeline_buckets)
+        } else {
+            MetricSet::disabled()
+        };
     }
 
     /// The owning tenant of a dataspace, if the engine created it.
@@ -586,6 +606,20 @@ impl<S: StorageFrontEnd> TrafficEngine<S> {
                 rt.pending.push_back((rt.released, finished));
                 rt.released += 1;
             }
+            if self.metrics.is_enabled() {
+                // Per-window achieved bytes drive the dashboard's WFQ
+                // share plot; the backlog gauge is the tenant's admitted
+                // but uncompleted depth at this completion.
+                self.metrics.add(finished, "engine.ops", 1);
+                self.metrics.add(finished, "engine.bytes", bytes);
+                self.metrics
+                    .add(finished, &format!("tenant[{tenant}].bytes"), bytes);
+                self.metrics.sample(
+                    finished,
+                    &format!("tenant[{tenant}].backlog"),
+                    u64::from(rt.outstanding),
+                );
+            }
         }
         self.completions.push(Completion {
             tenant,
@@ -717,6 +751,7 @@ impl<S: StorageFrontEnd> TrafficEngine<S> {
     /// with the observability configuration.
     pub fn full_report(&self) -> RunReport {
         let mut report = self.report();
+        report.absorb_metrics(&self.metrics);
         report.merge_prefixed("system.", &self.sys.run_report());
         report
     }

@@ -266,3 +266,251 @@ fn instrumented_report_actually_contains_observations() {
         assert!(json.contains(needle), "report lost {needle}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Windowed time-series sampler (PR 10): the same neutrality and determinism
+// contracts, with the metric series enabled on top of full instrumentation.
+// ---------------------------------------------------------------------------
+
+fn metrics_config() -> SystemConfig {
+    config(ObsConfig::full().with_metrics())
+}
+
+#[test]
+fn metrics_outcomes_identical_with_metrics_on_and_off() {
+    assert_neutral(
+        run(BaselineSystem::new(metrics_config())),
+        run(BaselineSystem::new(config(ObsConfig::disabled()))),
+    );
+    assert_neutral(
+        run(SoftwareNds::new(metrics_config())),
+        run(SoftwareNds::new(config(ObsConfig::disabled()))),
+    );
+    assert_neutral(
+        run(HardwareNds::new(metrics_config())),
+        run(HardwareNds::new(config(ObsConfig::disabled()))),
+    );
+    assert_neutral(
+        run(OracleSystem::with_tile(metrics_config(), vec![TILE, TILE])),
+        run(OracleSystem::with_tile(
+            config(ObsConfig::disabled()),
+            vec![TILE, TILE],
+        )),
+    );
+}
+
+#[test]
+fn metrics_outcomes_identical_under_fault_plan() {
+    // The retry paths route FaultInjected / RetryScheduled through the same
+    // choke point that feeds the series; sampling them must not move time.
+    let faulty_metrics = || faulty_config(ObsConfig::full().with_metrics());
+    assert_neutral(
+        run(SoftwareNds::new(faulty_metrics())),
+        run(SoftwareNds::new(faulty_config(ObsConfig::disabled()))),
+    );
+    assert_neutral(
+        run(HardwareNds::new(faulty_metrics())),
+        run(HardwareNds::new(faulty_config(ObsConfig::disabled()))),
+    );
+}
+
+#[test]
+fn tenant_engine_neutral_under_metrics() {
+    use nds_system::TrafficEngine;
+    use nds_workloads::tenants::mixed_open_closed;
+    let set = mixed_open_closed(42, 16, 8);
+    let run_engine = |metrics: bool| {
+        let obs = if metrics {
+            ObsConfig::full().with_metrics()
+        } else {
+            ObsConfig::disabled()
+        };
+        let sys = HardwareNds::new(SystemConfig::small_test().with_observability(obs));
+        let mut engine = TrafficEngine::new(sys, &set).expect("tenant setup");
+        engine.configure_metrics(&obs);
+        engine.run().expect("engine run");
+        (engine.makespan(), engine.report().to_json())
+    };
+    let (makespan_on, report_on) = run_engine(true);
+    let (makespan_off, report_off) = run_engine(false);
+    assert_eq!(makespan_on, makespan_off, "metrics moved the WFQ schedule");
+    // `report()` is built exclusively from always-on engine-side accounting:
+    // it must serialize identically whether or not the sampler ran.
+    assert_eq!(report_on, report_off, "engine report lost obs-invariance");
+}
+
+/// Replays a seeded cluster mix with a mid-run device kill; returns every
+/// modeled per-op outcome.
+fn cluster_replay(obs: ObsConfig) -> Vec<(u64, u64, u64)> {
+    use nds_faults::ClusterFaultPlan;
+    use nds_system::{ClusterConfig, NdsCluster};
+    use nds_workloads::cluster::{cluster_dataset, cluster_mix, payload_byte};
+    let ops = 48u64;
+    let mix = cluster_mix(7, ops as usize, 60);
+    let cfg = ClusterConfig::new(4, 2)
+        .with_shard_rows(24)
+        .with_seed(7)
+        .with_observability(obs)
+        .with_plan(ClusterFaultPlan::kill_at(ops / 2, 0));
+    let mut cluster = NdsCluster::new(cfg, |_| {
+        HardwareNds::new(SystemConfig::small_test().with_observability(obs))
+    });
+    let (shape, element) = cluster_dataset();
+    let id = cluster
+        .create_dataset(shape.clone(), element)
+        .expect("create");
+    let esize = element.size() as u64;
+    let mut outcomes = Vec::new();
+    let mut buf = Vec::new();
+    for op in &mix {
+        if op.write {
+            let elems: u64 = op.sub_dims.iter().product();
+            let data: Vec<u8> = (0..elems * esize)
+                .map(|i| payload_byte(op.salt, i))
+                .collect();
+            let out = cluster
+                .write(id, &shape, &op.coord, &op.sub_dims, &data)
+                .expect("clustered write");
+            outcomes.push((out.bytes, out.latency.as_nanos(), out.commands));
+        } else {
+            let m = cluster
+                .read_into(id, &shape, &op.coord, &op.sub_dims, &mut buf)
+                .expect("clustered read");
+            outcomes.push((m.bytes, m.io_latency.as_nanos(), m.commands));
+        }
+    }
+    outcomes
+}
+
+#[test]
+fn cluster_outcomes_identical_with_metrics_on_and_off_under_fault_plan() {
+    assert_eq!(
+        cluster_replay(ObsConfig::full().with_metrics()),
+        cluster_replay(ObsConfig::disabled()),
+        "cluster failover timing diverges with metrics on vs off"
+    );
+}
+
+/// One instrumented-with-metrics run's windowed-series artifact.
+fn instrumented_metrics<S: StorageFrontEnd>(make: impl FnOnce(SystemConfig) -> S) -> String {
+    let mut sys = make(metrics_config());
+    let shape = Shape::new([N, N]);
+    let id = sys
+        .create_dataset(shape.clone(), ElementType::F32)
+        .expect("create");
+    let bytes: Vec<u8> = (0..N * N * 4).map(|i| (i % 251) as u8).collect();
+    sys.write(id, &shape, &[0, 0], &[N, N], &bytes)
+        .expect("write");
+    for (coord, sub) in sweep() {
+        sys.read(id, &shape, &coord, &sub).expect("read");
+    }
+    sys.run_report().metrics_json()
+}
+
+#[test]
+fn metrics_json_is_byte_identical_across_runs() {
+    let first = instrumented_metrics(SoftwareNds::new);
+    let second = instrumented_metrics(SoftwareNds::new);
+    assert_eq!(first, second, "repeated runs must serialize identically");
+    let hw_first = instrumented_metrics(HardwareNds::new);
+    let hw_second = instrumented_metrics(HardwareNds::new);
+    assert_eq!(hw_first, hw_second);
+}
+
+#[test]
+fn series_window_sums_match_run_totals() {
+    // The fold property: for every counter series, the retained window
+    // values plus the overflow weight account exactly for the run total.
+    let mut sys = SoftwareNds::new(metrics_config());
+    let shape = Shape::new([N, N]);
+    let id = sys
+        .create_dataset(shape.clone(), ElementType::F32)
+        .expect("create");
+    let bytes: Vec<u8> = (0..N * N * 4).map(|i| (i % 251) as u8).collect();
+    sys.write(id, &shape, &[0, 0], &[N, N], &bytes)
+        .expect("write");
+    for (coord, sub) in sweep() {
+        sys.read(id, &shape, &coord, &sub).expect("read");
+    }
+    let report = sys.run_report();
+    assert!(
+        report.series_window > nds_sim::SimDuration::ZERO,
+        "series window width missing from the report"
+    );
+    let mut counters = 0usize;
+    for (name, s) in &report.series {
+        if matches!(s.kind, nds_sim::SeriesKind::Counter) {
+            assert_eq!(
+                s.buckets.iter().sum::<u64>() + s.overflow,
+                s.total,
+                "window fold of {name} does not sum to the run total"
+            );
+            counters += 1;
+        } else {
+            let peak = s.buckets.iter().copied().max().unwrap_or(0).max(s.overflow);
+            assert_eq!(peak, s.total, "gauge {name} high-water != max window");
+        }
+    }
+    assert!(counters > 0, "no counter series recorded");
+    // Cross-check one series against ground truth: one write plus the
+    // ten-read sweep, each counted once at the host front end.
+    let host_ops = report.series.get("host.ops").expect("host.ops series");
+    assert_eq!(host_ops.total, 1 + sweep().len() as u64);
+}
+
+#[test]
+fn cluster_failover_series_is_not_vacuous() {
+    // A failover run must actually produce failover telemetry: series hits
+    // and a human-readable mark at the kill instant.
+    use nds_faults::ClusterFaultPlan;
+    use nds_system::{ClusterConfig, NdsCluster};
+    use nds_workloads::cluster::{cluster_dataset, cluster_mix, payload_byte};
+    let ops = 48u64;
+    let mix = cluster_mix(7, ops as usize, 60);
+    let cfg = ClusterConfig::new(4, 2)
+        .with_shard_rows(24)
+        .with_seed(7)
+        .with_observability(ObsConfig::full().with_metrics())
+        .with_plan(ClusterFaultPlan::kill_at(ops / 2, 0));
+    let mut cluster = NdsCluster::new(cfg, |_| {
+        HardwareNds::new(
+            SystemConfig::small_test().with_observability(ObsConfig::full().with_metrics()),
+        )
+    });
+    let (shape, element) = cluster_dataset();
+    let id = cluster
+        .create_dataset(shape.clone(), element)
+        .expect("create");
+    let esize = element.size() as u64;
+    let mut buf = Vec::new();
+    for op in &mix {
+        if op.write {
+            let elems: u64 = op.sub_dims.iter().product();
+            let data: Vec<u8> = (0..elems * esize)
+                .map(|i| payload_byte(op.salt, i))
+                .collect();
+            cluster
+                .write(id, &shape, &op.coord, &op.sub_dims, &data)
+                .expect("clustered write");
+        } else {
+            cluster
+                .read_into(id, &shape, &op.coord, &op.sub_dims, &mut buf)
+                .expect("clustered read");
+        }
+    }
+    let report = cluster.full_report();
+    let failovers = report
+        .series
+        .get("cluster.failover_events")
+        .expect("failover series missing");
+    assert!(
+        failovers.total > 0,
+        "device kill produced no failover events"
+    );
+    assert!(
+        report.marks.iter().any(|m| m.label.contains("down")),
+        "no device-down mark recorded"
+    );
+    let ops_series = report.series.get("cluster.ops").expect("cluster.ops");
+    assert_eq!(ops_series.total, ops, "cluster op series lost operations");
+}

@@ -10,6 +10,11 @@
 # modeled nanoseconds each pipeline stage contributed to end-to-end
 # latency — the stage spans partition total latency exactly).
 #
+# Each bench bin self-reports a `commands_per_wall_second=` line; those
+# wall-clock rates land as per-bin trajectory records, and the updated
+# trajectory is rendered as a static regression dashboard
+# (`<output>.dashboard.html`) via `nds-prof dashboard`.
+#
 # Usage: scripts/bench_snapshot.sh [output.json]
 set -euo pipefail
 
@@ -18,16 +23,17 @@ out="${1:-BENCH_stl.json}"
 raw="$(mktemp)"
 trace="$(mktemp)"
 prof="$(mktemp)"
+fig9_out="$(mktemp)"
 tenants_out="$(mktemp)"
 cluster_out="$(mktemp)"
-trap 'rm -f "$raw" "$trace" "$prof" "$tenants_out" "$cluster_out"' EXIT
+trap 'rm -f "$raw" "$trace" "$prof" "$fig9_out" "$tenants_out" "$cluster_out"' EXIT
 
 cargo bench -p nds-bench --bench stl --bench microbench 2>/dev/null \
     | grep '^bench: ' | tee "$raw"
 
 echo "== fig9 time attribution (nds-prof over a traced fig9 a run)"
 cargo build --quiet --release -p nds-bench -p nds-prof --bin fig9 --bin nds-prof
-./target/release/fig9 a --trace "$trace" > /dev/null
+./target/release/fig9 a --trace "$trace" > "$fig9_out"
 ./target/release/nds-prof "$trace" > "$prof"
 
 echo "== multi-tenant saturation (tenants, 16 mixed open/closed)"
@@ -36,12 +42,10 @@ cargo build --quiet --release -p nds-bench --bin tenants
 
 echo "== cluster degraded-vs-healthy (4 devices, k=2, device-kill plan)"
 cargo build --quiet --release -p nds-bench --bin cluster
-cluster_start_ns="$(date +%s%N)"
 ./target/release/cluster --seed 7 > "$cluster_out"
-cluster_wall_ns="$(( $(date +%s%N) - cluster_start_ns ))"
 
-RAW="$raw" PROF="$prof" TENANTS="$tenants_out" CLUSTER="$cluster_out" \
-    CLUSTER_WALL_NS="$cluster_wall_ns" OUT="$out" python3 - <<'PY'
+RAW="$raw" PROF="$prof" FIG9="$fig9_out" TENANTS="$tenants_out" CLUSTER="$cluster_out" \
+    OUT="$out" python3 - <<'PY'
 import json, os, subprocess, time
 
 def fail(msg):
@@ -118,14 +122,22 @@ if cluster["degraded"]["bytes"] != cluster["healthy"]["bytes"]:
     fail("cluster degraded run moved different app bytes than healthy — "
          "the fault plan changed the acknowledged-write set")
 
-# Wall-clock command rate of the cluster bench (both runs, build excluded):
-# a coarse end-to-end simulator-throughput series, larger is better.
-wall_ns = int(os.environ["CLUSTER_WALL_NS"])
-total_ops = cluster["healthy"]["ops"] + cluster["degraded"]["ops"]
-if wall_ns > 0:
-    records.append({"name": "cluster/commands_per_wall_second",
-                    "value": int(total_ops * 1_000_000_000 / wall_ns),
+# Wall-clock command rates self-reported by each bench bin on its
+# parseable "commands_per_wall_second=<rate> commands=<n>" summary line:
+# coarse end-to-end simulator-throughput series, larger is better.
+for bin_name, env in [("fig9", "FIG9"), ("tenants", "TENANTS"),
+                      ("cluster", "CLUSTER")]:
+    with open(os.environ[env]) as f:
+        for line in f:
+            if line.startswith("commands_per_wall_second="):
+                fields = dict(p.split("=", 1) for p in line.split())
+                records.append({
+                    "name": f"{bin_name}/commands_per_wall_second",
+                    "value": int(fields["commands_per_wall_second"]),
                     "unit": "ops/s", "direction": "larger-is-better"})
+                break
+        else:
+            fail(f"{bin_name} bench lost its commands_per_wall_second line")
 
 def validate_trajectory(trajectory):
     if not isinstance(trajectory, list) or not trajectory:
@@ -194,3 +206,10 @@ if worst < 1.3:
 if multi_tenant and multi_tenant["jain"] < 0.9:
     raise SystemExit(f"FAIL: multi-tenant jain {multi_tenant['jain']} < 0.9")
 PY
+
+# Per-commit regression dashboard: render the updated trajectory (every
+# record series, including the commands_per_wall_second trend) as a static
+# HTML page next to the JSON.
+dashboard="${out%.json}.dashboard.html"
+./target/release/nds-prof dashboard "$out" "$dashboard"
+echo "trajectory dashboard written to $dashboard"

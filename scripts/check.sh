@@ -92,6 +92,28 @@ if [[ "${1:-}" != "--no-test" ]]; then
         || { echo "check.sh: cluster run reports differ between identical runs" >&2; exit 1; }
     cmp "$report_dir/cluster1.trace.json" "$report_dir/cluster2.trace.json" \
         || { echo "check.sh: cluster chrome traces differ between identical runs" >&2; exit 1; }
+
+    # Metrics determinism: the windowed-telemetry JSON and the static HTML
+    # dashboard (page + data payload) must be byte-identical across two
+    # identical instrumented runs — on a single-device point run and on the
+    # cluster bench's device-kill fault plan (failover marks included).
+    # Same file names in two directories: the dashboard HTML embeds its
+    # sibling data.js *name*, so the artifacts are only comparable when
+    # both runs write to identically-named outputs.
+    echo "== metrics determinism (fig9 a + cluster --metrics/--dashboard, twice)"
+    for i in 1 2; do
+        mkdir -p "$report_dir/m$i"
+        ./target/release/fig9 a \
+            --metrics "$report_dir/m$i/fig9.json" --dashboard "$report_dir/m$i/fig9.html" > /dev/null
+        ./target/release/cluster --seed 7 \
+            --metrics "$report_dir/m$i/cluster.json" --dashboard "$report_dir/m$i/cluster.html" > /dev/null
+    done
+    for artifact in fig9.json fig9.html fig9.data.js cluster.json cluster.html cluster.data.js; do
+        cmp "$report_dir/m1/$artifact" "$report_dir/m2/$artifact" \
+            || { echo "check.sh: $artifact differs between identical runs" >&2; exit 1; }
+    done
+    grep -q 'failover_events' "$report_dir/m1/cluster.json" \
+        || { echo "check.sh: cluster metrics JSON lost the failover series" >&2; exit 1; }
 fi
 
 echo "check.sh: all green"
